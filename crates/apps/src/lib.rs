@@ -1,0 +1,24 @@
+//! Case-study applications on GRuB (paper §4).
+//!
+//! Two end-to-end data consumers exercise the feed exactly as the paper's
+//! evaluation does:
+//!
+//! * [`scoin`] — **SCoin**, a minimalist MakerDAO-style stablecoin: an
+//!   [`erc20`] token whose issuance and redemption read the Ether price from
+//!   a GRuB price feed via `gGet` callbacks (§4.1, Table 3 / Figure 5);
+//! * [`pegged`] — a Bitcoin-pegged token over a **BtcRelay-style side-chain
+//!   feed**: the DO feeds [`bitcoin`] block headers onto the chain, and
+//!   `mint`/`burn` verify SPV inclusion proofs against six confirmed headers
+//!   read from the feed (§4.2, Figure 6).
+//!
+//! Both applications are ordinary [`grub_chain::Contract`]s whose Gas lands
+//! in the application layer, reproducing the paper's feed-vs-application
+//! split.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitcoin;
+pub mod erc20;
+pub mod pegged;
+pub mod scoin;

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the substrates: hashing, the Merkle ADS,
+//! the LSM store, the decision policies, and an end-to-end epoch.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use grub_core::policy::PolicyKind;
+use grub_core::policy::{Memoryless, ReplicationPolicy};
+use grub_core::system::{GrubSystem, SystemConfig};
+use grub_crypto::sha256;
+use grub_merkle::{record_value_hash, MerkleKv, ProofKey, ReplState};
+use grub_store::{Db, Options};
+use grub_workload::ratio::RatioWorkload;
+
+fn bench_crypto(c: &mut Criterion) {
+    let data_1k = vec![0xabu8; 1024];
+    c.bench_function("sha256/1KiB", |b| b.iter(|| sha256(std::hint::black_box(&data_1k))));
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let records: Vec<(ProofKey, _)> = (0..65_536u32)
+        .map(|i| {
+            (
+                ProofKey::new(ReplState::NotReplicated, format!("k{i:08}").into_bytes()),
+                record_value_hash(&i.to_le_bytes()),
+            )
+        })
+        .collect();
+    let tree = MerkleKv::from_sorted(records);
+    let target = ProofKey::new(ReplState::NotReplicated, b"k00032000".to_vec());
+    c.bench_function("merkle/prove-64k", |b| {
+        b.iter(|| tree.prove(std::hint::black_box(&target)).expect("present"))
+    });
+    let proof = tree.prove(&target).expect("present");
+    let root = tree.root();
+    let vhash = record_value_hash(&32000u32.to_le_bytes());
+    c.bench_function("merkle/verify-64k", |b| {
+        b.iter(|| proof.verify(std::hint::black_box(&root), &target, &vhash))
+    });
+    c.bench_function("merkle/insert-64k", |b| {
+        b.iter_batched(
+            || tree.clone(),
+            |mut t| {
+                t.insert(
+                    ProofKey::new(ReplState::NotReplicated, b"k00032000x".to_vec()),
+                    vhash,
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_store(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("grub-bench-db-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut db = Db::open(&dir, Options::default()).expect("open");
+    for i in 0..10_000u32 {
+        db.put(format!("key{i:08}").into_bytes(), vec![0u8; 128])
+            .expect("put");
+    }
+    db.flush().expect("flush");
+    c.bench_function("store/get-10k", |b| {
+        b.iter(|| db.get(std::hint::black_box(b"key00005000")).expect("get"))
+    });
+    c.bench_function("store/scan-100", |b| {
+        b.iter(|| {
+            db.scan(Some(b"key00005000"), Some(b"key00005100"))
+                .expect("scan")
+        })
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    c.bench_function("policy/memoryless-1k-ops", |b| {
+        b.iter_batched(
+            || Memoryless::new(2),
+            |mut p| {
+                for i in 0..1000u32 {
+                    let key = format!("k{}", i % 64);
+                    if i % 3 == 0 {
+                        p.on_write(&key);
+                    } else {
+                        p.on_read(&key);
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_system(c: &mut Criterion) {
+    let trace = RatioWorkload::new("k", 4.0).generate(32);
+    c.bench_function("system/ratio4-160ops", |b| {
+        b.iter(|| {
+            GrubSystem::run_trace(
+                std::hint::black_box(&trace),
+                &SystemConfig::new(PolicyKind::Memoryless { k: 2 }),
+            )
+            .expect("run")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_crypto, bench_merkle, bench_store, bench_policy, bench_system
+}
+criterion_main!(benches);

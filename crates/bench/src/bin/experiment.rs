@@ -1,0 +1,28 @@
+//! Run a single named experiment:
+//!
+//! ```sh
+//! cargo run --release -p grub-bench --bin experiment -- fig3
+//! cargo run --release -p grub-bench --bin experiment -- list
+//! ```
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "list".to_owned());
+    let registry = grub_bench::registry();
+    if arg == "list" {
+        println!("available experiments:");
+        for (name, title, _) in &registry {
+            println!("  {name:<12} {title}");
+        }
+        return;
+    }
+    match registry.iter().find(|(name, _, _)| *name == arg) {
+        Some((name, title, f)) => {
+            println!("==== {name}: {title} ====\n");
+            println!("{}", f());
+        }
+        None => {
+            eprintln!("unknown experiment {arg:?}; try `list`");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,654 @@
+//! The single-chain simulator: mempool, blocks, receipts, events, finality.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use grub_gas::{GasMeter, GasSnapshot, Layer};
+
+use crate::contract::{CallContext, CallRecord, Contract, Deployed, ExecState, VmError};
+use crate::storage::ContractStorage;
+use crate::types::{Address, TxId};
+
+/// Chain timing parameters (paper §3.4): block period `B`, finality depth
+/// `F`, and transaction propagation delay `Pt`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainConfig {
+    /// Average block production period, milliseconds (Ethereum: 10–19 s).
+    pub block_period_ms: u64,
+    /// Blocks needed before a transaction is considered final (Ethereum: 250).
+    pub finality_depth: u64,
+    /// Worst-case transaction propagation delay to all nodes, milliseconds.
+    pub propagation_ms: u64,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            block_period_ms: 13_000,
+            finality_depth: 250,
+            propagation_ms: 500,
+        }
+    }
+}
+
+/// A transaction submitted to the chain.
+#[derive(Clone, Debug)]
+pub struct Transaction {
+    /// Sender account.
+    pub from: Address,
+    /// Target contract.
+    pub to: Address,
+    /// Function name to invoke.
+    pub func: String,
+    /// Encoded payload (see [`crate::codec`]).
+    pub input: Vec<u8>,
+    /// Which layer pays the `Ctx` envelope cost.
+    pub envelope_layer: Layer,
+}
+
+impl Transaction {
+    /// Builds a transaction.
+    pub fn new(
+        from: Address,
+        to: Address,
+        func: impl Into<String>,
+        input: Vec<u8>,
+        envelope_layer: Layer,
+    ) -> Self {
+        Transaction {
+            from,
+            to,
+            func: func.into(),
+            input,
+            envelope_layer,
+        }
+    }
+}
+
+/// The result of executing one transaction.
+#[derive(Clone, Debug)]
+pub struct Receipt {
+    /// Identifier assigned at submission.
+    pub tx_id: TxId,
+    /// Block that mined the transaction.
+    pub block_number: u64,
+    /// Whether execution succeeded (failed txs are rolled back).
+    pub success: bool,
+    /// Encoded output on success.
+    pub output: Vec<u8>,
+    /// Error message on failure.
+    pub error: Option<String>,
+    /// Total Gas consumed (envelope + execution).
+    pub gas_used: u64,
+}
+
+/// An EVM-log-style event emitted by a contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Emitting contract.
+    pub contract: Address,
+    /// Event name (stands in for the topic hash).
+    pub name: String,
+    /// Encoded payload.
+    pub data: Vec<u8>,
+    /// Block in which the event was recorded.
+    pub block_number: u64,
+    /// Simulated time of the containing block.
+    pub time_ms: u64,
+}
+
+/// A mined block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Height of this block.
+    pub number: u64,
+    /// Simulated production time.
+    pub time_ms: u64,
+    /// Receipts for the included transactions, in execution order.
+    pub receipts: Vec<Receipt>,
+    /// Events emitted by the included transactions.
+    pub events: Vec<Event>,
+    /// Contract invocations (top-level and internal) of successful
+    /// transactions — the re-executable call history off-chain monitors read.
+    pub call_records: Vec<CallRecord>,
+}
+
+/// The Ethereum-like chain simulator.
+///
+/// Deterministic and single-threaded: transactions execute in submission
+/// order when [`Blockchain::produce_block`] is called. Gas is tracked by an
+/// embedded [`GasMeter`] with feed/application/user attribution.
+pub struct Blockchain {
+    config: ChainConfig,
+    registry: HashMap<Address, Deployed>,
+    storages: HashMap<Address, ContractStorage>,
+    meter: GasMeter,
+    mempool: Vec<(TxId, Transaction)>,
+    blocks: Vec<Block>,
+    next_tx_id: u64,
+    now_ms: u64,
+}
+
+impl Default for Blockchain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Blockchain {
+    /// Creates a chain with default parameters.
+    pub fn new() -> Self {
+        Self::with_config(ChainConfig::default())
+    }
+
+    /// Creates a chain with explicit timing parameters.
+    pub fn with_config(config: ChainConfig) -> Self {
+        Blockchain {
+            config,
+            registry: HashMap::new(),
+            storages: HashMap::new(),
+            meter: GasMeter::new(),
+            mempool: Vec::new(),
+            blocks: Vec::new(),
+            next_tx_id: 0,
+            now_ms: 0,
+        }
+    }
+
+    /// The chain's timing parameters.
+    pub fn config(&self) -> &ChainConfig {
+        &self.config
+    }
+
+    /// Deploys contract code at an address with a Gas-attribution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a contract is already deployed at `address` — redeploying
+    /// over live state is almost certainly a harness bug.
+    pub fn deploy(&mut self, address: Address, code: Rc<dyn Contract>, layer: Layer) {
+        let prior = self.registry.insert(address, Deployed { code, layer });
+        assert!(prior.is_none(), "contract already deployed at {address}");
+    }
+
+    /// Whether a contract exists at `address`.
+    pub fn is_deployed(&self, address: Address) -> bool {
+        self.registry.contains_key(&address)
+    }
+
+    /// Queues a transaction; it executes at the next block.
+    pub fn submit(&mut self, tx: Transaction) -> TxId {
+        let id = TxId(self.next_tx_id);
+        self.next_tx_id += 1;
+        self.mempool.push((id, tx));
+        id
+    }
+
+    /// Number of queued transactions.
+    pub fn mempool_len(&self) -> usize {
+        self.mempool.len()
+    }
+
+    /// Advances time by the block period and mines all queued transactions
+    /// into a new block, returning it.
+    pub fn produce_block(&mut self) -> &Block {
+        self.now_ms += self.config.block_period_ms;
+        let number = self.blocks.len() as u64 + 1;
+        let pending = std::mem::take(&mut self.mempool);
+        let mut receipts = Vec::with_capacity(pending.len());
+        let mut events = Vec::new();
+        let mut call_records = Vec::new();
+        for (tx_id, tx) in pending {
+            let receipt = self.execute(tx_id, tx, number, &mut events, &mut call_records);
+            receipts.push(receipt);
+        }
+        self.blocks.push(Block {
+            number,
+            time_ms: self.now_ms,
+            receipts,
+            events,
+            call_records,
+        });
+        self.blocks.last().expect("just pushed")
+    }
+
+    fn execute(
+        &mut self,
+        tx_id: TxId,
+        tx: Transaction,
+        block_number: u64,
+        events_out: &mut Vec<Event>,
+        calls_out: &mut Vec<CallRecord>,
+    ) -> Receipt {
+        let before = self.meter.snapshot();
+        self.meter.charge_tx(tx.envelope_layer, tx.input.len());
+        let deployed = match self.registry.get(&tx.to) {
+            Some(d) => d.clone(),
+            None => {
+                return Receipt {
+                    tx_id,
+                    block_number,
+                    success: false,
+                    output: Vec::new(),
+                    error: Some(VmError::UnknownContract(tx.to).to_string()),
+                    gas_used: gas_since(&self.meter, before),
+                }
+            }
+        };
+        let mut state = ExecState {
+            storages: std::mem::take(&mut self.storages),
+            meter: std::mem::take(&mut self.meter),
+            pending_events: Vec::new(),
+            journal: Vec::new(),
+            call_records: vec![CallRecord {
+                to: tx.to,
+                func: tx.func.clone(),
+                input: tx.input.clone(),
+                block_number,
+            }],
+        };
+        let result = {
+            let mut ctx = CallContext {
+                state: &mut state,
+                registry: &self.registry,
+                caller: tx.from,
+                this: tx.to,
+                origin: tx.from,
+                block_number,
+                now_ms: self.now_ms,
+                layer: deployed.layer,
+                depth: 0,
+            };
+            deployed.code.call(&mut ctx, &tx.func, &tx.input)
+        };
+        let receipt = match result {
+            Ok(output) => {
+                events_out.extend(state.pending_events.drain(..));
+                calls_out.extend(state.call_records.drain(..));
+                Receipt {
+                    tx_id,
+                    block_number,
+                    success: true,
+                    output,
+                    error: None,
+                    gas_used: 0, // patched below once the meter is restored
+                }
+            }
+            Err(err) => {
+                // Roll back every storage write this transaction made.
+                for entry in state.journal.drain(..).rev() {
+                    let storage = state.storages.entry(entry.contract).or_default();
+                    match entry.prior {
+                        Some(v) => {
+                            storage.set(entry.key, v);
+                        }
+                        None => {
+                            storage.remove(&entry.key);
+                        }
+                    }
+                }
+                state.pending_events.clear();
+                Receipt {
+                    tx_id,
+                    block_number,
+                    success: false,
+                    output: Vec::new(),
+                    error: Some(err.to_string()),
+                    gas_used: 0,
+                }
+            }
+        };
+        self.storages = state.storages;
+        self.meter = state.meter;
+        let mut receipt = receipt;
+        receipt.gas_used = gas_since(&self.meter, before);
+        receipt
+    }
+
+    /// Executes a read-only call against current state without charging Gas
+    /// or mutating anything — the equivalent of `eth_call`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the contract's [`VmError`].
+    pub fn static_call(
+        &self,
+        from: Address,
+        to: Address,
+        func: &str,
+        input: &[u8],
+    ) -> Result<Vec<u8>, VmError> {
+        let deployed = self
+            .registry
+            .get(&to)
+            .cloned()
+            .ok_or(VmError::UnknownContract(to))?;
+        let mut state = ExecState {
+            storages: self.storages.clone(),
+            meter: GasMeter::with_schedule(*self.meter.schedule()),
+            pending_events: Vec::new(),
+            journal: Vec::new(),
+            call_records: Vec::new(),
+        };
+        let mut ctx = CallContext {
+            state: &mut state,
+            registry: &self.registry,
+            caller: from,
+            this: to,
+            origin: from,
+            block_number: self.blocks.len() as u64,
+            now_ms: self.now_ms,
+            layer: deployed.layer,
+            depth: 0,
+        };
+        deployed.code.call(&mut ctx, func, input)
+    }
+
+    /// All mined blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Current block height.
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Simulated current time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Height up to which blocks are final (`height - F`, saturating).
+    pub fn finalized_height(&self) -> u64 {
+        self.height().saturating_sub(self.config.finality_depth)
+    }
+
+    /// Events matching `contract` and `name` in blocks `(from_block, ..]`.
+    ///
+    /// This is what off-chain watchdogs (the SP daemon, the DO monitor) poll,
+    /// standing in for Ethereum's `eth_getLogs`.
+    pub fn events_since(&self, from_block: u64, contract: Address, name: &str) -> Vec<&Event> {
+        self.blocks
+            .iter()
+            .filter(|b| b.number > from_block)
+            .flat_map(|b| b.events.iter())
+            .filter(|e| e.contract == contract && e.name == name)
+            .collect()
+    }
+
+    /// All events in blocks `(from_block, ..]`, for trace federation.
+    pub fn all_events_since(&self, from_block: u64) -> Vec<&Event> {
+        self.blocks
+            .iter()
+            .filter(|b| b.number > from_block)
+            .flat_map(|b| b.events.iter())
+            .collect()
+    }
+
+    /// Contract invocations of contract `to` in blocks `(from_block, ..]` —
+    /// the monitor's view of the call history (paper §3.2).
+    pub fn calls_since(&self, from_block: u64, to: Address) -> Vec<&CallRecord> {
+        self.blocks
+            .iter()
+            .filter(|b| b.number > from_block)
+            .flat_map(|b| b.call_records.iter())
+            .filter(|c| c.to == to)
+            .collect()
+    }
+
+    /// The Gas meter (read-only).
+    pub fn meter(&self) -> &GasMeter {
+        &self.meter
+    }
+
+    /// Zeroes the Gas meter — harnesses call this after provisioning so the
+    /// reported numbers cover steady-state operation only.
+    pub fn meter_reset(&mut self) {
+        self.meter.reset();
+    }
+
+    /// Snapshot of Gas totals, for epoch-by-epoch reporting.
+    pub fn gas_snapshot(&self) -> GasSnapshot {
+        self.meter.snapshot()
+    }
+
+    /// Unmetered storage inspection, for tests and assertions.
+    pub fn storage(&self, contract: Address) -> Option<&ContractStorage> {
+        self.storages.get(&contract)
+    }
+}
+
+fn gas_since(meter: &GasMeter, before: GasSnapshot) -> u64 {
+    let now = meter.snapshot();
+    (now.feed + now.app + now.user) - (before.feed + before.app + before.user)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{Decoder, Encoder};
+    use grub_gas::CostKind;
+
+    /// A contract exercising storage, events, calls and reverts.
+    struct Widget;
+
+    impl Contract for Widget {
+        fn call(
+            &self,
+            ctx: &mut CallContext<'_>,
+            func: &str,
+            input: &[u8],
+        ) -> Result<Vec<u8>, VmError> {
+            match func {
+                "set" => {
+                    let mut dec = Decoder::new(input);
+                    let v = dec.u64()?;
+                    ctx.sstore_u64(b"value", v)?;
+                    ctx.emit("ValueSet", input.to_vec());
+                    Ok(Vec::new())
+                }
+                "get" => {
+                    let v = ctx.sload_u64(b"value")?.unwrap_or(0);
+                    let mut enc = Encoder::new();
+                    enc.u64(v);
+                    Ok(enc.finish())
+                }
+                "fail_after_write" => {
+                    ctx.sstore_u64(b"value", 999)?;
+                    Err(VmError::Revert("deliberate".into()))
+                }
+                "call_self_get" => {
+                    let this = ctx.this;
+                    ctx.call(this, "get", &[])
+                }
+                _ => Err(VmError::UnknownFunction(func.to_owned())),
+            }
+        }
+    }
+
+    fn setup() -> (Blockchain, Address, Address) {
+        let mut chain = Blockchain::new();
+        let widget = Address::derive("widget");
+        chain.deploy(widget, Rc::new(Widget), Layer::Application);
+        (chain, widget, Address::derive("user"))
+    }
+
+    #[test]
+    fn set_then_get_round_trips() {
+        let (mut chain, widget, user) = setup();
+        let mut enc = Encoder::new();
+        enc.u64(42);
+        chain.submit(Transaction::new(user, widget, "set", enc.finish(), Layer::User));
+        chain.produce_block();
+        let out = chain.static_call(user, widget, "get", &[]).unwrap();
+        assert_eq!(Decoder::new(&out).u64().unwrap(), 42);
+    }
+
+    #[test]
+    fn failed_tx_rolls_back_storage() {
+        let (mut chain, widget, user) = setup();
+        let mut enc = Encoder::new();
+        enc.u64(1);
+        chain.submit(Transaction::new(user, widget, "set", enc.finish(), Layer::User));
+        chain.produce_block();
+        chain.submit(Transaction::new(
+            user,
+            widget,
+            "fail_after_write",
+            Vec::new(),
+            Layer::User,
+        ));
+        let block = chain.produce_block();
+        assert!(!block.receipts[0].success);
+        assert!(block.receipts[0].error.as_deref().unwrap().contains("deliberate"));
+        let out = chain.static_call(user, widget, "get", &[]).unwrap();
+        assert_eq!(Decoder::new(&out).u64().unwrap(), 1, "write must be rolled back");
+    }
+
+    #[test]
+    fn failed_tx_emits_no_events() {
+        let (mut chain, widget, user) = setup();
+        chain.submit(Transaction::new(
+            user,
+            widget,
+            "fail_after_write",
+            Vec::new(),
+            Layer::User,
+        ));
+        let block = chain.produce_block();
+        assert!(block.events.is_empty());
+    }
+
+    #[test]
+    fn gas_charges_match_schedule() {
+        let (mut chain, widget, user) = setup();
+        let mut enc = Encoder::new();
+        enc.u64(7);
+        let payload = enc.finish();
+        let payload_len = payload.len();
+        chain.submit(Transaction::new(user, widget, "set", payload, Layer::User));
+        let schedule = *chain.meter().schedule();
+        let block = chain.produce_block();
+        // Envelope + one fresh 1-word insert + LOG(1 topic, 8 bytes payload).
+        let expected = schedule.tx_cost_bytes(payload_len)
+            + schedule.storage_insert(1)
+            + schedule.log_cost(1, 8);
+        assert_eq!(block.receipts[0].gas_used, expected);
+        // Envelope went to User, storage to Application.
+        assert_eq!(
+            chain.meter().kind_total(Layer::User, CostKind::Transaction).amount(),
+            schedule.tx_cost_bytes(payload_len)
+        );
+        assert_eq!(
+            chain
+                .meter()
+                .kind_total(Layer::Application, CostKind::StorageInsert)
+                .amount(),
+            schedule.storage_insert(1)
+        );
+    }
+
+    #[test]
+    fn update_cheaper_than_insert() {
+        let (mut chain, widget, user) = setup();
+        let mk = |v: u64| {
+            let mut enc = Encoder::new();
+            enc.u64(v);
+            enc.finish()
+        };
+        chain.submit(Transaction::new(user, widget, "set", mk(1), Layer::User));
+        let g1 = chain.produce_block().receipts[0].gas_used;
+        chain.submit(Transaction::new(user, widget, "set", mk(2), Layer::User));
+        let g2 = chain.produce_block().receipts[0].gas_used;
+        let schedule = *chain.meter().schedule();
+        assert_eq!(
+            g1 - g2,
+            schedule.storage_insert(1) - schedule.storage_update(1)
+        );
+    }
+
+    #[test]
+    fn events_are_queryable_by_name_and_block() {
+        let (mut chain, widget, user) = setup();
+        let mut enc = Encoder::new();
+        enc.u64(5);
+        chain.submit(Transaction::new(user, widget, "set", enc.finish(), Layer::User));
+        chain.produce_block();
+        let events = chain.events_since(0, widget, "ValueSet");
+        assert_eq!(events.len(), 1);
+        assert!(chain.events_since(1, widget, "ValueSet").is_empty());
+        assert!(chain.events_since(0, widget, "Other").is_empty());
+    }
+
+    #[test]
+    fn internal_call_works() {
+        let (mut chain, widget, user) = setup();
+        let mut enc = Encoder::new();
+        enc.u64(9);
+        chain.submit(Transaction::new(user, widget, "set", enc.finish(), Layer::User));
+        chain.produce_block();
+        chain.submit(Transaction::new(
+            user,
+            widget,
+            "call_self_get",
+            Vec::new(),
+            Layer::User,
+        ));
+        let block = chain.produce_block();
+        assert!(block.receipts[0].success);
+        assert_eq!(Decoder::new(&block.receipts[0].output).u64().unwrap(), 9);
+    }
+
+    #[test]
+    fn unknown_contract_fails_cleanly() {
+        let (mut chain, _widget, user) = setup();
+        chain.submit(Transaction::new(
+            user,
+            Address::derive("nowhere"),
+            "set",
+            Vec::new(),
+            Layer::User,
+        ));
+        let block = chain.produce_block();
+        assert!(!block.receipts[0].success);
+    }
+
+    #[test]
+    fn block_time_advances_by_period() {
+        let (mut chain, _, _) = setup();
+        let period = chain.config().block_period_ms;
+        chain.produce_block();
+        chain.produce_block();
+        assert_eq!(chain.now_ms(), 2 * period);
+        assert_eq!(chain.height(), 2);
+    }
+
+    #[test]
+    fn finality_lags_by_depth() {
+        let mut chain = Blockchain::with_config(ChainConfig {
+            block_period_ms: 1000,
+            finality_depth: 3,
+            propagation_ms: 100,
+        });
+        for _ in 0..5 {
+            chain.produce_block();
+        }
+        assert_eq!(chain.finalized_height(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already deployed")]
+    fn double_deploy_panics() {
+        let (mut chain, widget, _) = setup();
+        chain.deploy(widget, Rc::new(Widget), Layer::Application);
+    }
+
+    #[test]
+    fn static_call_charges_no_gas() {
+        let (chain, widget, user) = setup();
+        let before = chain.meter().total();
+        let _ = chain.static_call(user, widget, "get", &[]);
+        assert_eq!(chain.meter().total(), before);
+    }
+}

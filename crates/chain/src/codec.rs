@@ -1,0 +1,218 @@
+//! A minimal deterministic codec for contract call payloads.
+//!
+//! The paper's prototype uses Solidity ABI encoding; this simulator uses a
+//! simpler length-prefixed binary format with identical information content,
+//! so transaction payload sizes (which drive `Ctx(X)`) stay comparable.
+//!
+//! # Examples
+//!
+//! ```
+//! use grub_chain::codec::{Encoder, Decoder};
+//!
+//! let mut enc = Encoder::new();
+//! enc.u64(7).bytes(b"price").u64(42);
+//! let buf = enc.finish();
+//!
+//! let mut dec = Decoder::new(&buf);
+//! assert_eq!(dec.u64().unwrap(), 7);
+//! assert_eq!(dec.bytes().unwrap(), b"price");
+//! assert_eq!(dec.u64().unwrap(), 42);
+//! assert!(dec.is_empty());
+//! ```
+
+use grub_crypto::Hash32;
+
+use crate::contract::VmError;
+use crate::types::Address;
+
+/// Incrementally builds a call payload.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Appends a `u64` (8 bytes, little-endian).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `bool` (1 byte).
+    pub fn boolean(&mut self, v: bool) -> &mut Self {
+        self.buf.push(v as u8);
+        self
+    }
+
+    /// Appends a length-prefixed byte string (4-byte LE length).
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a 32-byte digest (raw).
+    pub fn hash(&mut self, v: &Hash32) -> &mut Self {
+        self.buf.extend_from_slice(v.as_bytes());
+        self
+    }
+
+    /// Appends a 20-byte address (raw).
+    pub fn address(&mut self, v: &Address) -> &mut Self {
+        self.buf.extend_from_slice(v.as_bytes());
+        self
+    }
+
+    /// Appends a UTF-8 string (length-prefixed).
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Current payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads values back out of a payload, in the order they were encoded.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps a payload for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], VmError> {
+        if self.pos + n > self.buf.len() {
+            return Err(VmError::Decode(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Decode`] if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, VmError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("slice len 8")))
+    }
+
+    /// Reads a `bool`.
+    pub fn boolean(&mut self) -> Result<bool, VmError> {
+        Ok(self.take(1)?[0] != 0)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], VmError> {
+        let len = u32::from_le_bytes(self.take(4)?.try_into().expect("slice len 4")) as usize;
+        self.take(len)
+    }
+
+    /// Reads a 32-byte digest.
+    pub fn hash(&mut self) -> Result<Hash32, VmError> {
+        let b = self.take(32)?;
+        let mut out = [0u8; 32];
+        out.copy_from_slice(b);
+        Ok(Hash32::new(out))
+    }
+
+    /// Reads a 20-byte address.
+    pub fn address(&mut self) -> Result<Address, VmError> {
+        let b = self.take(20)?;
+        let mut out = [0u8; 20];
+        out.copy_from_slice(b);
+        Ok(Address::new(out))
+    }
+
+    /// Reads a UTF-8 string.
+    pub fn string(&mut self) -> Result<String, VmError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|e| VmError::Decode(e.to_string()))
+    }
+
+    /// Whether the payload is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let addr = Address::derive("codec");
+        let digest = grub_crypto::sha256(b"d");
+        let mut enc = Encoder::new();
+        enc.u64(u64::MAX)
+            .boolean(true)
+            .bytes(b"")
+            .bytes(&[1, 2, 3])
+            .hash(&digest)
+            .address(&addr)
+            .string("héllo");
+        let buf = enc.finish();
+
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.u64().unwrap(), u64::MAX);
+        assert!(dec.boolean().unwrap());
+        assert_eq!(dec.bytes().unwrap(), b"");
+        assert_eq!(dec.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(dec.hash().unwrap(), digest);
+        assert_eq!(dec.address().unwrap(), addr);
+        assert_eq!(dec.string().unwrap(), "héllo");
+        assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let mut enc = Encoder::new();
+        enc.u64(1);
+        let buf = enc.finish();
+        let mut dec = Decoder::new(&buf[..4]);
+        assert!(matches!(dec.u64(), Err(VmError::Decode(_))));
+    }
+
+    #[test]
+    fn bad_length_prefix_errors() {
+        // Length prefix claims 100 bytes but only 1 follows.
+        let mut buf = 100u32.to_le_bytes().to_vec();
+        buf.push(7);
+        let mut dec = Decoder::new(&buf);
+        assert!(dec.bytes().is_err());
+    }
+}

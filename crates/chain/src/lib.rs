@@ -1,0 +1,66 @@
+//! An Ethereum-like blockchain simulator with exact Gas metering.
+//!
+//! The GRuB paper evaluates every design purely by the Gas it burns under the
+//! schedule of its Table 2 (transactions, storage insert/update/read, hash).
+//! Gas is a deterministic function of the operations a contract performs, so
+//! replaying the same contract logic against the same schedule reproduces the
+//! paper's cost behaviour without a real network (see `DESIGN.md` §3).
+//!
+//! The simulator provides:
+//!
+//! * [`Blockchain`] — mempool, block production every `B` ms, finality depth
+//!   `F`, an event log, and a registry of [`Contract`]s;
+//! * Gas-metered contract storage ([`contract::CallContext::sstore`] and
+//!   friends) charging exactly `Cinsert`/`Cupdate`/`Cread` per 32-byte word;
+//! * transactions charged `Ctx(X) = 21000 + 2176·X` on their payload with the
+//!   envelope attributed to a [`grub_gas::Layer`];
+//! * internal calls with callbacks, revert journaling, and event emission
+//!   (EVM `LOG`-style) that off-chain watchdogs can poll;
+//! * [`network`] — a multi-node propagation/finality model used to validate
+//!   the paper's consistency theorems (§3.4, Appendix E).
+//!
+//! # Examples
+//!
+//! ```
+//! use grub_chain::{Blockchain, Transaction, Address};
+//! use grub_chain::contract::{CallContext, Contract, VmError};
+//! use grub_gas::Layer;
+//! use std::rc::Rc;
+//!
+//! struct Counter;
+//! impl Contract for Counter {
+//!     fn call(&self, ctx: &mut CallContext<'_>, func: &str, _input: &[u8])
+//!         -> Result<Vec<u8>, VmError> {
+//!         match func {
+//!             "bump" => {
+//!                 let n = ctx.sload_u64(b"n")?.unwrap_or(0);
+//!                 ctx.sstore_u64(b"n", n + 1)?;
+//!                 Ok(Vec::new())
+//!             }
+//!             _ => Err(VmError::UnknownFunction(func.to_owned())),
+//!         }
+//!     }
+//! }
+//!
+//! let mut chain = Blockchain::new();
+//! let addr = Address::derive("counter");
+//! chain.deploy(addr, Rc::new(Counter), Layer::Application);
+//! let alice = Address::derive("alice");
+//! chain.submit(Transaction::new(alice, addr, "bump", Vec::new(), Layer::User));
+//! let block = chain.produce_block();
+//! assert!(block.receipts[0].success);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod codec;
+pub mod contract;
+pub mod network;
+pub mod storage;
+mod types;
+
+pub use chain::{Block, Blockchain, ChainConfig, Event, Receipt, Transaction};
+pub use contract::{CallContext, Contract, VmError};
+pub use types::{Address, TxId};

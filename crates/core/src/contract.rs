@@ -1,0 +1,749 @@
+//! The on-chain storage-manager smart contract (paper Listing 2).
+//!
+//! Functions:
+//!
+//! * `update(digest, rUpdates, toR, toNR)` — DO-only epoch update: stores
+//!   the new root digest, overwrites replicated records that changed,
+//!   inserts replicas for NR→R transitions and evicts them for R→NR;
+//! * `gGet(key, callback)` — internal call from a DU contract: serves the
+//!   record from the on-chain replica when present, otherwise emits a
+//!   `Request` event for the SP's watchdog;
+//! * `gScan(startKey, endKey, callback)` — range variant: emits a
+//!   `RequestRange` event;
+//! * `deliver(startKey, endKey, records, proof, callbacks)` — called by the
+//!   SP: verifies the range proof against the stored root digest (charging
+//!   `Chash` per recomputed node) and invokes the buffered callbacks with
+//!   the authenticated records.
+//!
+//! The callback dispatch mirrors the paper's Listing 2, including its
+//! stateless-callback design: the contract does not persist pending request
+//! IDs (that would cost storage writes), so the SP echoes the callback
+//! reference from the `Request` event. Consequently the SP can only invoke
+//! callbacks with *verified* data, but could replay them; applications that
+//! care sequence their reads (as the paper's DUs do).
+//!
+//! The optional on-chain-trace mode implements the paper's BL3 baselines
+//! (Figure 7): the monitoring counters that GRuB keeps off-chain are instead
+//! maintained in contract storage, charging an extra storage read + write
+//! per monitored operation.
+
+use grub_chain::codec::{Decoder, Encoder};
+use grub_chain::{Address, CallContext, Contract, VmError};
+use grub_crypto::Hash32;
+use grub_gas::{words_for_bytes, CostKind};
+use grub_merkle::{record_value_hash, ProofKey, RangeProof, ReplState};
+
+use crate::wire;
+
+/// Storage slot for the root digest.
+const SLOT_ROOT: &[u8] = b"root";
+
+/// Eviction marker left in a replica slot instead of deleting it. Keeping
+/// the slot warm means a later re-replication pays `Cupdate` rather than
+/// `Cinsert` — the paper's "reusable storage upon replicating a record"
+/// (§4.2), and the reason Equation 1 is stated in terms of `Cupdate`.
+pub const EVICTED_MARKER: &[u8] = b"\xffGRUB_EVICTED";
+
+/// Where the monitoring trace is kept — [`OnChainTrace::None`] is GRuB's
+/// design (off-chain monitor); the other two are the BL3 baselines of
+/// Figure 7 that pay Gas to keep counters on-chain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OnChainTrace {
+    /// GRuB: monitoring happens off-chain, no extra Gas.
+    #[default]
+    None,
+    /// Baseline: the read trace is counted in contract storage.
+    Reads,
+    /// Baseline: both reads and writes are counted in contract storage.
+    ReadsAndWrites,
+}
+
+/// The storage-manager contract.
+#[derive(Debug)]
+pub struct StorageManager {
+    data_owner: Address,
+    trace_mode: OnChainTrace,
+}
+
+impl StorageManager {
+    /// Deploy-time configuration: the trusted DO account and the trace mode.
+    pub fn new(data_owner: Address, trace_mode: OnChainTrace) -> Self {
+        StorageManager {
+            data_owner,
+            trace_mode,
+        }
+    }
+
+    fn replica_slot(key: &[u8]) -> Vec<u8> {
+        let mut slot = Vec::with_capacity(3 + key.len());
+        slot.extend_from_slice(b"kv:");
+        slot.extend_from_slice(key);
+        slot
+    }
+
+    fn counter_slot(key: &[u8]) -> Vec<u8> {
+        let mut slot = Vec::with_capacity(4 + key.len());
+        slot.extend_from_slice(b"cnt:");
+        slot.extend_from_slice(key);
+        slot
+    }
+
+    fn bump_counter(&self, ctx: &mut CallContext<'_>, key: &[u8]) -> Result<(), VmError> {
+        let slot = Self::counter_slot(key);
+        let n = ctx.sload_u64(&slot)?.unwrap_or(0);
+        ctx.sstore_u64(&slot, n + 1)
+    }
+
+    /// `update()` — the DO's epoch transaction (write path, §3.3).
+    fn update(&self, ctx: &mut CallContext<'_>, input: &[u8]) -> Result<Vec<u8>, VmError> {
+        if ctx.caller != self.data_owner {
+            return Err(VmError::Unauthorized);
+        }
+        let mut dec = Decoder::new(input);
+        let digest = dec.hash()?;
+        ctx.sstore(SLOT_ROOT, digest.as_bytes())?;
+        // Updates to records that are already replicated.
+        let n_updates = dec.u64()? as usize;
+        for _ in 0..n_updates {
+            let key = dec.bytes()?.to_vec();
+            let value = dec.bytes()?.to_vec();
+            ctx.sstore(&Self::replica_slot(&key), &value)?;
+            if self.trace_mode == OnChainTrace::ReadsAndWrites {
+                self.bump_counter(ctx, &key)?;
+            }
+        }
+        // NR→R transitions: insert fresh replicas.
+        let n_to_r = dec.u64()? as usize;
+        for _ in 0..n_to_r {
+            let key = dec.bytes()?.to_vec();
+            let value = dec.bytes()?.to_vec();
+            ctx.sstore(&Self::replica_slot(&key), &value)?;
+        }
+        // R→NR transitions: evict replicas, leaving the slot warm for reuse.
+        let n_to_nr = dec.u64()? as usize;
+        for _ in 0..n_to_nr {
+            let key = dec.bytes()?.to_vec();
+            ctx.sstore(&Self::replica_slot(&key), EVICTED_MARKER)?;
+        }
+        Ok(Vec::new())
+    }
+
+    /// `gGet()` — internal call from a DU (read path, §3.3).
+    fn g_get(&self, ctx: &mut CallContext<'_>, input: &[u8]) -> Result<Vec<u8>, VmError> {
+        let mut dec = Decoder::new(input);
+        let key = dec.bytes()?.to_vec();
+        let cb_addr = dec.address()?;
+        let cb_func = dec.string()?;
+        if self.trace_mode != OnChainTrace::None {
+            self.bump_counter(ctx, &key)?;
+        }
+        match ctx.sload(&Self::replica_slot(&key))? {
+            Some(value) if value != EVICTED_MARKER => {
+                // Replica hit: synchronous callback with the single record.
+                let mut enc = Encoder::new();
+                enc.bytes(&key).u64(1).bytes(&key).bytes(&value);
+                ctx.call(cb_addr, &cb_func, &enc.finish())?;
+                let mut out = Encoder::new();
+                out.boolean(true);
+                Ok(out.finish())
+            }
+            _ => {
+                // Miss (or an evicted, slot-reuse marker): buffer the
+                // request in the event log for the SP.
+                let mut enc = Encoder::new();
+                enc.bytes(&key).address(&cb_addr).string(&cb_func);
+                ctx.emit("Request", enc.finish());
+                let mut out = Encoder::new();
+                out.boolean(false);
+                Ok(out.finish())
+            }
+        }
+    }
+
+    /// `gScan()` — internal range query from a DU.
+    fn g_scan(&self, ctx: &mut CallContext<'_>, input: &[u8]) -> Result<Vec<u8>, VmError> {
+        let mut dec = Decoder::new(input);
+        let start = dec.bytes()?.to_vec();
+        let end = dec.bytes()?.to_vec();
+        let cb_addr = dec.address()?;
+        let cb_func = dec.string()?;
+        if self.trace_mode != OnChainTrace::None {
+            self.bump_counter(ctx, &start)?;
+        }
+        let mut enc = Encoder::new();
+        enc.bytes(&start).bytes(&end).address(&cb_addr).string(&cb_func);
+        ctx.emit("RequestRange", enc.finish());
+        Ok(Vec::new())
+    }
+
+    /// `deliver()` — the SP's proof-carrying response (read path, §3.3).
+    fn deliver(&self, ctx: &mut CallContext<'_>, input: &[u8]) -> Result<Vec<u8>, VmError> {
+        let mut dec = Decoder::new(input);
+        let start = dec.bytes()?.to_vec();
+        let end = dec.bytes()?.to_vec();
+        let replicate = dec.boolean()?;
+        let n_records = dec.u64()? as usize;
+        let mut records = Vec::with_capacity(n_records);
+        for _ in 0..n_records {
+            let key = dec.bytes()?.to_vec();
+            let value = dec.bytes()?.to_vec();
+            records.push((key, value));
+        }
+        let proof = wire::decode_range_proof(&mut dec)?;
+        let n_cbs = dec.u64()? as usize;
+        let mut callbacks = Vec::with_capacity(n_cbs);
+        for _ in 0..n_cbs {
+            let addr = dec.address()?;
+            let func = dec.string()?;
+            callbacks.push((addr, func));
+        }
+
+        // Load the trusted digest.
+        let root_bytes = ctx
+            .sload(SLOT_ROOT)?
+            .ok_or_else(|| VmError::Revert("no root digest on chain".into()))?;
+        let mut root_arr = [0u8; 32];
+        root_arr.copy_from_slice(&root_bytes[..32]);
+        let root = Hash32::new(root_arr);
+
+        // Charge Chash for every node the verifier recomputes (leaf and
+        // inner preimages are ~3 words), then verify.
+        let per_node = ctx.meter_schedule().hash_cost(3);
+        ctx.charge(CostKind::Hash, per_node * proof.hash_count() as u64);
+        let lo = ProofKey::new(ReplState::NotReplicated, start.clone());
+        let hi = ProofKey::new(ReplState::NotReplicated, end.clone());
+        let verified = proof
+            .verify(&root, &lo, &hi)
+            .map_err(|e| VmError::Revert(format!("proof rejected: {e}")))?;
+
+        // The delivered plaintext records must match the verified hashes,
+        // one-to-one and in order.
+        if verified.len() != records.len() {
+            return Err(VmError::Revert(format!(
+                "record count mismatch: proof has {}, delivery has {}",
+                verified.len(),
+                records.len()
+            )));
+        }
+        for ((pkey, vhash), (key, value)) in verified.iter().zip(&records) {
+            if pkey.key != *key {
+                return Err(VmError::Revert("delivered key not in proof".into()));
+            }
+            // Hashing the delivered value on-chain costs Chash.
+            let cost = ctx
+                .meter_schedule()
+                .hash_cost(words_for_bytes(value.len()).max(1));
+            ctx.charge(CostKind::Hash, cost);
+            if record_value_hash(value) != *vhash {
+                return Err(VmError::Revert("delivered value does not match proof".into()));
+            }
+        }
+
+        // The paper's Listing 2 `replicate` flag: the control plane decided
+        // this record should live on chain, so the delivery installs the
+        // replica to serve the rest of the read burst. The value is already
+        // authenticated; the DO formalizes or evicts the replica in its next
+        // epoch update.
+        if replicate {
+            if let [(key, value)] = records.as_slice() {
+                ctx.sstore(&Self::replica_slot(key), value)?;
+            }
+        }
+        // Dispatch callbacks with the authenticated record set.
+        for (addr, func) in &callbacks {
+            let mut enc = Encoder::new();
+            enc.bytes(&start).u64(records.len() as u64);
+            for (key, value) in &records {
+                enc.bytes(key).bytes(value);
+            }
+            ctx.call(*addr, func, &enc.finish())?;
+        }
+        let mut out = Encoder::new();
+        out.u64(records.len() as u64);
+        Ok(out.finish())
+    }
+
+    /// `root()` — view returning the stored digest (unmetered via
+    /// `static_call` in tests).
+    fn root(&self, ctx: &mut CallContext<'_>) -> Result<Vec<u8>, VmError> {
+        let root = ctx.sload(SLOT_ROOT)?.unwrap_or_default();
+        Ok(root)
+    }
+}
+
+impl Contract for StorageManager {
+    fn call(&self, ctx: &mut CallContext<'_>, func: &str, input: &[u8]) -> Result<Vec<u8>, VmError> {
+        match func {
+            "update" => self.update(ctx, input),
+            "gGet" => self.g_get(ctx, input),
+            "gScan" => self.g_scan(ctx, input),
+            "deliver" => self.deliver(ctx, input),
+            "root" => self.root(ctx),
+            _ => Err(VmError::UnknownFunction(func.to_owned())),
+        }
+    }
+}
+
+/// Encodes the input of an `update()` transaction.
+pub fn encode_update(
+    digest: &Hash32,
+    r_updates: &[(Vec<u8>, Vec<u8>)],
+    to_r: &[(Vec<u8>, Vec<u8>)],
+    to_nr: &[Vec<u8>],
+) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.hash(digest);
+    enc.u64(r_updates.len() as u64);
+    for (k, v) in r_updates {
+        enc.bytes(k).bytes(v);
+    }
+    enc.u64(to_r.len() as u64);
+    for (k, v) in to_r {
+        enc.bytes(k).bytes(v);
+    }
+    enc.u64(to_nr.len() as u64);
+    for k in to_nr {
+        enc.bytes(k);
+    }
+    enc.finish()
+}
+
+/// Encodes the input of a `gGet()` internal call.
+pub fn encode_gget(key: &[u8], cb_addr: Address, cb_func: &str) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.bytes(key).address(&cb_addr).string(cb_func);
+    enc.finish()
+}
+
+/// Encodes the input of a `gScan()` internal call.
+pub fn encode_gscan(start: &[u8], end: &[u8], cb_addr: Address, cb_func: &str) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.bytes(start).bytes(end).address(&cb_addr).string(cb_func);
+    enc.finish()
+}
+
+/// Encodes the input of a `deliver()` transaction.
+pub fn encode_deliver(
+    start: &[u8],
+    end: &[u8],
+    replicate: bool,
+    records: &[(Vec<u8>, Vec<u8>)],
+    proof: &RangeProof,
+    callbacks: &[(Address, String)],
+) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.bytes(start).bytes(end).boolean(replicate);
+    enc.u64(records.len() as u64);
+    for (k, v) in records {
+        enc.bytes(k).bytes(v);
+    }
+    wire::encode_range_proof(&mut enc, proof);
+    enc.u64(callbacks.len() as u64);
+    for (addr, func) in callbacks {
+        enc.address(addr).string(func);
+    }
+    enc.finish()
+}
+
+/// A parsed `Request` event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestEvent {
+    /// Requested key.
+    pub key: Vec<u8>,
+    /// Callback contract.
+    pub cb_addr: Address,
+    /// Callback function.
+    pub cb_func: String,
+}
+
+/// Parses a `Request` event payload.
+///
+/// # Errors
+///
+/// [`VmError::Decode`] if the payload is malformed.
+pub fn decode_request(data: &[u8]) -> Result<RequestEvent, VmError> {
+    let mut dec = Decoder::new(data);
+    Ok(RequestEvent {
+        key: dec.bytes()?.to_vec(),
+        cb_addr: dec.address()?,
+        cb_func: dec.string()?,
+    })
+}
+
+/// A parsed `RequestRange` event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestRangeEvent {
+    /// Range start key (inclusive).
+    pub start: Vec<u8>,
+    /// Range end key (inclusive).
+    pub end: Vec<u8>,
+    /// Callback contract.
+    pub cb_addr: Address,
+    /// Callback function.
+    pub cb_func: String,
+}
+
+/// Parses a `RequestRange` event payload.
+///
+/// # Errors
+///
+/// [`VmError::Decode`] if the payload is malformed.
+pub fn decode_request_range(data: &[u8]) -> Result<RequestRangeEvent, VmError> {
+    let mut dec = Decoder::new(data);
+    Ok(RequestRangeEvent {
+        start: dec.bytes()?.to_vec(),
+        end: dec.bytes()?.to_vec(),
+        cb_addr: dec.address()?,
+        cb_func: dec.string()?,
+    })
+}
+
+/// A minimal data-consumer (DU) contract whose callback does no
+/// application work — used to measure pure feed-layer Gas, as the paper's
+/// microbenchmarks do.
+#[derive(Debug)]
+pub struct NullConsumer {
+    manager: Address,
+}
+
+impl NullConsumer {
+    /// A consumer bound to the storage manager at `manager`.
+    pub fn new(manager: Address) -> Self {
+        NullConsumer { manager }
+    }
+}
+
+impl Contract for NullConsumer {
+    fn call(&self, ctx: &mut CallContext<'_>, func: &str, input: &[u8]) -> Result<Vec<u8>, VmError> {
+        match func {
+            // batchRead(n, key...): issue n gGet internal calls.
+            "batchRead" => {
+                let mut dec = Decoder::new(input);
+                let n = dec.u64()? as usize;
+                for _ in 0..n {
+                    let key = dec.bytes()?;
+                    let payload = encode_gget(key, ctx.this, "onData");
+                    ctx.call(self.manager, "gGet", &payload)?;
+                }
+                Ok(Vec::new())
+            }
+            // scan(start, end): one ranged query.
+            "scan" => {
+                let mut dec = Decoder::new(input);
+                let start = dec.bytes()?.to_vec();
+                let end = dec.bytes()?.to_vec();
+                let payload = encode_gscan(&start, &end, ctx.this, "onData");
+                ctx.call(self.manager, "gScan", &payload)?;
+                Ok(Vec::new())
+            }
+            // onData(context, n, (key, value)...): the no-op callback.
+            "onData" => Ok(Vec::new()),
+            _ => Err(VmError::UnknownFunction(func.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grub_chain::{Blockchain, Transaction};
+    use grub_gas::Layer;
+    use grub_merkle::MerkleKv;
+    use std::rc::Rc;
+
+    struct Fixture {
+        chain: Blockchain,
+        mgr: Address,
+        du: Address,
+        do_addr: Address,
+        sp_addr: Address,
+        tree: MerkleKv,
+    }
+
+    fn nr_key(key: &[u8]) -> ProofKey {
+        ProofKey::new(ReplState::NotReplicated, key.to_vec())
+    }
+
+    fn setup(trace_mode: OnChainTrace) -> Fixture {
+        let mut chain = Blockchain::new();
+        let do_addr = Address::derive("DO");
+        let sp_addr = Address::derive("SP");
+        let mgr = Address::derive("storage-manager");
+        let du = Address::derive("du");
+        chain.deploy(mgr, Rc::new(StorageManager::new(do_addr, trace_mode)), Layer::Feed);
+        chain.deploy(du, Rc::new(NullConsumer::new(mgr)), Layer::Application);
+        Fixture {
+            chain,
+            mgr,
+            du,
+            do_addr,
+            sp_addr,
+            tree: MerkleKv::new(),
+        }
+    }
+
+    /// DO-side: push a record into the tree and send the digest (plus
+    /// optional replica) on chain.
+    fn do_update(
+        fx: &mut Fixture,
+        key: &[u8],
+        value: &[u8],
+        replicate: bool,
+    ) {
+        let state = if replicate {
+            ReplState::Replicated
+        } else {
+            ReplState::NotReplicated
+        };
+        fx.tree
+            .insert(ProofKey::new(state, key.to_vec()), record_value_hash(value));
+        let digest = fx.tree.root();
+        let to_r: Vec<(Vec<u8>, Vec<u8>)> = if replicate {
+            vec![(key.to_vec(), value.to_vec())]
+        } else {
+            Vec::new()
+        };
+        let input = encode_update(&digest, &[], &to_r, &[]);
+        fx.chain.submit(Transaction::new(
+            fx.do_addr, fx.mgr, "update", input, Layer::Feed,
+        ));
+        let block = fx.chain.produce_block();
+        assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);
+    }
+
+    fn read_key(fx: &mut Fixture, key: &[u8]) {
+        let mut enc = Encoder::new();
+        enc.u64(1).bytes(key);
+        fx.chain.submit(Transaction::new(
+            Address::derive("user"),
+            fx.du,
+            "batchRead",
+            enc.finish(),
+            Layer::User,
+        ));
+        let block = fx.chain.produce_block();
+        assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);
+    }
+
+    #[test]
+    fn update_requires_data_owner() {
+        let mut fx = setup(OnChainTrace::None);
+        let input = encode_update(&Hash32::ZERO, &[], &[], &[]);
+        fx.chain.submit(Transaction::new(
+            Address::derive("mallory"),
+            fx.mgr,
+            "update",
+            input,
+            Layer::Feed,
+        ));
+        let block = fx.chain.produce_block();
+        assert!(!block.receipts[0].success);
+    }
+
+    #[test]
+    fn replica_hit_serves_synchronously() {
+        let mut fx = setup(OnChainTrace::None);
+        do_update(&mut fx, b"eth", b"150", true);
+        read_key(&mut fx, b"eth");
+        // No Request event: the replica answered.
+        assert!(fx.chain.events_since(0, fx.mgr, "Request").is_empty());
+    }
+
+    #[test]
+    fn replica_miss_emits_request() {
+        let mut fx = setup(OnChainTrace::None);
+        do_update(&mut fx, b"eth", b"150", false);
+        read_key(&mut fx, b"eth");
+        let events = fx.chain.events_since(0, fx.mgr, "Request");
+        assert_eq!(events.len(), 1);
+        let req = decode_request(&events[0].data).unwrap();
+        assert_eq!(req.key, b"eth");
+        assert_eq!(req.cb_addr, fx.du);
+    }
+
+    #[test]
+    fn deliver_with_valid_proof_succeeds() {
+        let mut fx = setup(OnChainTrace::None);
+        do_update(&mut fx, b"eth", b"150", false);
+        read_key(&mut fx, b"eth");
+        let proof = fx.tree.prove_range(&nr_key(b"eth"), &nr_key(b"eth"));
+        let input = encode_deliver(
+            b"eth",
+            b"eth",
+            false,
+            &[(b"eth".to_vec(), b"150".to_vec())],
+            &proof,
+            &[(fx.du, "onData".to_owned())],
+        );
+        fx.chain.submit(Transaction::new(
+            fx.sp_addr, fx.mgr, "deliver", input, Layer::Feed,
+        ));
+        let block = fx.chain.produce_block();
+        assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);
+    }
+
+    #[test]
+    fn deliver_with_forged_value_reverts() {
+        let mut fx = setup(OnChainTrace::None);
+        do_update(&mut fx, b"eth", b"150", false);
+        let proof = fx.tree.prove_range(&nr_key(b"eth"), &nr_key(b"eth"));
+        let input = encode_deliver(
+            b"eth",
+            b"eth",
+            false,
+            &[(b"eth".to_vec(), b"9999".to_vec())], // forged price
+            &proof,
+            &[(fx.du, "onData".to_owned())],
+        );
+        fx.chain.submit(Transaction::new(
+            fx.sp_addr, fx.mgr, "deliver", input, Layer::Feed,
+        ));
+        let block = fx.chain.produce_block();
+        assert!(!block.receipts[0].success);
+        assert!(block.receipts[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("does not match proof"));
+    }
+
+    #[test]
+    fn deliver_with_stale_proof_reverts() {
+        let mut fx = setup(OnChainTrace::None);
+        do_update(&mut fx, b"eth", b"150", false);
+        let stale_proof = fx.tree.prove_range(&nr_key(b"eth"), &nr_key(b"eth"));
+        // The DO updates the record; the on-chain digest moves on.
+        do_update(&mut fx, b"eth", b"151", false);
+        let input = encode_deliver(
+            b"eth",
+            b"eth",
+            false,
+            &[(b"eth".to_vec(), b"150".to_vec())], // replayed old value
+            &stale_proof,
+            &[(fx.du, "onData".to_owned())],
+        );
+        fx.chain.submit(Transaction::new(
+            fx.sp_addr, fx.mgr, "deliver", input, Layer::Feed,
+        ));
+        let block = fx.chain.produce_block();
+        assert!(!block.receipts[0].success, "replay must be rejected");
+    }
+
+    #[test]
+    fn deliver_omitting_record_reverts() {
+        let mut fx = setup(OnChainTrace::None);
+        do_update(&mut fx, b"aaa", b"1", false);
+        do_update(&mut fx, b"bbb", b"2", false);
+        do_update(&mut fx, b"ccc", b"3", false);
+        // Honest proof for the full range, but deliver claims only 2 records.
+        let proof = fx.tree.prove_range(&nr_key(b"aaa"), &nr_key(b"ccc"));
+        let input = encode_deliver(
+            b"aaa",
+            b"ccc",
+            false,
+            &[(b"aaa".to_vec(), b"1".to_vec()), (b"ccc".to_vec(), b"3".to_vec())],
+            &proof,
+            &[],
+        );
+        fx.chain.submit(Transaction::new(
+            fx.sp_addr, fx.mgr, "deliver", input, Layer::Feed,
+        ));
+        let block = fx.chain.produce_block();
+        assert!(!block.receipts[0].success);
+    }
+
+    #[test]
+    fn eviction_removes_replica() {
+        let mut fx = setup(OnChainTrace::None);
+        do_update(&mut fx, b"eth", b"150", true);
+        // R→NR transition.
+        fx.tree.invalidate(&ProofKey::new(ReplState::Replicated, b"eth".to_vec()));
+        fx.tree
+            .insert(nr_key(b"eth"), record_value_hash(b"150"));
+        let input = encode_update(&fx.tree.root(), &[], &[], &[b"eth".to_vec()]);
+        fx.chain.submit(Transaction::new(
+            fx.do_addr, fx.mgr, "update", input, Layer::Feed,
+        ));
+        fx.chain.produce_block();
+        // Next read misses and emits a request.
+        read_key(&mut fx, b"eth");
+        assert_eq!(fx.chain.events_since(0, fx.mgr, "Request").len(), 1);
+    }
+
+    #[test]
+    fn scan_emits_range_request_and_delivers() {
+        let mut fx = setup(OnChainTrace::None);
+        do_update(&mut fx, b"k1", b"v1", false);
+        do_update(&mut fx, b"k2", b"v2", false);
+        do_update(&mut fx, b"k3", b"v3", false);
+        let mut enc = Encoder::new();
+        enc.bytes(b"k1").bytes(b"k3");
+        fx.chain.submit(Transaction::new(
+            Address::derive("user"),
+            fx.du,
+            "scan",
+            enc.finish(),
+            Layer::User,
+        ));
+        fx.chain.produce_block();
+        let events = fx.chain.events_since(0, fx.mgr, "RequestRange");
+        assert_eq!(events.len(), 1);
+        let req = decode_request_range(&events[0].data).unwrap();
+        assert_eq!((req.start.as_slice(), req.end.as_slice()), (b"k1".as_slice(), b"k3".as_slice()));
+        // SP answers the whole range.
+        let proof = fx.tree.prove_range(&nr_key(b"k1"), &nr_key(b"k3"));
+        let input = encode_deliver(
+            b"k1",
+            b"k3",
+            false,
+            &[
+                (b"k1".to_vec(), b"v1".to_vec()),
+                (b"k2".to_vec(), b"v2".to_vec()),
+                (b"k3".to_vec(), b"v3".to_vec()),
+            ],
+            &proof,
+            &[(req.cb_addr, req.cb_func)],
+        );
+        fx.chain.submit(Transaction::new(
+            fx.sp_addr, fx.mgr, "deliver", input, Layer::Feed,
+        ));
+        let block = fx.chain.produce_block();
+        assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);
+    }
+
+    #[test]
+    fn absent_key_deliverable_with_empty_result() {
+        let mut fx = setup(OnChainTrace::None);
+        do_update(&mut fx, b"aaa", b"1", false);
+        do_update(&mut fx, b"zzz", b"2", false);
+        let proof = fx.tree.prove_range(&nr_key(b"mmm"), &nr_key(b"mmm"));
+        let input =
+            encode_deliver(b"mmm", b"mmm", false, &[], &proof, &[(fx.du, "onData".to_owned())]);
+        fx.chain.submit(Transaction::new(
+            fx.sp_addr, fx.mgr, "deliver", input, Layer::Feed,
+        ));
+        let block = fx.chain.produce_block();
+        assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);
+    }
+
+    #[test]
+    fn on_chain_trace_mode_costs_more_per_read() {
+        let mut plain = setup(OnChainTrace::None);
+        do_update(&mut plain, b"eth", b"150", true);
+        let before = plain.chain.meter().layer_total(Layer::Feed).amount();
+        read_key(&mut plain, b"eth");
+        let plain_cost = plain.chain.meter().layer_total(Layer::Feed).amount() - before;
+
+        let mut traced = setup(OnChainTrace::Reads);
+        do_update(&mut traced, b"eth", b"150", true);
+        let before = traced.chain.meter().layer_total(Layer::Feed).amount();
+        read_key(&mut traced, b"eth");
+        let traced_cost = traced.chain.meter().layer_total(Layer::Feed).amount() - before;
+
+        // BL3 pays at least one extra storage write (≥20000 on first bump).
+        assert!(
+            traced_cost >= plain_cost + 20_000,
+            "plain {plain_cost} vs traced {traced_cost}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! GRuB: workload-adaptive data replication for cost-effective blockchain
+//! data feeds — the paper's primary contribution.
+//!
+//! GRuB is a key-value store on *hybrid* storage: records live on an
+//! untrusted off-chain storage provider (SP) authenticated by a Merkle ADS,
+//! and are selectively replicated into smart-contract storage. An online
+//! algorithm watches the workload and decides, per record, whether a replica
+//! on chain saves Gas:
+//!
+//! * under read-heavy workloads a replica avoids expensive `deliver`
+//!   transactions (`Ctx = 21000 + 2176·X`);
+//! * under write-heavy workloads *not* replicating avoids expensive storage
+//!   writes (`Cupdate = 5000·X`, `Cinsert = 20000·X`).
+//!
+//! # Architecture (paper Figure 4)
+//!
+//! * [`policy`] — the control plane's decision makers: the memoryless
+//!   algorithm (Alg. 1, 2-competitive with `K = Cupdate/Cread_off`), the
+//!   memorizing algorithm (Alg. 2, `(4D+2)/K'`-competitive), the adaptive-K
+//!   heuristics of Appendix C.3, the static baselines BL1/BL2 and the
+//!   offline-optimal reference;
+//! * [`contract`] — the on-chain storage-manager smart contract
+//!   (`update` / `gGet` / `request` / `deliver`, Listing 2);
+//! * [`owner`] — the data owner (DO): epoch batching of `gPuts`, the
+//!   workload monitor federating local writes with the chain's
+//!   contract-call history, and the decision actuator;
+//! * [`provider`] — the storage provider (SP): a [`grub_store::Db`] plus the
+//!   Merkle ADS, the watchdog that answers `request` events with
+//!   proof-carrying `deliver` transactions, and adversarial modes (forge /
+//!   omit / replay) for security testing;
+//! * [`system`] — the harness wiring DO + SP + chain + consumer contracts
+//!   and driving workload traces epoch by epoch, with per-epoch Gas
+//!   reporting at feed and application layers.
+//!
+//! # Examples
+//!
+//! ```
+//! use grub_core::system::{GrubSystem, SystemConfig};
+//! use grub_core::policy::PolicyKind;
+//! use grub_workload::ratio::RatioWorkload;
+//!
+//! // A read-heavy feed: GRuB should converge to keeping a replica.
+//! let trace = RatioWorkload::new("price", 16.0).generate(20);
+//! let config = SystemConfig::new(PolicyKind::Memoryless { k: 2 });
+//! let report = GrubSystem::run_trace(&trace, &config).expect("run succeeds");
+//! assert!(report.total_ops() > 0);
+//! assert!(report.feed_gas_total() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consistency;
+pub mod contract;
+pub mod metrics;
+pub mod owner;
+pub mod policy;
+pub mod provider;
+pub mod system;
+pub mod wire;
+
+use std::error::Error;
+use std::fmt;
+
+pub use grub_merkle::ReplState;
+
+/// Errors surfaced by the GRuB runtime.
+#[derive(Debug)]
+pub enum GrubError {
+    /// The off-chain store failed.
+    Store(grub_store::StoreError),
+    /// A transaction reverted unexpectedly.
+    Chain(String),
+    /// A proof failed verification where it must not.
+    Verify(String),
+}
+
+impl fmt::Display for GrubError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrubError::Store(e) => write!(f, "store error: {e}"),
+            GrubError::Chain(what) => write!(f, "chain error: {what}"),
+            GrubError::Verify(what) => write!(f, "verification failed: {what}"),
+        }
+    }
+}
+
+impl Error for GrubError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GrubError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<grub_store::StoreError> for GrubError {
+    fn from(e: grub_store::StoreError) -> Self {
+        GrubError::Store(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, GrubError>;

@@ -1,0 +1,413 @@
+//! The data owner (DO): control plane and write path (paper §3.2, B.2.1).
+//!
+//! The DO is the trusted producer of all feed data. It:
+//!
+//! * batches writes within an epoch into one `update` transaction
+//!   (the `gPuts` call of Listing 1);
+//! * runs the replication policy over the federated operation stream — its
+//!   own writes plus the reads it observes in the chain's contract-call
+//!   history (see [`DataOwner::federate_reads`]);
+//! * actuates decisions by staging R↔NR transitions into the next epoch's
+//!   `update` transaction;
+//! * maintains a *hash mirror* of the SP's Merkle tree so it can produce
+//!   the new root digest without trusting the SP. (The paper's DO keeps only
+//!   the root and re-derives updates from SP-supplied proofs; mirroring the
+//!   hash tree — not the data — is an equivalent-trust engineering choice
+//!   documented in DESIGN.md §3: in both designs the digest the DO signs is
+//!   derived exclusively from its own verified view.)
+
+use std::collections::HashMap;
+
+use grub_chain::{Address, Blockchain};
+use grub_merkle::{record_value_hash, MerkleKv, ProofKey, ReplState};
+
+use crate::policy::ReplicationPolicy;
+use crate::provider::SpSync;
+
+/// The content of one epoch's `update` transaction(s) plus the off-chain
+/// sync the SP must apply (the `gPuts` RPC). Structured so the harness can
+/// split oversized epochs across several transactions (`Ctx` is defined for
+/// payloads under 1000 words).
+#[derive(Debug, Default)]
+pub struct EpochFlush {
+    /// New root digest after all of this epoch's mutations.
+    pub digest: grub_crypto::Hash32,
+    /// One element per write occurrence to an already-replicated record.
+    pub r_updates: Vec<(Vec<u8>, Vec<u8>)>,
+    /// NR→R transitions with the value to install.
+    pub to_r: Vec<(Vec<u8>, Vec<u8>)>,
+    /// R→NR transitions (replica evictions).
+    pub to_nr: Vec<Vec<u8>>,
+    /// Whether anything changed (an `update` must be sent).
+    pub dirty: bool,
+    /// Off-chain operations for the SP, in the exact order the DO applied
+    /// them to its mirror.
+    pub sp_sync: Vec<SpSync>,
+    /// Number of NR→R transitions (for reports).
+    pub replications: usize,
+    /// Number of R→NR transitions (for reports).
+    pub evictions: usize,
+}
+
+/// The data owner.
+pub struct DataOwner {
+    address: Address,
+    policy: Box<dyn ReplicationPolicy>,
+    mirror: MerkleKv,
+    /// Committed on-chain replication state per key.
+    states: HashMap<String, ReplState>,
+    /// Desired state per key, per the policy's latest observation.
+    desired: HashMap<String, ReplState>,
+    /// Latest value per key (the DO produces every value).
+    values: HashMap<String, Vec<u8>>,
+    /// Writes staged for the current epoch, in order.
+    staged: Vec<(String, Vec<u8>)>,
+    /// Keys whose replicas were installed mid-epoch by `deliver` with the
+    /// `replicate` flag; the next flush formalizes (NR→R in the tree) or
+    /// evicts them.
+    hinted: std::collections::HashSet<String>,
+    /// Last block already folded into the read monitor.
+    monitor_cursor: u64,
+}
+
+impl DataOwner {
+    /// Creates a DO with the given account and policy.
+    pub fn new(address: Address, policy: Box<dyn ReplicationPolicy>) -> Self {
+        DataOwner {
+            address,
+            policy,
+            mirror: MerkleKv::new(),
+            states: HashMap::new(),
+            desired: HashMap::new(),
+            values: HashMap::new(),
+            staged: Vec::new(),
+            hinted: std::collections::HashSet::new(),
+            monitor_cursor: 0,
+        }
+    }
+
+    /// The DO's account address (the only `update()` sender the contract
+    /// accepts).
+    pub fn address(&self) -> Address {
+        self.address
+    }
+
+    /// The policy's display name.
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// Preloads records (no policy involvement, no staging): used for the
+    /// initial dataset before metering starts.
+    pub fn preload(
+        &mut self,
+        records: &[(String, Vec<u8>)],
+        state: ReplState,
+    ) -> Vec<SpSync> {
+        let mut sync = Vec::with_capacity(records.len());
+        for (key, value) in records {
+            let pkey = ProofKey::new(state, key.as_bytes().to_vec());
+            self.mirror.insert(pkey, record_value_hash(value));
+            self.states.insert(key.clone(), state);
+            self.desired.insert(key.clone(), state);
+            self.policy.seed_state(key, state);
+            self.values.insert(key.clone(), value.clone());
+            sync.push(SpSync::Write {
+                key: key.clone(),
+                value: value.clone(),
+                state,
+            });
+        }
+        sync
+    }
+
+    /// Observes a local write: feeds the policy and stages the value for the
+    /// next epoch flush.
+    pub fn observe_write(&mut self, key: &str, value: Vec<u8>) {
+        let want = self.policy.on_write(key);
+        self.desired.insert(key.to_owned(), want);
+        self.staged.push((key.to_owned(), value));
+    }
+
+    /// Observes a read (from the trace the monitor federates): feeds the
+    /// policy and returns the resulting desired state.
+    pub fn observe_read(&mut self, key: &str) -> ReplState {
+        let want = self.policy.on_read(key);
+        self.desired.insert(key.to_owned(), want);
+        want
+    }
+
+    /// The policy's current desired state for `key`.
+    pub fn desired_state(&self, key: &str) -> ReplState {
+        *self
+            .desired
+            .get(key)
+            .unwrap_or(&ReplState::NotReplicated)
+    }
+
+    /// Notes that a `deliver` installed a replica for `key` ahead of the
+    /// tree transition (the Listing 2 `replicate` flag). The next
+    /// [`DataOwner::flush_epoch`] formalizes or evicts it.
+    pub fn note_hinted_replica(&mut self, key: &str) {
+        self.hinted.insert(key.to_owned());
+    }
+
+    /// Reconstructs the read keys from the chain's contract-call history
+    /// since the last scan — the §3.2 monitor. The returned keys let tests
+    /// validate that the trace-order observations match what the chain
+    /// records; the decision state machine itself consumes
+    /// [`DataOwner::observe_read`].
+    pub fn federate_reads(&mut self, chain: &Blockchain, manager: Address) -> Vec<String> {
+        let calls = chain.calls_since(self.monitor_cursor, manager);
+        self.monitor_cursor = chain.height();
+        let mut keys = Vec::new();
+        for call in calls {
+            if call.func == "gGet" {
+                let mut dec = grub_chain::codec::Decoder::new(&call.input);
+                if let Ok(key) = dec.bytes() {
+                    keys.push(String::from_utf8_lossy(key).into_owned());
+                }
+            } else if call.func == "gScan" {
+                let mut dec = grub_chain::codec::Decoder::new(&call.input);
+                if let Ok(start) = dec.bytes() {
+                    keys.push(String::from_utf8_lossy(start).into_owned());
+                }
+            }
+        }
+        keys
+    }
+
+    /// The committed replication state of `key` (NR when unknown).
+    pub fn state_of(&self, key: &str) -> ReplState {
+        *self
+            .states
+            .get(key)
+            .unwrap_or(&ReplState::NotReplicated)
+    }
+
+    /// Current root digest of the DO's mirror.
+    pub fn root(&self) -> grub_crypto::Hash32 {
+        self.mirror.root()
+    }
+
+    /// Closes the epoch: applies staged writes and decided transitions to
+    /// the mirror, and produces the `update()` payload plus the SP sync.
+    ///
+    /// Mutation order (writes in arrival order, then transitions in key
+    /// order) is deterministic so the SP's tree converges to the same root.
+    pub fn flush_epoch(&mut self) -> EpochFlush {
+        let staged = std::mem::take(&mut self.staged);
+        let mut sync = Vec::new();
+        // 1. Apply writes under each key's *current* state. Every occurrence
+        //    is kept: the paper's update() loops over the batched keys[] /
+        //    values[] arrays and pays one storage write per element
+        //    (Listing 2), which is what makes BL2 expensive under
+        //    write-heavy workloads.
+        let mut occurrences: Vec<(String, Vec<u8>)> = Vec::with_capacity(staged.len());
+        for (key, value) in staged {
+            let state = self.state_of(&key);
+            self.states.entry(key.clone()).or_insert(state);
+            let pkey = ProofKey::new(state, key.as_bytes().to_vec());
+            self.mirror.insert(pkey, record_value_hash(&value));
+            self.values.insert(key.clone(), value.clone());
+            occurrences.push((key.clone(), value.clone()));
+            sync.push(SpSync::Write {
+                key,
+                value,
+                state,
+            });
+        }
+        // 2. Apply transitions (desired ≠ committed), in key order.
+        let written_this_epoch: std::collections::HashSet<&String> =
+            occurrences.iter().map(|(k, _)| k).collect();
+        let mut hint_formalized = 0usize;
+        let mut to_r: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut to_nr: Vec<Vec<u8>> = Vec::new();
+        let mut changed: Vec<String> = self
+            .desired
+            .iter()
+            .filter(|(key, want)| self.state_of(key) != **want)
+            .map(|(key, _)| key.clone())
+            .collect();
+        changed.sort();
+        for key in changed {
+            let from = self.state_of(&key);
+            let to = self.desired[&key];
+            let value = match self.values.get(&key) {
+                Some(v) => v.clone(),
+                // A key the policy saw only through reads of a record that
+                // does not exist; nothing to relocate.
+                None => continue,
+            };
+            let vhash = record_value_hash(&value);
+            self.mirror
+                .invalidate(&ProofKey::new(from, key.as_bytes().to_vec()));
+            self.mirror
+                .insert(ProofKey::new(to, key.as_bytes().to_vec()), vhash);
+            self.states.insert(key.clone(), to);
+            match to {
+                ReplState::Replicated => {
+                    // A replica installed mid-epoch by `deliver(replicate)`
+                    // already holds the current value unless a later write
+                    // superseded it — don't pay the payload and the storage
+                    // write a second time (deliver-time replication leaves
+                    // the epoch update carrying only the digest-side
+                    // transition).
+                    if self.hinted.contains(&key) && !written_this_epoch.contains(&key) {
+                        hint_formalized += 1;
+                    } else {
+                        to_r.push((key.as_bytes().to_vec(), value.clone()));
+                    }
+                }
+                ReplState::NotReplicated => to_nr.push(key.as_bytes().to_vec()),
+            }
+            sync.push(SpSync::Relocate {
+                key: key.clone(),
+                from,
+                to,
+            });
+        }
+        // 3. Updates to records that stay replicated — one array element per
+        //    write occurrence, as in Listing 2.
+        let r_updates: Vec<(Vec<u8>, Vec<u8>)> = occurrences
+            .iter()
+            .filter(|(key, _)| self.state_of(key) == ReplState::Replicated)
+            .filter(|(key, _)| {
+                !to_r
+                    .iter()
+                    .any(|(k, _)| k.as_slice() == key.as_bytes())
+            })
+            .map(|(key, value)| (key.as_bytes().to_vec(), value.clone()))
+            .collect();
+
+        // Reconcile mid-epoch deliver-installed replicas: keys that settled
+        // back to NR must have the hinted replica evicted (no tree change —
+        // the tree never left NR); keys now formally R were covered by the
+        // transition loop above.
+        let mut hinted: Vec<String> = self.hinted.drain().collect();
+        hinted.sort();
+        for key in hinted {
+            if self.state_of(&key) == ReplState::NotReplicated
+                && !to_nr.iter().any(|k| k.as_slice() == key.as_bytes())
+            {
+                to_nr.push(key.as_bytes().to_vec());
+            }
+        }
+        let replications = to_r.len() + hint_formalized;
+        let evictions = to_nr.len();
+        let dirty = !sync.is_empty() || !to_nr.is_empty() || !to_r.is_empty();
+        EpochFlush {
+            digest: self.mirror.root(),
+            r_updates,
+            to_r,
+            to_nr,
+            dirty,
+            sp_sync: sync,
+            replications,
+            evictions,
+        }
+    }
+}
+
+impl std::fmt::Debug for DataOwner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataOwner")
+            .field("address", &self.address)
+            .field("policy", &self.policy.name())
+            .field("keys", &self.states.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Bl2, Memoryless};
+
+    fn owner_with_k(k: u64) -> DataOwner {
+        DataOwner::new(Address::derive("DO"), Box::new(Memoryless::new(k)))
+    }
+
+    #[test]
+    fn write_only_epoch_sends_digest_only() {
+        let mut o = owner_with_k(2);
+        o.observe_write("a", b"1".to_vec());
+        o.observe_write("b", b"2".to_vec());
+        let flush = o.flush_epoch();
+        assert!(flush.dirty);
+        assert!(flush.r_updates.is_empty(), "no values ride along for NR keys");
+        assert!(flush.to_r.is_empty() && flush.to_nr.is_empty());
+        assert_eq!(flush.replications, 0);
+        assert_eq!(flush.evictions, 0);
+        assert_eq!(flush.sp_sync.len(), 2);
+    }
+
+    #[test]
+    fn k_reads_trigger_replication_at_flush() {
+        let mut o = owner_with_k(2);
+        o.observe_write("a", b"1".to_vec());
+        o.flush_epoch();
+        o.observe_read("a");
+        o.observe_read("a");
+        let flush = o.flush_epoch();
+        assert_eq!(flush.replications, 1);
+        assert_eq!(o.state_of("a"), ReplState::Replicated);
+    }
+
+    #[test]
+    fn write_after_replication_evicts() {
+        let mut o = owner_with_k(1);
+        o.observe_write("a", b"1".to_vec());
+        o.flush_epoch();
+        o.observe_read("a");
+        o.flush_epoch();
+        assert_eq!(o.state_of("a"), ReplState::Replicated);
+        o.observe_write("a", b"2".to_vec());
+        let flush = o.flush_epoch();
+        assert_eq!(flush.evictions, 1);
+        assert_eq!(o.state_of("a"), ReplState::NotReplicated);
+    }
+
+    #[test]
+    fn replicated_write_carries_value() {
+        let mut o = DataOwner::new(Address::derive("DO"), Box::new(Bl2));
+        o.observe_write("a", b"1".to_vec());
+        let f1 = o.flush_epoch();
+        assert_eq!(f1.replications, 1, "BL2 replicates immediately");
+        o.observe_write("a", b"2".to_vec());
+        let f2 = o.flush_epoch();
+        // Second write is an r_update (stays R) carrying the value.
+        assert_eq!(f2.r_updates, vec![(b"a".to_vec(), b"2".to_vec())]);
+        assert_eq!(f2.replications, 0);
+    }
+
+    #[test]
+    fn empty_epoch_flushes_nothing() {
+        let mut o = owner_with_k(2);
+        let flush = o.flush_epoch();
+        assert!(!flush.dirty);
+        assert!(flush.sp_sync.is_empty());
+    }
+
+    #[test]
+    fn mirror_root_changes_with_each_write() {
+        let mut o = owner_with_k(2);
+        o.observe_write("a", b"1".to_vec());
+        o.flush_epoch();
+        let r1 = o.root();
+        o.observe_write("a", b"2".to_vec());
+        o.flush_epoch();
+        assert_ne!(o.root(), r1);
+    }
+
+    #[test]
+    fn preload_sets_state_without_policy() {
+        let mut o = owner_with_k(2);
+        let records = vec![("x".to_owned(), b"1".to_vec())];
+        let sync = o.preload(&records, ReplState::Replicated);
+        assert_eq!(sync.len(), 1);
+        assert_eq!(o.state_of("x"), ReplState::Replicated);
+        // No staged writes: next flush is clean.
+        assert!(!o.flush_epoch().dirty);
+    }
+}

@@ -1,0 +1,419 @@
+//! The storage provider (SP): off-chain storage, the ADS, and the watchdog
+//! (paper §3.3, B.2.2).
+//!
+//! The SP persists every record in a [`grub_store::Db`] (the LevelDB role),
+//! maintains the Merkle tree over the state-prefixed layout, and runs a
+//! watchdog that polls the chain's event log for `Request` / `RequestRange`
+//! events and answers them with proof-carrying `deliver` transactions.
+//!
+//! The SP is the protocol's adversary: [`AdversaryMode`] lets tests make it
+//! forge values, omit records, hide leaves behind opaque digests, or replay
+//! stale state — all of which the storage-manager contract must reject.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use grub_chain::{Address, Blockchain, Transaction};
+use grub_gas::Layer;
+use grub_merkle::{record_value_hash, MerkleKv, ProofKey, ProofNode, ReplState};
+use grub_store::{Db, Options};
+
+use crate::contract::{decode_request, decode_request_range, encode_deliver};
+use crate::Result;
+
+/// One off-chain synchronization step pushed from the DO (part of `gPuts`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpSync {
+    /// Store `value` under `key` with the given replication state.
+    Write {
+        /// Data key.
+        key: String,
+        /// Record value.
+        value: Vec<u8>,
+        /// State prefix under which the record is filed.
+        state: ReplState,
+    },
+    /// Move a key between state groups (R↔NR transition).
+    Relocate {
+        /// Data key.
+        key: String,
+        /// Old state.
+        from: ReplState,
+        /// New state.
+        to: ReplState,
+    },
+}
+
+/// Misbehaviours for security testing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdversaryMode {
+    /// Follow the protocol.
+    #[default]
+    Honest,
+    /// Tamper with delivered values (integrity attack).
+    ForgeValue,
+    /// Drop the last record from deliveries while keeping the honest proof
+    /// (naive omission).
+    OmitRecord,
+    /// Collapse one in-range leaf to an opaque digest (crafted omission).
+    HideLeaf,
+    /// Serve proofs and values from a stale snapshot (replay/fork attack).
+    ReplayStale,
+}
+
+static SP_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The storage provider node.
+pub struct StorageProvider {
+    address: Address,
+    db: Db,
+    tree: MerkleKv,
+    dir: PathBuf,
+    watch_cursor: u64,
+    mode: AdversaryMode,
+    /// Snapshot for [`AdversaryMode::ReplayStale`].
+    stale: Option<(MerkleKv, BTreeMap<Vec<u8>, Vec<u8>>)>,
+    /// Latest replication decisions pushed from the DO's control plane:
+    /// deliveries for keys marked [`ReplState::Replicated`] set the
+    /// `replicate` flag (the paper's deliver-time replica installation).
+    decision_hints: std::collections::HashMap<Vec<u8>, ReplState>,
+}
+
+impl StorageProvider {
+    /// Creates an SP with a fresh on-disk store under the system temp dir.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store-open failures.
+    pub fn new(address: Address) -> Result<Self> {
+        let dir = std::env::temp_dir().join(format!(
+            "grub-sp-{}-{}",
+            std::process::id(),
+            SP_DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let db = Db::open(&dir, Options::default())?;
+        Ok(StorageProvider {
+            address,
+            db,
+            tree: MerkleKv::new(),
+            dir,
+            watch_cursor: 0,
+            mode: AdversaryMode::Honest,
+            stale: None,
+            decision_hints: std::collections::HashMap::new(),
+        })
+    }
+
+    /// The SP's account address (sender of `deliver` transactions).
+    pub fn address(&self) -> Address {
+        self.address
+    }
+
+    /// Switches the adversary mode (takes a stale snapshot when entering
+    /// [`AdversaryMode::ReplayStale`]).
+    pub fn set_mode(&mut self, mode: AdversaryMode) {
+        if mode == AdversaryMode::ReplayStale && self.stale.is_none() {
+            let values = self
+                .db
+                .scan(None, None)
+                .unwrap_or_default()
+                .into_iter()
+                .collect();
+            self.stale = Some((self.tree.clone(), values));
+        }
+        self.mode = mode;
+    }
+
+    /// The SP's current root digest (must match the DO's mirror).
+    pub fn root(&self) -> grub_crypto::Hash32 {
+        self.tree.root()
+    }
+
+    /// Records the DO's current desired replication state for `key`; the
+    /// next point delivery of that key carries the `replicate` flag.
+    pub fn set_decision_hint(&mut self, key: &str, state: ReplState) {
+        self.decision_hints
+            .insert(key.as_bytes().to_vec(), state);
+    }
+
+    fn storage_key(state: ReplState, key: &str) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + key.len());
+        out.push(state.as_byte());
+        out.extend_from_slice(key.as_bytes());
+        out
+    }
+
+    /// Applies the DO's `gPuts` synchronization, in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn apply_sync(&mut self, ops: &[SpSync]) -> Result<()> {
+        for op in ops {
+            match op {
+                SpSync::Write { key, value, state } => {
+                    self.db.put(Self::storage_key(*state, key), value.clone())?;
+                    self.tree.insert(
+                        ProofKey::new(*state, key.as_bytes().to_vec()),
+                        record_value_hash(value),
+                    );
+                }
+                SpSync::Relocate { key, from, to } => {
+                    let old = Self::storage_key(*from, key);
+                    let value = self.db.get(&old)?.unwrap_or_default();
+                    self.db.delete(&old)?;
+                    self.db.put(Self::storage_key(*to, key), value.clone())?;
+                    self.tree
+                        .invalidate(&ProofKey::new(*from, key.as_bytes().to_vec()));
+                    self.tree.insert(
+                        ProofKey::new(*to, key.as_bytes().to_vec()),
+                        record_value_hash(&value),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Scans the chain's event log for requests since the last poll and
+    /// builds the `deliver` transactions answering them.
+    ///
+    /// Point requests for the same key within the window are coalesced into
+    /// one delivery carrying all their callbacks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn watchdog(&mut self, chain: &Blockchain, manager: Address) -> Result<Vec<Transaction>> {
+        let mut point: BTreeMap<Vec<u8>, Vec<(Address, String)>> = BTreeMap::new();
+        let mut ranges: Vec<(Vec<u8>, Vec<u8>, Address, String)> = Vec::new();
+        for event in chain.events_since(self.watch_cursor, manager, "Request") {
+            if let Ok(req) = decode_request(&event.data) {
+                point
+                    .entry(req.key)
+                    .or_default()
+                    .push((req.cb_addr, req.cb_func));
+            }
+        }
+        for event in chain.events_since(self.watch_cursor, manager, "RequestRange") {
+            if let Ok(req) = decode_request_range(&event.data) {
+                ranges.push((req.start, req.end, req.cb_addr, req.cb_func));
+            }
+        }
+        self.watch_cursor = chain.height();
+
+        let mut txs = Vec::new();
+        for (key, callbacks) in point {
+            let replicate = self.decision_hints.get(&key) == Some(&ReplState::Replicated);
+            txs.push(self.build_deliver(manager, key.clone(), key, replicate, callbacks)?);
+        }
+        for (start, end, cb_addr, cb_func) in ranges {
+            txs.push(self.build_deliver(manager, start, end, false, vec![(cb_addr, cb_func)])?);
+        }
+        Ok(txs)
+    }
+
+    fn build_deliver(
+        &mut self,
+        manager: Address,
+        start: Vec<u8>,
+        end: Vec<u8>,
+        replicate: bool,
+        callbacks: Vec<(Address, String)>,
+    ) -> Result<Transaction> {
+        let lo = ProofKey::new(ReplState::NotReplicated, start.clone());
+        let hi = ProofKey::new(ReplState::NotReplicated, end.clone());
+        let (mut records, mut proof) = match (&self.mode, &self.stale) {
+            (AdversaryMode::ReplayStale, Some((tree, values))) => {
+                let proof = tree.prove_range(&lo, &hi);
+                let records = Self::records_from_map(values, &start, &end);
+                (records, proof)
+            }
+            _ => {
+                let proof = self.tree.prove_range(&lo, &hi);
+                let records = self.records_from_db(&start, &end)?;
+                (records, proof)
+            }
+        };
+        match self.mode {
+            AdversaryMode::ForgeValue => {
+                if let Some((_, v)) = records.first_mut() {
+                    if v.is_empty() {
+                        v.push(0xFF);
+                    } else {
+                        v[0] ^= 0xFF;
+                    }
+                }
+            }
+            AdversaryMode::OmitRecord => {
+                records.pop();
+            }
+            AdversaryMode::HideLeaf => {
+                if let Some((key, _)) = records.last() {
+                    let target = ProofKey::new(ReplState::NotReplicated, key.clone());
+                    if let Some(tree) = proof.tree.take() {
+                        proof.tree = Some(hide_leaf(tree, &target));
+                    }
+                    records.pop();
+                }
+            }
+            AdversaryMode::Honest | AdversaryMode::ReplayStale => {}
+        }
+        let input = encode_deliver(&start, &end, replicate, &records, &proof, &callbacks);
+        Ok(Transaction::new(
+            self.address,
+            manager,
+            "deliver",
+            input,
+            Layer::Feed,
+        ))
+    }
+
+    fn records_from_db(&self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        // NR-prefixed storage keys over [start, end] inclusive.
+        let mut lo = vec![ReplState::NotReplicated.as_byte()];
+        lo.extend_from_slice(start);
+        let mut hi = vec![ReplState::NotReplicated.as_byte()];
+        hi.extend_from_slice(end);
+        hi.push(0); // inclusive upper bound under an exclusive-scan API
+        Ok(self
+            .db
+            .scan(Some(&lo), Some(&hi))?
+            .into_iter()
+            .map(|(k, v)| (k[1..].to_vec(), v))
+            .collect())
+    }
+
+    fn records_from_map(
+        values: &BTreeMap<Vec<u8>, Vec<u8>>,
+        start: &[u8],
+        end: &[u8],
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut lo = vec![ReplState::NotReplicated.as_byte()];
+        lo.extend_from_slice(start);
+        let mut hi = vec![ReplState::NotReplicated.as_byte()];
+        hi.extend_from_slice(end);
+        hi.push(0);
+        values
+            .range(lo..hi)
+            .map(|(k, v)| (k[1..].to_vec(), v.clone()))
+            .collect()
+    }
+
+    /// Raw store access for tests.
+    pub fn value_of(&self, state: ReplState, key: &str) -> Option<Vec<u8>> {
+        self.db.get(&Self::storage_key(state, key)).ok().flatten()
+    }
+}
+
+fn hide_leaf(node: ProofNode, target: &ProofKey) -> ProofNode {
+    match node {
+        ProofNode::Leaf { pkey, vhash, valid } if pkey == *target => {
+            ProofNode::Opaque(grub_merkle::leaf_hash(&pkey, &vhash, valid))
+        }
+        ProofNode::Inner { left, right } => ProofNode::Inner {
+            left: Box::new(hide_leaf(*left, target)),
+            right: Box::new(hide_leaf(*right, target)),
+        },
+        other => other,
+    }
+}
+
+impl Drop for StorageProvider {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+impl std::fmt::Debug for StorageProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageProvider")
+            .field("address", &self.address)
+            .field("records", &self.tree.len())
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> StorageProvider {
+        StorageProvider::new(Address::derive("SP")).unwrap()
+    }
+
+    fn write(key: &str, value: &[u8], state: ReplState) -> SpSync {
+        SpSync::Write {
+            key: key.to_owned(),
+            value: value.to_vec(),
+            state,
+        }
+    }
+
+    #[test]
+    fn sync_updates_tree_and_store() {
+        let mut sp = sp();
+        sp.apply_sync(&[write("a", b"1", ReplState::NotReplicated)])
+            .unwrap();
+        assert_eq!(sp.value_of(ReplState::NotReplicated, "a"), Some(b"1".to_vec()));
+        assert!(sp
+            .tree
+            .get(&ProofKey::new(ReplState::NotReplicated, b"a".to_vec()))
+            .is_some());
+    }
+
+    #[test]
+    fn relocate_moves_between_groups() {
+        let mut sp = sp();
+        sp.apply_sync(&[
+            write("a", b"1", ReplState::NotReplicated),
+            SpSync::Relocate {
+                key: "a".into(),
+                from: ReplState::NotReplicated,
+                to: ReplState::Replicated,
+            },
+        ])
+        .unwrap();
+        assert_eq!(sp.value_of(ReplState::NotReplicated, "a"), None);
+        assert_eq!(sp.value_of(ReplState::Replicated, "a"), Some(b"1".to_vec()));
+    }
+
+    #[test]
+    fn sp_root_matches_do_mirror_after_same_ops() {
+        use crate::owner::DataOwner;
+        use crate::policy::Memoryless;
+        let mut sp = sp();
+        let mut owner = DataOwner::new(Address::derive("DO"), Box::new(Memoryless::new(2)));
+        owner.observe_write("k1", b"v1".to_vec());
+        owner.observe_write("k2", b"v2".to_vec());
+        let flush = owner.flush_epoch();
+        sp.apply_sync(&flush.sp_sync).unwrap();
+        assert_eq!(sp.root(), owner.root());
+        // Now drive a transition.
+        owner.observe_read("k1");
+        owner.observe_read("k1");
+        let flush = owner.flush_epoch();
+        sp.apply_sync(&flush.sp_sync).unwrap();
+        assert_eq!(sp.root(), owner.root());
+    }
+
+    #[test]
+    fn range_records_are_exact() {
+        let mut sp = sp();
+        sp.apply_sync(&[
+            write("a", b"1", ReplState::NotReplicated),
+            write("b", b"2", ReplState::NotReplicated),
+            write("c", b"3", ReplState::Replicated),
+            write("d", b"4", ReplState::NotReplicated),
+        ])
+        .unwrap();
+        let records = sp.records_from_db(b"a", b"c").unwrap();
+        // Only NR records in [a, c]: "c" is replicated and excluded.
+        assert_eq!(
+            records,
+            vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), b"2".to_vec())]
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Wire encodings for proofs and protocol payloads.
+//!
+//! The paper's prototype marshals proofs through Solidity calldata; here the
+//! same information is carried in the simulator's codec so that transaction
+//! payload sizes — which drive the `Ctx(X)` Gas term — are realistic.
+
+use grub_chain::codec::{Decoder, Encoder};
+use grub_chain::VmError;
+use grub_merkle::{MembershipProof, ProofKey, ProofNode, RangeProof, ReplState};
+
+/// Hard cap on decoded proof sizes, guarding against hostile payloads.
+const MAX_PROOF_NODES: u64 = 1 << 22;
+
+/// Encodes a [`ProofKey`].
+pub fn encode_proof_key(enc: &mut Encoder, pkey: &ProofKey) {
+    enc.boolean(pkey.state == ReplState::Replicated);
+    enc.bytes(&pkey.key);
+}
+
+/// Decodes a [`ProofKey`].
+///
+/// # Errors
+///
+/// [`VmError::Decode`] on truncated payloads.
+pub fn decode_proof_key(dec: &mut Decoder<'_>) -> Result<ProofKey, VmError> {
+    let replicated = dec.boolean()?;
+    let key = dec.bytes()?.to_vec();
+    Ok(ProofKey::new(
+        if replicated {
+            ReplState::Replicated
+        } else {
+            ReplState::NotReplicated
+        },
+        key,
+    ))
+}
+
+/// Encodes a [`MembershipProof`].
+pub fn encode_membership_proof(enc: &mut Encoder, proof: &MembershipProof) {
+    enc.u64(proof.path.len() as u64);
+    for step in &proof.path {
+        enc.boolean(step.sibling_is_left);
+        enc.hash(&step.sibling);
+    }
+    encode_proof_key(enc, &proof.leaf_pkey);
+    enc.hash(&proof.leaf_vhash);
+    enc.boolean(proof.leaf_valid);
+}
+
+/// Decodes a [`MembershipProof`].
+///
+/// # Errors
+///
+/// [`VmError::Decode`] on truncated or absurdly sized payloads.
+pub fn decode_membership_proof(dec: &mut Decoder<'_>) -> Result<MembershipProof, VmError> {
+    let steps = dec.u64()?;
+    if steps > MAX_PROOF_NODES {
+        return Err(VmError::Decode("absurd proof length".into()));
+    }
+    let mut path = Vec::with_capacity(steps as usize);
+    for _ in 0..steps {
+        let sibling_is_left = dec.boolean()?;
+        let sibling = dec.hash()?;
+        path.push(grub_merkle::PathStep {
+            sibling,
+            sibling_is_left,
+        });
+    }
+    let leaf_pkey = decode_proof_key(dec)?;
+    let leaf_vhash = dec.hash()?;
+    let leaf_valid = dec.boolean()?;
+    Ok(MembershipProof {
+        path,
+        leaf_pkey,
+        leaf_vhash,
+        leaf_valid,
+    })
+}
+
+const NODE_OPAQUE: u64 = 0;
+const NODE_LEAF: u64 = 1;
+const NODE_INNER: u64 = 2;
+
+fn encode_proof_node(enc: &mut Encoder, node: &ProofNode) {
+    // Pre-order serialization; recursion depth is the (balanced) tree depth.
+    match node {
+        ProofNode::Opaque(h) => {
+            enc.u64(NODE_OPAQUE);
+            enc.hash(h);
+        }
+        ProofNode::Leaf { pkey, vhash, valid } => {
+            enc.u64(NODE_LEAF);
+            encode_proof_key(enc, pkey);
+            enc.hash(vhash);
+            enc.boolean(*valid);
+        }
+        ProofNode::Inner { left, right } => {
+            enc.u64(NODE_INNER);
+            encode_proof_node(enc, left);
+            encode_proof_node(enc, right);
+        }
+    }
+}
+
+fn decode_proof_node(dec: &mut Decoder<'_>, depth: u32) -> Result<ProofNode, VmError> {
+    if depth > 256 {
+        return Err(VmError::Decode("proof tree too deep".into()));
+    }
+    match dec.u64()? {
+        NODE_OPAQUE => Ok(ProofNode::Opaque(dec.hash()?)),
+        NODE_LEAF => {
+            let pkey = decode_proof_key(dec)?;
+            let vhash = dec.hash()?;
+            let valid = dec.boolean()?;
+            Ok(ProofNode::Leaf { pkey, vhash, valid })
+        }
+        NODE_INNER => {
+            let left = Box::new(decode_proof_node(dec, depth + 1)?);
+            let right = Box::new(decode_proof_node(dec, depth + 1)?);
+            Ok(ProofNode::Inner { left, right })
+        }
+        tag => Err(VmError::Decode(format!("bad proof node tag {tag}"))),
+    }
+}
+
+/// Encodes a [`RangeProof`].
+pub fn encode_range_proof(enc: &mut Encoder, proof: &RangeProof) {
+    match &proof.tree {
+        None => {
+            enc.boolean(false);
+        }
+        Some(tree) => {
+            enc.boolean(true);
+            encode_proof_node(enc, tree);
+        }
+    }
+}
+
+/// Decodes a [`RangeProof`].
+///
+/// # Errors
+///
+/// [`VmError::Decode`] on truncated or malformed payloads.
+pub fn decode_range_proof(dec: &mut Decoder<'_>) -> Result<RangeProof, VmError> {
+    if !dec.boolean()? {
+        return Ok(RangeProof::empty());
+    }
+    Ok(RangeProof {
+        tree: Some(decode_proof_node(dec, 0)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grub_merkle::{record_value_hash, MerkleKv};
+
+    fn nr(key: &str) -> ProofKey {
+        ProofKey::new(ReplState::NotReplicated, key.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn proof_key_round_trip() {
+        for pkey in [
+            nr("alpha"),
+            ProofKey::new(ReplState::Replicated, b"b".to_vec()),
+        ] {
+            let mut enc = Encoder::new();
+            encode_proof_key(&mut enc, &pkey);
+            let buf = enc.finish();
+            let got = decode_proof_key(&mut Decoder::new(&buf)).unwrap();
+            assert_eq!(got, pkey);
+        }
+    }
+
+    #[test]
+    fn membership_proof_round_trip() {
+        let mut tree = MerkleKv::new();
+        for k in ["a", "b", "c", "d", "e"] {
+            tree.insert(nr(k), record_value_hash(k.as_bytes()));
+        }
+        let proof = tree.prove(&nr("c")).unwrap();
+        let mut enc = Encoder::new();
+        encode_membership_proof(&mut enc, &proof);
+        let buf = enc.finish();
+        let got = decode_membership_proof(&mut Decoder::new(&buf)).unwrap();
+        assert_eq!(got, proof);
+        assert!(got.verify(&tree.root(), &nr("c"), &record_value_hash(b"c")));
+    }
+
+    #[test]
+    fn range_proof_round_trip() {
+        let mut tree = MerkleKv::new();
+        for k in ["a", "b", "c", "d", "e", "f"] {
+            tree.insert(nr(k), record_value_hash(k.as_bytes()));
+        }
+        let proof = tree.prove_range(&nr("b"), &nr("d"));
+        let mut enc = Encoder::new();
+        encode_range_proof(&mut enc, &proof);
+        let buf = enc.finish();
+        let got = decode_range_proof(&mut Decoder::new(&buf)).unwrap();
+        assert_eq!(got, proof);
+        let records = got.verify(&tree.root(), &nr("b"), &nr("d")).unwrap();
+        assert_eq!(records.len(), 3);
+    }
+
+    #[test]
+    fn empty_range_proof_round_trip() {
+        let proof = RangeProof::empty();
+        let mut enc = Encoder::new();
+        encode_range_proof(&mut enc, &proof);
+        let buf = enc.finish();
+        assert_eq!(decode_range_proof(&mut Decoder::new(&buf)).unwrap(), proof);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let mut tree = MerkleKv::new();
+        tree.insert(nr("a"), record_value_hash(b"a"));
+        tree.insert(nr("b"), record_value_hash(b"b"));
+        let proof = tree.prove(&nr("a")).unwrap();
+        let mut enc = Encoder::new();
+        encode_membership_proof(&mut enc, &proof);
+        let buf = enc.finish();
+        assert!(decode_membership_proof(&mut Decoder::new(&buf[..buf.len() - 2])).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        let mut enc = Encoder::new();
+        enc.boolean(true);
+        enc.u64(99);
+        let buf = enc.finish();
+        assert!(decode_range_proof(&mut Decoder::new(&buf)).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Lamport one-time signatures built on SHA-256.
+//!
+//! The GRuB protocol requires the data owner (DO) to sign the Merkle root
+//! digest so that neither the storage provider nor a blockchain observer can
+//! forge it. The production system would use ECDSA; this reproduction offers
+//! two substitutes (documented in `DESIGN.md` §3):
+//!
+//! * [`crate::hmac_sha256`] when verifier and signer can share a key (the
+//!   simulator's storage-manager contract is instantiated by the DO, so this
+//!   mirrors a contract constructor embedding the feed's verification key);
+//! * this module's [`SigningKey`]/[`VerifyingKey`] when a true public-key
+//!   signature is wanted. Lamport signatures are hash-only and unconditionally
+//!   unforgeable for a single message per key.
+//!
+//! # Examples
+//!
+//! ```
+//! use grub_crypto::lamport::SigningKey;
+//!
+//! let sk = SigningKey::from_seed(b"epoch-42");
+//! let vk = sk.verifying_key();
+//! let sig = sk.sign(b"root digest");
+//! assert!(vk.verify(b"root digest", &sig));
+//! assert!(!vk.verify(b"forged digest", &sig));
+//! ```
+
+use crate::{sha256, Hash32, Sha256};
+
+/// Number of message digest bits each key can sign.
+const BITS: usize = 256;
+
+/// A Lamport one-time signing key: 2×256 secret preimages.
+#[derive(Clone)]
+pub struct SigningKey {
+    secrets: Box<[[Hash32; 2]; BITS]>,
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SigningKey").finish_non_exhaustive()
+    }
+}
+
+/// The corresponding public key: hashes of every secret preimage.
+#[derive(Clone, PartialEq, Eq)]
+pub struct VerifyingKey {
+    digests: Box<[[Hash32; 2]; BITS]>,
+}
+
+impl std::fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VerifyingKey({}..)", &self.commitment().to_hex()[..12])
+    }
+}
+
+/// A Lamport signature: one revealed preimage per message-digest bit.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Signature {
+    reveals: Box<[Hash32; BITS]>,
+}
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Signature").finish_non_exhaustive()
+    }
+}
+
+impl SigningKey {
+    /// Derives a signing key deterministically from a seed.
+    ///
+    /// Each secret is `H(seed || bit_index || side)` — standard deterministic
+    /// key expansion, adequate for the simulator (no OS entropy needed).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let mut secrets = Box::new([[Hash32::ZERO; 2]; BITS]);
+        for bit in 0..BITS {
+            for side in 0..2 {
+                let mut h = Sha256::new();
+                h.update(b"lamport-secret");
+                h.update(seed);
+                h.update(&(bit as u16).to_be_bytes());
+                h.update(&[side as u8]);
+                secrets[bit][side] = h.finalize();
+            }
+        }
+        SigningKey { secrets }
+    }
+
+    /// Computes the verifying key by hashing every secret.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        let mut digests = Box::new([[Hash32::ZERO; 2]; BITS]);
+        for bit in 0..BITS {
+            for side in 0..2 {
+                digests[bit][side] = sha256(self.secrets[bit][side].as_bytes());
+            }
+        }
+        VerifyingKey { digests }
+    }
+
+    /// Signs a message by revealing, for each digest bit, the matching secret.
+    ///
+    /// A key must sign only one message; reusing it leaks secrets for both
+    /// bit values, which is inherent to Lamport signatures.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let digest = sha256(message);
+        let mut reveals = Box::new([Hash32::ZERO; BITS]);
+        for bit in 0..BITS {
+            let side = bit_of(&digest, bit);
+            reveals[bit] = self.secrets[bit][side];
+        }
+        Signature { reveals }
+    }
+}
+
+impl VerifyingKey {
+    /// Checks `signature` against `message`.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        let digest = sha256(message);
+        for bit in 0..BITS {
+            let side = bit_of(&digest, bit);
+            if sha256(signature.reveals[bit].as_bytes()) != self.digests[bit][side] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A single 32-byte commitment to the whole key (hash of all digests),
+    /// convenient to embed in contract storage.
+    pub fn commitment(&self) -> Hash32 {
+        let mut h = Sha256::new();
+        for pair in self.digests.iter() {
+            h.update(pair[0].as_bytes());
+            h.update(pair[1].as_bytes());
+        }
+        h.finalize()
+    }
+}
+
+fn bit_of(digest: &Hash32, index: usize) -> usize {
+    let byte = digest.as_bytes()[index / 8];
+    ((byte >> (7 - (index % 8))) & 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let sk = SigningKey::from_seed(b"seed");
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"hello");
+        assert!(vk.verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn rejects_wrong_message() {
+        let sk = SigningKey::from_seed(b"seed");
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"hello");
+        assert!(!vk.verify(b"hellp", &sig));
+    }
+
+    #[test]
+    fn rejects_signature_from_other_key() {
+        let sk1 = SigningKey::from_seed(b"one");
+        let sk2 = SigningKey::from_seed(b"two");
+        let vk1 = sk1.verifying_key();
+        let sig = sk2.sign(b"hello");
+        assert!(!vk1.verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn rejects_tampered_signature() {
+        let sk = SigningKey::from_seed(b"seed");
+        let vk = sk.verifying_key();
+        let mut sig = sk.sign(b"msg");
+        sig.reveals[3] = sha256(b"garbage");
+        assert!(!vk.verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn deterministic_keys() {
+        let a = SigningKey::from_seed(b"s").verifying_key();
+        let b = SigningKey::from_seed(b"s").verifying_key();
+        assert_eq!(a.commitment(), b.commitment());
+        let c = SigningKey::from_seed(b"t").verifying_key();
+        assert_ne!(a.commitment(), c.commitment());
+    }
+}

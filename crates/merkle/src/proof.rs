@@ -1,0 +1,481 @@
+//! Proof objects and their verification.
+//!
+//! Verification is pure (no tree access): given only the trusted root digest
+//! — which the storage-manager contract keeps on chain — a verifier can
+//! check membership of a single record or the completeness of a range
+//! result. Proof sizes and hash counts are exposed so the Gas layer can
+//! charge `Ctx` for proof bytes moved on chain and `Chash` for every digest
+//! recomputed during verification, exactly as the paper's cost model does.
+
+use std::error::Error;
+use std::fmt;
+
+use grub_crypto::Hash32;
+use serde::{Deserialize, Serialize};
+
+use crate::{inner_hash, leaf_hash, ProofKey};
+
+/// One step of a Merkle authentication path.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// Digest of the sibling subtree.
+    pub sibling: Hash32,
+    /// Whether the sibling is the *left* child (target on the right).
+    pub sibling_is_left: bool,
+}
+
+/// Proof that a single record is committed under a root.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipProof {
+    /// Authentication path from the leaf (first) to the root (last).
+    pub path: Vec<PathStep>,
+    /// The proven leaf's key.
+    pub leaf_pkey: ProofKey,
+    /// The proven leaf's value hash.
+    pub leaf_vhash: Hash32,
+    /// The proven leaf's validity flag.
+    pub leaf_valid: bool,
+}
+
+impl MembershipProof {
+    /// Verifies that `(pkey, vhash)` is a live record under `root`.
+    pub fn verify(&self, root: &Hash32, pkey: &ProofKey, vhash: &Hash32) -> bool {
+        if self.leaf_pkey != *pkey || self.leaf_vhash != *vhash || !self.leaf_valid {
+            return false;
+        }
+        self.computed_root() == *root
+    }
+
+    /// Recomputes the root implied by this proof's leaf and path.
+    pub fn computed_root(&self) -> Hash32 {
+        let mut acc = leaf_hash(&self.leaf_pkey, &self.leaf_vhash, self.leaf_valid);
+        for step in &self.path {
+            acc = if step.sibling_is_left {
+                inner_hash(&step.sibling, &acc)
+            } else {
+                inner_hash(&acc, &step.sibling)
+            };
+        }
+        acc
+    }
+
+    /// Number of hash evaluations a verifier performs (leaf + path).
+    pub fn hash_count(&self) -> usize {
+        1 + self.path.len()
+    }
+
+    /// Serialized size in bytes: per step 32+1, plus leaf key, value hash
+    /// and flag.
+    pub fn encoded_len(&self) -> usize {
+        self.path.len() * 33 + self.leaf_pkey.encoded_len() + 32 + 1
+    }
+}
+
+/// A node of a pruned-subtree range proof.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProofNode {
+    /// A subtree entirely outside the (extended) range, collapsed to its
+    /// digest.
+    Opaque(Hash32),
+    /// A revealed leaf (tombstones are revealed too — their keys order the
+    /// run; verifiers exclude them from results).
+    Leaf {
+        /// Leaf key.
+        pkey: ProofKey,
+        /// Leaf value hash.
+        vhash: Hash32,
+        /// Validity flag (false = tombstone).
+        valid: bool,
+    },
+    /// An inner node with both children present.
+    Inner {
+        /// Left child.
+        left: Box<ProofNode>,
+        /// Right child.
+        right: Box<ProofNode>,
+    },
+}
+
+impl ProofNode {
+    fn root(&self) -> Hash32 {
+        match self {
+            ProofNode::Opaque(h) => *h,
+            ProofNode::Leaf { pkey, vhash, valid } => leaf_hash(pkey, vhash, *valid),
+            ProofNode::Inner { left, right } => inner_hash(&left.root(), &right.root()),
+        }
+    }
+
+    fn walk<'a>(&'a self, out: &mut Vec<InOrderItem<'a>>) {
+        match self {
+            ProofNode::Opaque(_) => out.push(InOrderItem::Opaque),
+            ProofNode::Leaf { pkey, vhash, valid } => {
+                out.push(InOrderItem::Leaf(pkey, vhash, *valid))
+            }
+            ProofNode::Inner { left, right } => {
+                left.walk(out);
+                right.walk(out);
+            }
+        }
+    }
+
+    fn count_hashes(&self) -> usize {
+        match self {
+            ProofNode::Opaque(_) => 0,
+            ProofNode::Leaf { .. } => 1,
+            ProofNode::Inner { left, right } => 1 + left.count_hashes() + right.count_hashes(),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            ProofNode::Opaque(_) => 1 + 32,
+            ProofNode::Leaf { pkey, .. } => 1 + pkey.encoded_len() + 32 + 1,
+            ProofNode::Inner { left, right } => 1 + left.encoded_len() + right.encoded_len(),
+        }
+    }
+}
+
+enum InOrderItem<'a> {
+    Opaque,
+    Leaf(&'a ProofKey, &'a Hash32, bool),
+}
+
+/// Reasons a range proof fails verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Recomputed root does not match the trusted root.
+    RootMismatch,
+    /// Revealed leaves are not a single contiguous in-order run.
+    NonContiguousReveal,
+    /// Revealed leaf keys are not strictly increasing.
+    UnsortedLeaves,
+    /// A hidden subtree could contain in-range keys (missing boundary).
+    IncompleteBoundary,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            VerifyError::RootMismatch => "recomputed root does not match trusted root",
+            VerifyError::NonContiguousReveal => "revealed leaves are not contiguous in order",
+            VerifyError::UnsortedLeaves => "revealed leaf keys are not strictly increasing",
+            VerifyError::IncompleteBoundary => "hidden subtree may contain in-range keys",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl Error for VerifyError {}
+
+/// A completeness-checkable proof for a key range.
+///
+/// Produced by [`crate::MerkleKv::prove_range`]; verified with only the
+/// trusted root. Soundness argument: the recomputed root pins the committed
+/// structure, whose in-order leaves are sorted; the verifier requires the
+/// revealed leaves to form one contiguous in-order run whose end leaves lie
+/// strictly outside the queried range (or touch the tree's ends), so every
+/// hidden leaf is provably outside the range.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeProof {
+    /// Pruned tree (None ⇔ the whole tree is empty).
+    pub tree: Option<ProofNode>,
+}
+
+impl RangeProof {
+    /// Proof for a query against an empty tree.
+    pub fn empty() -> Self {
+        RangeProof { tree: None }
+    }
+
+    /// Verifies the proof against `root` for the query `[lo, hi]`, returning
+    /// the live matching records in key order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerifyError`] describing the first check that failed.
+    pub fn verify(
+        &self,
+        root: &Hash32,
+        lo: &ProofKey,
+        hi: &ProofKey,
+    ) -> Result<Vec<(ProofKey, Hash32)>, VerifyError> {
+        let Some(tree) = &self.tree else {
+            return if *root == crate::empty_root() {
+                Ok(Vec::new())
+            } else {
+                Err(VerifyError::RootMismatch)
+            };
+        };
+        if tree.root() != *root {
+            return Err(VerifyError::RootMismatch);
+        }
+        let mut items = Vec::new();
+        tree.walk(&mut items);
+        // Pattern check: Opaque* Leaf+ Opaque*.
+        let first_leaf = items
+            .iter()
+            .position(|i| matches!(i, InOrderItem::Leaf(..)));
+        let last_leaf = items
+            .iter()
+            .rposition(|i| matches!(i, InOrderItem::Leaf(..)));
+        let (Some(first), Some(last)) = (first_leaf, last_leaf) else {
+            return Err(VerifyError::IncompleteBoundary);
+        };
+        if items[first..=last]
+            .iter()
+            .any(|i| matches!(i, InOrderItem::Opaque))
+        {
+            return Err(VerifyError::NonContiguousReveal);
+        }
+        let leaves: Vec<(&ProofKey, &Hash32, bool)> = items[first..=last]
+            .iter()
+            .map(|i| match i {
+                InOrderItem::Leaf(k, v, valid) => (*k, *v, *valid),
+                InOrderItem::Opaque => unreachable!("checked contiguous"),
+            })
+            .collect();
+        for pair in leaves.windows(2) {
+            if pair[0].0 >= pair[1].0 {
+                return Err(VerifyError::UnsortedLeaves);
+            }
+        }
+        // Boundary checks: anything hidden before the run must be < lo, which
+        // holds iff the run either starts at the global first leaf (no opaque
+        // before it) or its first leaf is itself below the range. Dually for
+        // the high side.
+        let opaque_before = first > 0;
+        if opaque_before && leaves[0].0 >= lo {
+            return Err(VerifyError::IncompleteBoundary);
+        }
+        let opaque_after = last + 1 < items.len();
+        if opaque_after && leaves[leaves.len() - 1].0 <= hi {
+            return Err(VerifyError::IncompleteBoundary);
+        }
+        Ok(leaves
+            .into_iter()
+            .filter(|(k, _, valid)| *valid && *k >= lo && *k <= hi)
+            .map(|(k, v, _)| (k.clone(), *v))
+            .collect())
+    }
+
+    /// Number of hash evaluations a verifier performs.
+    pub fn hash_count(&self) -> usize {
+        self.tree.as_ref().map(|t| t.count_hashes()).unwrap_or(0)
+    }
+
+    /// Serialized size in bytes, for transaction-payload Gas accounting.
+    pub fn encoded_len(&self) -> usize {
+        1 + self.tree.as_ref().map(|t| t.encoded_len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{record_value_hash, MerkleKv, ReplState};
+
+    fn nr(key: &str) -> ProofKey {
+        ProofKey::new(ReplState::NotReplicated, key.as_bytes().to_vec())
+    }
+
+    fn r(key: &str) -> ProofKey {
+        ProofKey::new(ReplState::Replicated, key.as_bytes().to_vec())
+    }
+
+    fn vh(v: &str) -> Hash32 {
+        record_value_hash(v.as_bytes())
+    }
+
+    fn figure_4b_tree() -> MerkleKv {
+        // ⟨w,NR,100⟩ ⟨y,NR,200⟩ ⟨x,R,300⟩ ⟨z,R,400⟩ — the paper's example.
+        MerkleKv::from_sorted(vec![
+            (nr("w"), vh("100")),
+            (nr("y"), vh("200")),
+            (r("x"), vh("300")),
+            (r("z"), vh("400")),
+        ])
+    }
+
+    #[test]
+    fn membership_proof_verifies() {
+        let t = figure_4b_tree();
+        let root = t.root();
+        let p = t.prove(&nr("y")).unwrap();
+        assert!(p.verify(&root, &nr("y"), &vh("200")));
+        assert_eq!(p.hash_count(), 3); // leaf + 2 levels
+    }
+
+    #[test]
+    fn membership_proof_rejects_wrong_value_or_key() {
+        let t = figure_4b_tree();
+        let root = t.root();
+        let p = t.prove(&nr("y")).unwrap();
+        assert!(!p.verify(&root, &nr("y"), &vh("999")));
+        assert!(!p.verify(&root, &nr("w"), &vh("200")));
+    }
+
+    #[test]
+    fn membership_proof_rejects_stale_root() {
+        let mut t = figure_4b_tree();
+        let p = t.prove(&nr("y")).unwrap();
+        t.insert(nr("y"), vh("201"));
+        let new_root = t.root();
+        assert!(
+            !p.verify(&new_root, &nr("y"), &vh("200")),
+            "old proof must not verify against the new root"
+        );
+    }
+
+    #[test]
+    fn tampered_path_is_rejected() {
+        let t = figure_4b_tree();
+        let root = t.root();
+        let mut p = t.prove(&r("x")).unwrap();
+        p.path[0].sibling = vh("evil");
+        assert!(!p.verify(&root, &r("x"), &vh("300")));
+    }
+
+    #[test]
+    fn no_proof_for_missing_or_tombstoned_keys() {
+        let mut t = figure_4b_tree();
+        assert!(t.prove(&nr("nope")).is_none());
+        t.invalidate(&nr("w"));
+        assert!(t.prove(&nr("w")).is_none());
+    }
+
+    #[test]
+    fn range_proof_returns_exact_matches() {
+        let t = figure_4b_tree();
+        let root = t.root();
+        // Query the whole NR group, as the read path does.
+        let lo = ProofKey::new(ReplState::NotReplicated, Vec::new());
+        let hi = ProofKey::new(ReplState::NotReplicated, vec![0xff; 8]);
+        let proof = t.prove_range(&lo, &hi);
+        let got = proof.verify(&root, &lo, &hi).unwrap();
+        assert_eq!(got, vec![(nr("w"), vh("100")), (nr("y"), vh("200"))]);
+    }
+
+    #[test]
+    fn range_proof_paper_example() {
+        // Appendix B.2.2: query [x, z] over NR records reveals ⟨y,NR,200⟩
+        // with boundary records around it.
+        let t = figure_4b_tree();
+        let root = t.root();
+        let lo = nr("x");
+        let hi = nr("z");
+        let proof = t.prove_range(&lo, &hi);
+        let got = proof.verify(&root, &lo, &hi).unwrap();
+        assert_eq!(got, vec![(nr("y"), vh("200"))]);
+    }
+
+    #[test]
+    fn empty_range_still_verifies() {
+        let t = figure_4b_tree();
+        let root = t.root();
+        let lo = nr("aa");
+        let hi = nr("ab");
+        let proof = t.prove_range(&lo, &hi);
+        assert_eq!(proof.verify(&root, &lo, &hi).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn empty_tree_range_proof() {
+        let t = MerkleKv::new();
+        let proof = t.prove_range(&nr("a"), &nr("z"));
+        assert_eq!(
+            proof.verify(&t.root(), &nr("a"), &nr("z")).unwrap(),
+            Vec::new()
+        );
+        // But not against some other root.
+        assert_eq!(
+            proof.verify(&vh("other"), &nr("a"), &nr("z")),
+            Err(VerifyError::RootMismatch)
+        );
+    }
+
+    #[test]
+    fn omission_attack_is_detected() {
+        // The SP tries to answer the full-NR query while hiding ⟨y⟩ by
+        // collapsing it into an opaque digest. The pruned tree still hashes
+        // to the correct root, but the boundary check must fail.
+        let t = figure_4b_tree();
+        let root = t.root();
+        let lo = ProofKey::new(ReplState::NotReplicated, Vec::new());
+        let hi = ProofKey::new(ReplState::NotReplicated, vec![0xff; 8]);
+        let honest = t.prove_range(&lo, &hi);
+        // Build a dishonest proof: replace the revealed ⟨y⟩ leaf with its
+        // opaque digest.
+        fn hide_leaf(node: &ProofNode, target: &ProofKey) -> ProofNode {
+            match node {
+                ProofNode::Leaf { pkey, vhash, valid } if pkey == target => {
+                    ProofNode::Opaque(crate::leaf_hash(pkey, vhash, *valid))
+                }
+                ProofNode::Inner { left, right } => ProofNode::Inner {
+                    left: Box::new(hide_leaf(left, target)),
+                    right: Box::new(hide_leaf(right, target)),
+                },
+                other => other.clone(),
+            }
+        }
+        let dishonest = RangeProof {
+            tree: honest.tree.as_ref().map(|t| hide_leaf(t, &nr("y"))),
+        };
+        let err = dishonest.verify(&root, &lo, &hi).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VerifyError::NonContiguousReveal | VerifyError::IncompleteBoundary
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn forged_value_fails_root_check() {
+        let t = figure_4b_tree();
+        let root = t.root();
+        let lo = nr("x");
+        let hi = nr("z");
+        let mut proof = t.prove_range(&lo, &hi);
+        fn forge(node: &mut ProofNode) {
+            match node {
+                ProofNode::Leaf { vhash, .. } => *vhash = vh("forged"),
+                ProofNode::Inner { left, right } => {
+                    forge(left);
+                    forge(right);
+                }
+                ProofNode::Opaque(_) => {}
+            }
+        }
+        forge(proof.tree.as_mut().unwrap());
+        assert_eq!(
+            proof.verify(&root, &lo, &hi),
+            Err(VerifyError::RootMismatch)
+        );
+    }
+
+    #[test]
+    fn tombstones_are_revealed_but_excluded_from_results() {
+        let mut t = figure_4b_tree();
+        t.invalidate(&nr("y"));
+        let root = t.root();
+        let lo = ProofKey::new(ReplState::NotReplicated, Vec::new());
+        let hi = ProofKey::new(ReplState::NotReplicated, vec![0xff; 8]);
+        let proof = t.prove_range(&lo, &hi);
+        let got = proof.verify(&root, &lo, &hi).unwrap();
+        assert_eq!(got, vec![(nr("w"), vh("100"))]);
+    }
+
+    #[test]
+    fn proof_sizes_are_positive_and_scale() {
+        let small = figure_4b_tree();
+        let records: Vec<_> = (0..256)
+            .map(|i| (nr(&format!("k{i:04}")), vh(&i.to_string())))
+            .collect();
+        let big = MerkleKv::from_sorted(records);
+        let ps = small.prove(&nr("w")).unwrap();
+        let pb = big.prove(&nr("k0100")).unwrap();
+        assert!(pb.encoded_len() > ps.encoded_len());
+        assert!(pb.hash_count() > ps.hash_count());
+    }
+}

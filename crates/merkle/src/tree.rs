@@ -1,0 +1,659 @@
+//! The SP-side Merkle tree over state-prefixed, key-sorted records.
+
+use grub_crypto::Hash32;
+
+use crate::proof::{MembershipProof, PathStep, ProofNode, RangeProof};
+use crate::{empty_root, inner_hash, leaf_hash, ProofKey};
+
+#[derive(Clone, Debug)]
+pub(crate) struct LeafData {
+    pub pkey: ProofKey,
+    pub vhash: Hash32,
+    pub valid: bool,
+    pub hash: Hash32,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct InnerData {
+    pub hash: Hash32,
+    pub min: ProofKey,
+    pub max: ProofKey,
+    pub count: usize,
+    pub left: Box<Node>,
+    pub right: Box<Node>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum Node {
+    Leaf(LeafData),
+    Inner(InnerData),
+}
+
+impl Node {
+    fn new_leaf(pkey: ProofKey, vhash: Hash32) -> Node {
+        let hash = leaf_hash(&pkey, &vhash, true);
+        Node::Leaf(LeafData {
+            pkey,
+            vhash,
+            valid: true,
+            hash,
+        })
+    }
+
+    fn hash(&self) -> Hash32 {
+        match self {
+            Node::Leaf(l) => l.hash,
+            Node::Inner(i) => i.hash,
+        }
+    }
+
+    fn min(&self) -> &ProofKey {
+        match self {
+            Node::Leaf(l) => &l.pkey,
+            Node::Inner(i) => &i.min,
+        }
+    }
+
+    fn max(&self) -> &ProofKey {
+        match self {
+            Node::Leaf(l) => &l.pkey,
+            Node::Inner(i) => &i.max,
+        }
+    }
+
+    /// Physical leaf count (tombstones included).
+    fn count(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 1,
+            Node::Inner(i) => i.count,
+        }
+    }
+
+    fn join(left: Box<Node>, right: Box<Node>) -> Node {
+        let hash = inner_hash(&left.hash(), &right.hash());
+        Node::Inner(InnerData {
+            hash,
+            min: left.min().clone(),
+            max: right.max().clone(),
+            count: left.count() + right.count(),
+            left,
+            right,
+        })
+    }
+
+    /// Joins two subtrees, locally rebuilding (scapegoat style) when one
+    /// side dominates. Deterministic, so the SP tree and the DO mirror make
+    /// identical shape decisions and their roots agree.
+    fn balanced_join(left: Box<Node>, right: Box<Node>) -> Node {
+        let total = left.count() + right.count();
+        let lopsided =
+            total > 8 && (left.count() * 4 > total * 3 || right.count() * 4 > total * 3);
+        if !lopsided {
+            return Node::join(left, right);
+        }
+        let mut leaves = Vec::with_capacity(total);
+        flatten(*left, &mut leaves);
+        flatten(*right, &mut leaves);
+        *rebuild_leaves(leaves)
+    }
+}
+
+fn flatten(node: Node, out: &mut Vec<LeafData>) {
+    match node {
+        Node::Leaf(l) => out.push(l),
+        Node::Inner(i) => {
+            flatten(*i.left, out);
+            flatten(*i.right, out);
+        }
+    }
+}
+
+fn rebuild_leaves(mut leaves: Vec<LeafData>) -> Box<Node> {
+    fn build(leaves: &mut [Option<LeafData>]) -> Box<Node> {
+        match leaves.len() {
+            0 => unreachable!("rebuild_leaves requires at least one leaf"),
+            1 => Box::new(Node::Leaf(leaves[0].take().expect("present"))),
+            n => {
+                let (l, r) = leaves.split_at_mut(n / 2);
+                Node::join(build(l), build(r)).into()
+            }
+        }
+    }
+    assert!(!leaves.is_empty());
+    let mut slots: Vec<Option<LeafData>> = leaves.drain(..).map(Some).collect();
+    build(&mut slots)
+}
+
+/// The authenticated KV index: a binary Merkle tree whose in-order leaves
+/// are sorted by [`ProofKey`] (NR group first, then R group — Figure 4b).
+///
+/// Mutations follow the paper's Appendix B.2.1: updates replace a leaf hash
+/// in place; fresh keys split the adjacent leaf into an inner node; state
+/// transitions tombstone the old leaf and graft a new one. The structure
+/// deterministically rebalances itself (dropping tombstones) once grafts or
+/// tombstones dominate, so proof depth stays `O(log n)` — both the SP and
+/// the DO's mirror apply the same rule, keeping their roots in lock-step.
+#[derive(Clone, Debug, Default)]
+pub struct MerkleKv {
+    root: Option<Box<Node>>,
+    live: usize,
+    tombstones: usize,
+}
+
+impl MerkleKv {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        MerkleKv::default()
+    }
+
+    /// Builds a balanced tree from records sorted by `ProofKey`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not strictly sorted by key.
+    pub fn from_sorted(records: Vec<(ProofKey, Hash32)>) -> Self {
+        for pair in records.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "records must be strictly sorted");
+        }
+        let live = records.len();
+        let root = build_balanced(&records);
+        MerkleKv {
+            root,
+            live,
+            tombstones: 0,
+        }
+    }
+
+    /// The root digest ([`empty_root`] when the tree holds nothing).
+    pub fn root(&self) -> Hash32 {
+        self.root.as_ref().map(|n| n.hash()).unwrap_or_else(empty_root)
+    }
+
+    /// Number of live (non-tombstoned) records.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the tree holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of tombstoned leaves awaiting compaction.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Looks up a key, returning its value hash if present and live.
+    pub fn get(&self, pkey: &ProofKey) -> Option<Hash32> {
+        let mut node = self.root.as_deref()?;
+        loop {
+            match node {
+                Node::Leaf(l) => {
+                    return (l.pkey == *pkey && l.valid).then_some(l.vhash);
+                }
+                Node::Inner(i) => {
+                    node = if *pkey <= *i.left.max() {
+                        &i.left
+                    } else {
+                        &i.right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Inserts a key or updates it in place (reviving a tombstone if one
+    /// exists for the same key).
+    pub fn insert(&mut self, pkey: ProofKey, vhash: Hash32) {
+        match self.root.take() {
+            None => {
+                self.root = Some(Box::new(Node::new_leaf(pkey, vhash)));
+                self.live += 1;
+            }
+            Some(node) => {
+                let (node, outcome) = insert_rec(node, pkey, vhash);
+                self.root = Some(node);
+                match outcome {
+                    InsertOutcome::Grafted => {
+                        self.live += 1;
+                    }
+                    InsertOutcome::Revived => {
+                        self.live += 1;
+                        self.tombstones -= 1;
+                    }
+                    InsertOutcome::Updated => {}
+                }
+            }
+        }
+        self.maybe_rebalance();
+    }
+
+    /// Tombstones a key (the paper's "mark invalid"); returns whether it was
+    /// live.
+    pub fn invalidate(&mut self, pkey: &ProofKey) -> bool {
+        let Some(node) = self.root.take() else {
+            return false;
+        };
+        let (node, removed) = invalidate_rec(node, pkey);
+        self.root = Some(node);
+        if removed {
+            self.live -= 1;
+            self.tombstones += 1;
+        }
+        self.maybe_rebalance();
+        removed
+    }
+
+    /// Deterministic compaction rule shared by SP and DO mirror: rebuild
+    /// (dropping tombstones) once tombstones exceed half the live set.
+    /// Shape balance itself is maintained incrementally by the scapegoat
+    /// joins in [`Node::balanced_join`].
+    fn maybe_rebalance(&mut self) {
+        if self.tombstones > (self.live / 2).max(64) {
+            self.rebuild();
+        }
+    }
+
+    /// Rebuilds a balanced tree from the live records, dropping tombstones.
+    pub fn rebuild(&mut self) {
+        let mut records = Vec::with_capacity(self.live);
+        if let Some(root) = &self.root {
+            collect_live(root, &mut records);
+        }
+        self.root = build_balanced(&records);
+        self.live = records.len();
+        self.tombstones = 0;
+    }
+
+    /// In-order live records, for tests and SP-side iteration.
+    pub fn iter_live(&self) -> Vec<(ProofKey, Hash32)> {
+        let mut out = Vec::with_capacity(self.live);
+        if let Some(root) = &self.root {
+            collect_live(root, &mut out);
+        }
+        out
+    }
+
+    /// Membership proof for a live key.
+    pub fn prove(&self, pkey: &ProofKey) -> Option<MembershipProof> {
+        let root = self.root.as_deref()?;
+        let mut path = Vec::new();
+        let mut node = root;
+        loop {
+            match node {
+                Node::Leaf(l) => {
+                    if l.pkey != *pkey || !l.valid {
+                        return None;
+                    }
+                    path.reverse();
+                    return Some(MembershipProof {
+                        path,
+                        leaf_pkey: l.pkey.clone(),
+                        leaf_vhash: l.vhash,
+                        leaf_valid: l.valid,
+                    });
+                }
+                Node::Inner(i) => {
+                    if *pkey <= *i.left.max() {
+                        path.push(PathStep {
+                            sibling: i.right.hash(),
+                            sibling_is_left: false,
+                        });
+                        node = &i.left;
+                    } else {
+                        path.push(PathStep {
+                            sibling: i.left.hash(),
+                            sibling_is_left: true,
+                        });
+                        node = &i.right;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Range proof over `[lo, hi]` (by full [`ProofKey`] order): a pruned
+    /// tree revealing every leaf in range plus one boundary leaf on each
+    /// side, with everything else collapsed to opaque digests.
+    pub fn prove_range(&self, lo: &ProofKey, hi: &ProofKey) -> RangeProof {
+        let Some(root) = self.root.as_deref() else {
+            return RangeProof::empty();
+        };
+        // Extend the range to the immediate neighbours so the verifier can
+        // check completeness (the paper's boundary records, Appendix B.2.2).
+        let pred = find_predecessor(root, lo);
+        let succ = find_successor(root, hi);
+        let lo_ext = pred.unwrap_or_else(|| root.min().clone());
+        let hi_ext = succ.unwrap_or_else(|| root.max().clone());
+        RangeProof {
+            tree: Some(prune(root, &lo_ext, &hi_ext)),
+        }
+    }
+
+    /// Maximum leaf depth (proof length); exposed for gas modelling and the
+    /// rebalance tests.
+    pub fn depth(&self) -> usize {
+        fn d(node: &Node) -> usize {
+            match node {
+                Node::Leaf(_) => 1,
+                Node::Inner(i) => 1 + d(&i.left).max(d(&i.right)),
+            }
+        }
+        self.root.as_deref().map(d).unwrap_or(0)
+    }
+}
+
+enum InsertOutcome {
+    Updated,
+    Revived,
+    Grafted,
+}
+
+fn insert_rec(node: Box<Node>, pkey: ProofKey, vhash: Hash32) -> (Box<Node>, InsertOutcome) {
+    match *node {
+        Node::Leaf(mut l) => {
+            if l.pkey == pkey {
+                let outcome = if l.valid {
+                    InsertOutcome::Updated
+                } else {
+                    InsertOutcome::Revived
+                };
+                l.vhash = vhash;
+                l.valid = true;
+                l.hash = leaf_hash(&l.pkey, &l.vhash, true);
+                (Box::new(Node::Leaf(l)), outcome)
+            } else {
+                // Graft: split this leaf into an inner node holding both, in
+                // key order (the paper's h9 = H(h4 ‖ h8) step).
+                let new_leaf = Box::new(Node::new_leaf(pkey.clone(), vhash));
+                let old_leaf = Box::new(Node::Leaf(l));
+                let joined = if *new_leaf.max() < *old_leaf.min() {
+                    Node::join(new_leaf, old_leaf)
+                } else {
+                    Node::join(old_leaf, new_leaf)
+                };
+                (Box::new(joined), InsertOutcome::Grafted)
+            }
+        }
+        Node::Inner(i) => {
+            let (left, right, outcome) = if pkey <= *i.left.max() {
+                let (l, o) = insert_rec(i.left, pkey, vhash);
+                (l, i.right, o)
+            } else {
+                let (r, o) = insert_rec(i.right, pkey, vhash);
+                (i.left, r, o)
+            };
+            (Box::new(Node::balanced_join(left, right)), outcome)
+        }
+    }
+}
+
+fn invalidate_rec(node: Box<Node>, pkey: &ProofKey) -> (Box<Node>, bool) {
+    match *node {
+        Node::Leaf(mut l) => {
+            if l.pkey == *pkey && l.valid {
+                l.valid = false;
+                l.hash = leaf_hash(&l.pkey, &l.vhash, false);
+                (Box::new(Node::Leaf(l)), true)
+            } else {
+                (Box::new(Node::Leaf(l)), false)
+            }
+        }
+        Node::Inner(i) => {
+            let (left, right, removed) = if *pkey <= *i.left.max() {
+                let (l, r) = invalidate_rec(i.left, pkey);
+                (l, i.right, r)
+            } else {
+                let (r, rm) = invalidate_rec(i.right, pkey);
+                (i.left, r, rm)
+            };
+            (Box::new(Node::join(left, right)), removed)
+        }
+    }
+}
+
+fn build_balanced(records: &[(ProofKey, Hash32)]) -> Option<Box<Node>> {
+    match records.len() {
+        0 => None,
+        1 => Some(Box::new(Node::new_leaf(
+            records[0].0.clone(),
+            records[0].1,
+        ))),
+        n => {
+            let mid = n / 2;
+            let left = build_balanced(&records[..mid]).expect("non-empty");
+            let right = build_balanced(&records[mid..]).expect("non-empty");
+            Some(Box::new(Node::join(left, right)))
+        }
+    }
+}
+
+fn collect_live(node: &Node, out: &mut Vec<(ProofKey, Hash32)>) {
+    match node {
+        Node::Leaf(l) => {
+            if l.valid {
+                out.push((l.pkey.clone(), l.vhash));
+            }
+        }
+        Node::Inner(i) => {
+            collect_live(&i.left, out);
+            collect_live(&i.right, out);
+        }
+    }
+}
+
+/// Largest leaf key strictly below `bound` (any validity), if one exists.
+fn find_predecessor(node: &Node, bound: &ProofKey) -> Option<ProofKey> {
+    match node {
+        Node::Leaf(l) => (l.pkey < *bound).then(|| l.pkey.clone()),
+        Node::Inner(i) => {
+            if *i.right.min() < *bound {
+                find_predecessor(&i.right, bound).or_else(|| find_predecessor(&i.left, bound))
+            } else {
+                find_predecessor(&i.left, bound)
+            }
+        }
+    }
+}
+
+/// Smallest leaf key strictly above `bound` (any validity), if one exists.
+fn find_successor(node: &Node, bound: &ProofKey) -> Option<ProofKey> {
+    match node {
+        Node::Leaf(l) => (l.pkey > *bound).then(|| l.pkey.clone()),
+        Node::Inner(i) => {
+            if *i.left.max() > *bound {
+                find_successor(&i.left, bound).or_else(|| find_successor(&i.right, bound))
+            } else {
+                find_successor(&i.right, bound)
+            }
+        }
+    }
+}
+
+fn prune(node: &Node, lo: &ProofKey, hi: &ProofKey) -> ProofNode {
+    match node {
+        Node::Leaf(l) => {
+            if l.pkey < *lo || l.pkey > *hi {
+                ProofNode::Opaque(l.hash)
+            } else {
+                ProofNode::Leaf {
+                    pkey: l.pkey.clone(),
+                    vhash: l.vhash,
+                    valid: l.valid,
+                }
+            }
+        }
+        Node::Inner(i) => {
+            if i.max < *lo || i.min > *hi {
+                ProofNode::Opaque(i.hash)
+            } else {
+                ProofNode::Inner {
+                    left: Box::new(prune(&i.left, lo, hi)),
+                    right: Box::new(prune(&i.right, lo, hi)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{record_value_hash, ReplState};
+
+    fn nr(key: &str) -> ProofKey {
+        ProofKey::new(ReplState::NotReplicated, key.as_bytes().to_vec())
+    }
+
+    fn r(key: &str) -> ProofKey {
+        ProofKey::new(ReplState::Replicated, key.as_bytes().to_vec())
+    }
+
+    fn vh(v: &str) -> Hash32 {
+        record_value_hash(v.as_bytes())
+    }
+
+    #[test]
+    fn empty_tree_has_sentinel_root() {
+        let t = MerkleKv::new();
+        assert_eq!(t.root(), empty_root());
+        assert!(t.is_empty());
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut t = MerkleKv::new();
+        t.insert(nr("w"), vh("100"));
+        t.insert(nr("y"), vh("200"));
+        t.insert(r("x"), vh("300"));
+        t.insert(r("z"), vh("400"));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(&nr("w")), Some(vh("100")));
+        assert_eq!(t.get(&r("z")), Some(vh("400")));
+        assert_eq!(t.get(&nr("missing")), None);
+        // Same key under the other state is a different record.
+        assert_eq!(t.get(&r("w")), None);
+    }
+
+    #[test]
+    fn in_order_leaves_are_sorted_regardless_of_insert_order() {
+        let mut t = MerkleKv::new();
+        for k in ["m", "c", "z", "a", "q", "f"] {
+            t.insert(nr(k), vh(k));
+        }
+        t.insert(r("b"), vh("b"));
+        let live = t.iter_live();
+        let mut sorted = live.clone();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(live, sorted);
+        // NR group strictly precedes R group.
+        assert_eq!(live.last().unwrap().0, r("b"));
+    }
+
+    #[test]
+    fn update_in_place_changes_root_only() {
+        let mut t = MerkleKv::new();
+        t.insert(nr("a"), vh("1"));
+        t.insert(nr("b"), vh("2"));
+        let root1 = t.root();
+        let len1 = t.len();
+        t.insert(nr("a"), vh("1'"));
+        assert_ne!(t.root(), root1);
+        assert_eq!(t.len(), len1);
+        assert_eq!(t.get(&nr("a")), Some(vh("1'")));
+    }
+
+    #[test]
+    fn root_is_history_independent_after_rebuild() {
+        // Two trees with the same live set have the same root after rebuild,
+        // regardless of insertion order (needed for SP/DO root agreement).
+        let mut t1 = MerkleKv::new();
+        let mut t2 = MerkleKv::new();
+        for k in ["a", "b", "c", "d"] {
+            t1.insert(nr(k), vh(k));
+        }
+        for k in ["d", "b", "a", "c"] {
+            t2.insert(nr(k), vh(k));
+        }
+        t1.rebuild();
+        t2.rebuild();
+        assert_eq!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn invalidate_tombstones_and_revive() {
+        let mut t = MerkleKv::new();
+        t.insert(nr("a"), vh("1"));
+        t.insert(nr("b"), vh("2"));
+        assert!(t.invalidate(&nr("a")));
+        assert!(!t.invalidate(&nr("a")), "already tombstoned");
+        assert_eq!(t.get(&nr("a")), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.tombstone_count(), 1);
+        // Re-inserting the key revives the tombstone in place.
+        t.insert(nr("a"), vh("3"));
+        assert_eq!(t.get(&nr("a")), Some(vh("3")));
+        assert_eq!(t.tombstone_count(), 0);
+    }
+
+    #[test]
+    fn relocation_changes_membership_under_both_states() {
+        // The paper's R→NR transition: invalidate ⟨x,R⟩, graft ⟨x,NR⟩.
+        let mut t = MerkleKv::new();
+        t.insert(r("x"), vh("300"));
+        t.insert(nr("w"), vh("100"));
+        t.invalidate(&r("x"));
+        t.insert(nr("x"), vh("310"));
+        assert_eq!(t.get(&r("x")), None);
+        assert_eq!(t.get(&nr("x")), Some(vh("310")));
+    }
+
+    #[test]
+    fn from_sorted_matches_incremental_content() {
+        let records: Vec<_> = (0..100)
+            .map(|i| (nr(&format!("k{i:03}")), vh(&format!("v{i}"))))
+            .collect();
+        let bulk = MerkleKv::from_sorted(records.clone());
+        let mut inc = MerkleKv::new();
+        for (k, v) in records.iter().rev() {
+            inc.insert(k.clone(), *v);
+        }
+        assert_eq!(bulk.iter_live(), inc.iter_live());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn from_sorted_rejects_unsorted() {
+        MerkleKv::from_sorted(vec![(nr("b"), vh("1")), (nr("a"), vh("2"))]);
+    }
+
+    #[test]
+    fn sequential_appends_stay_logarithmic() {
+        // BtcRelay-style append-only keys would degrade an unbalanced graft
+        // chain to O(n) depth; the deterministic rebuild must prevent that.
+        let mut t = MerkleKv::new();
+        for i in 0..5000u32 {
+            t.insert(nr(&format!("blk{i:08}")), vh(&i.to_string()));
+        }
+        assert_eq!(t.len(), 5000);
+        assert!(
+            t.depth() <= 4 * 13, // generous bound vs log2(5000) ≈ 12.3
+            "depth {} is not logarithmic",
+            t.depth()
+        );
+    }
+
+    #[test]
+    fn depth_bound_under_churn() {
+        let mut t = MerkleKv::new();
+        for i in 0..2000u32 {
+            t.insert(nr(&format!("k{:04}", i % 500)), vh(&i.to_string()));
+            if i % 3 == 0 {
+                t.invalidate(&nr(&format!("k{:04}", (i / 2) % 500)));
+            }
+        }
+        assert!(t.depth() <= 40, "depth {}", t.depth());
+    }
+}

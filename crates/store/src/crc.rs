@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven, implemented from scratch.
+//!
+//! Used to frame write-ahead-log records and to checksum SSTable blocks, the
+//! same role the CRC plays in LevelDB's log format.
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 of `data`.
+///
+/// # Examples
+///
+/// ```
+/// // The classic check value for "123456789".
+/// assert_eq!(grub_store::crc::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"hello world".to_vec();
+        let clean = crc32(&data);
+        data[3] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -1,0 +1,554 @@
+//! The top-level database: WAL + memtable + leveled SSTables.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+
+use crate::memtable::Memtable;
+use crate::sstable::{SsTableReader, SsTableWriter, TableEntry};
+use crate::wal::{Wal, WalRecord};
+use crate::Result;
+
+/// Tuning knobs, mirroring LevelDB's `Options`.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Memtable size that triggers a flush to L0.
+    pub memtable_bytes: usize,
+    /// Number of L0 files that triggers compaction into L1.
+    pub l0_compaction_trigger: usize,
+    /// Target data-block size inside SSTables.
+    pub block_bytes: usize,
+    /// Bloom-filter bits per key.
+    pub bits_per_key: usize,
+    /// Whether to fsync the WAL on every write.
+    pub sync_writes: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            memtable_bytes: 1 << 20,
+            l0_compaction_trigger: 4,
+            block_bytes: 4096,
+            bits_per_key: 10,
+            sync_writes: false,
+        }
+    }
+}
+
+/// A consistent read point.
+///
+/// Snapshot reads observe the database as of [`Db::snapshot`]. They remain
+/// valid until the next compaction (which drops superseded versions) — a
+/// documented simplification relative to LevelDB's snapshot pinning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Table {
+    path: PathBuf,
+    reader: SsTableReader,
+}
+
+/// The storage engine facade: `put`/`get`/`delete`/`scan` with durability.
+#[derive(Debug)]
+pub struct Db {
+    dir: PathBuf,
+    opts: Options,
+    wal: Wal,
+    mem: Memtable,
+    seq: u64,
+    next_file_no: u64,
+    /// L0: newest file last; files may overlap.
+    l0: Vec<Table>,
+    /// L1: non-overlapping, sorted by smallest key.
+    l1: Vec<Table>,
+    flush_count: u64,
+    compaction_count: u64,
+}
+
+impl Db {
+    /// Opens (creating if needed) a database under `dir`, replaying the WAL
+    /// and registering existing SSTables.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures, or [`crate::StoreError::Corrupt`] for damaged tables.
+    pub fn open(dir: impl Into<PathBuf>, opts: Options) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut l0 = Vec::new();
+        let mut l1 = Vec::new();
+        let mut next_file_no = 1u64;
+        let mut names: Vec<(u64, u8, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some((no, level)) = parse_table_name(&name) {
+                names.push((no, level, entry.path()));
+                next_file_no = next_file_no.max(no + 1);
+            }
+        }
+        names.sort();
+        let mut max_seq = 0u64;
+        for (_, level, path) in names {
+            let reader = SsTableReader::open(&path)?;
+            for e in reader.iter_all()? {
+                max_seq = max_seq.max(e.seq);
+            }
+            let table = Table { path, reader };
+            if level == 0 {
+                l0.push(table);
+            } else {
+                l1.push(table);
+            }
+        }
+        l1.sort_by(|a, b| a.reader.smallest().cmp(b.reader.smallest()));
+        // Replay the WAL into a fresh memtable.
+        let wal_path = dir.join("wal.log");
+        let mut mem = Memtable::new();
+        for rec in Wal::replay(&wal_path)? {
+            max_seq = max_seq.max(rec.seq);
+            mem.insert(rec.key, rec.seq, rec.value);
+        }
+        let wal = Wal::open(&wal_path)?;
+        Ok(Db {
+            dir,
+            opts,
+            wal,
+            mem,
+            seq: max_seq,
+            next_file_no,
+            l0,
+            l1,
+            flush_count: 0,
+            compaction_count: 0,
+        })
+    }
+
+    /// Stores `value` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// WAL or flush I/O failures.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<()> {
+        self.write(key, Some(value))
+    }
+
+    /// Removes `key` (writes a tombstone).
+    ///
+    /// # Errors
+    ///
+    /// WAL or flush I/O failures.
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.write(key.to_vec(), None)
+    }
+
+    fn write(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) -> Result<()> {
+        self.seq += 1;
+        let rec = WalRecord {
+            seq: self.seq,
+            key: key.clone(),
+            value: value.clone(),
+        };
+        self.wal.append(&rec)?;
+        if self.opts.sync_writes {
+            self.wal.sync()?;
+        }
+        self.mem.insert(key, self.seq, value);
+        if self.mem.approx_bytes() >= self.opts.memtable_bytes {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Reads the latest value of `key`.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption while consulting SSTables.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_at(key, Snapshot { seq: u64::MAX })
+    }
+
+    /// Creates a read snapshot at the current sequence number.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { seq: self.seq }
+    }
+
+    /// Reads `key` as of `snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption while consulting SSTables.
+    pub fn get_at(&self, key: &[u8], snapshot: Snapshot) -> Result<Option<Vec<u8>>> {
+        if let Some(opinion) = self.mem.get(key, snapshot.seq) {
+            return Ok(opinion.cloned());
+        }
+        for table in self.l0.iter().rev() {
+            if let Some(opinion) = table.reader.get(key, snapshot.seq)? {
+                return Ok(opinion);
+            }
+        }
+        // L1 is non-overlapping: at most one candidate table.
+        let idx = self
+            .l1
+            .partition_point(|t| t.reader.largest() < key);
+        if let Some(table) = self.l1.get(idx) {
+            if table.reader.smallest() <= key {
+                if let Some(opinion) = table.reader.get(key, snapshot.seq)? {
+                    return Ok(opinion);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Ordered scan of live keys in `[start, end)` (unbounded when `None`).
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption while consulting SSTables.
+    pub fn scan(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan_at(start, end, Snapshot { seq: u64::MAX })
+    }
+
+    /// Ordered scan as of a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption while consulting SSTables.
+    pub fn scan_at(
+        &self,
+        start: Option<&[u8]>,
+        end: Option<&[u8]>,
+        snapshot: Snapshot,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let in_range = |key: &[u8]| {
+            start.map(|s| key >= s).unwrap_or(true) && end.map(|e| key < e).unwrap_or(true)
+        };
+        // Winner per key = version with the highest seq ≤ snapshot.
+        let mut best: BTreeMap<Vec<u8>, (u64, Option<Vec<u8>>)> = BTreeMap::new();
+        let mut offer = |key: &[u8], seq: u64, value: Option<Vec<u8>>| {
+            if seq > snapshot.seq || !in_range(key) {
+                return;
+            }
+            match best.get(key) {
+                Some((s, _)) if *s >= seq => {}
+                _ => {
+                    best.insert(key.to_vec(), (seq, value));
+                }
+            }
+        };
+        for table in self.l1.iter().chain(self.l0.iter()) {
+            for TableEntry { key, seq, value } in table.reader.iter_all()? {
+                offer(&key, seq, value);
+            }
+        }
+        let sb = start.map(Bound::Included).unwrap_or(Bound::Unbounded);
+        let eb = end.map(Bound::Excluded).unwrap_or(Bound::Unbounded);
+        for (key, value) in self.mem.range_visible(sb, eb, snapshot.seq) {
+            // Memtable versions are newest overall: they win outright.
+            best.insert(key, (u64::MAX, value));
+        }
+        Ok(best
+            .into_iter()
+            .filter_map(|(k, (_, v))| v.map(|v| (k, v)))
+            .collect())
+    }
+
+    /// Flushes the memtable to a fresh L0 table and truncates the WAL.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing the table.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.mem.is_empty() {
+            return Ok(());
+        }
+        let path = self.table_path(0);
+        let mut w = SsTableWriter::create(&path, self.opts.block_bytes, self.opts.bits_per_key)?;
+        for (key, version) in self.mem.iter_all() {
+            w.add(key, version.seq, version.value.as_deref())?;
+        }
+        let path = w.finish()?;
+        let reader = SsTableReader::open(&path)?;
+        self.l0.push(Table { path, reader });
+        self.mem = Memtable::new();
+        self.wal.reset()?;
+        self.flush_count += 1;
+        if self.l0.len() >= self.opts.l0_compaction_trigger {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Merges all L0 and L1 tables into a fresh non-overlapping L1,
+    /// keeping only the newest version per key and dropping tombstones
+    /// (L1 is the bottom level).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures reading or writing tables.
+    pub fn compact(&mut self) -> Result<()> {
+        if self.l0.is_empty() && self.l1.len() <= 1 {
+            return Ok(());
+        }
+        let mut best: BTreeMap<Vec<u8>, (u64, Option<Vec<u8>>)> = BTreeMap::new();
+        for table in self.l1.iter().chain(self.l0.iter()) {
+            for TableEntry { key, seq, value } in table.reader.iter_all()? {
+                match best.get(&key) {
+                    Some((s, _)) if *s >= seq => {}
+                    _ => {
+                        best.insert(key, (seq, value));
+                    }
+                }
+            }
+        }
+        let old: Vec<PathBuf> = self
+            .l0
+            .drain(..)
+            .chain(self.l1.drain(..))
+            .map(|t| t.path)
+            .collect();
+        // Write out live entries, splitting files at ~2 MiB.
+        const TARGET: usize = 2 << 20;
+        let mut writer: Option<SsTableWriter> = None;
+        let mut written = 0usize;
+        let mut new_paths = Vec::new();
+        for (key, (seq, value)) in best {
+            let Some(v) = value else { continue }; // drop tombstones at bottom
+            if writer.is_none() {
+                let path = self.table_path(1);
+                writer = Some(SsTableWriter::create(
+                    &path,
+                    self.opts.block_bytes,
+                    self.opts.bits_per_key,
+                )?);
+                written = 0;
+            }
+            let w = writer.as_mut().expect("just created");
+            w.add(&key, seq, Some(&v))?;
+            written += key.len() + v.len() + 17;
+            if written >= TARGET {
+                new_paths.push(writer.take().expect("present").finish()?);
+            }
+        }
+        if let Some(w) = writer {
+            new_paths.push(w.finish()?);
+        }
+        for path in new_paths {
+            let reader = SsTableReader::open(&path)?;
+            self.l1.push(Table { path, reader });
+        }
+        self.l1
+            .sort_by(|a, b| a.reader.smallest().cmp(b.reader.smallest()));
+        for path in old {
+            std::fs::remove_file(&path).ok();
+        }
+        self.compaction_count += 1;
+        Ok(())
+    }
+
+    fn table_path(&mut self, level: u8) -> PathBuf {
+        let no = self.next_file_no;
+        self.next_file_no += 1;
+        self.dir.join(format!("{no:06}-l{level}.sst"))
+    }
+
+    /// (L0 file count, L1 file count, flushes, compactions) — for tests.
+    pub fn stats(&self) -> (usize, usize, u64, u64) {
+        (
+            self.l0.len(),
+            self.l1.len(),
+            self.flush_count,
+            self.compaction_count,
+        )
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current write sequence number.
+    pub fn sequence(&self) -> u64 {
+        self.seq
+    }
+}
+
+fn parse_table_name(name: &str) -> Option<(u64, u8)> {
+    let rest = name.strip_suffix(".sst")?;
+    let (no, level) = rest.split_once("-l")?;
+    Some((no.parse().ok()?, level.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("grub-db-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn small_opts() -> Options {
+        Options {
+            memtable_bytes: 1024,
+            l0_compaction_trigger: 3,
+            block_bytes: 512,
+            bits_per_key: 10,
+            sync_writes: false,
+        }
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let dir = temp_dir("basic");
+        let mut db = Db::open(&dir, Options::default()).unwrap();
+        db.put(b"a".to_vec(), b"1".to_vec()).unwrap();
+        assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
+        db.put(b"a".to_vec(), b"2".to_vec()).unwrap();
+        assert_eq!(db.get(b"a").unwrap(), Some(b"2".to_vec()));
+        db.delete(b"a").unwrap();
+        assert_eq!(db.get(b"a").unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn survives_flush_and_compaction() {
+        let dir = temp_dir("churn");
+        let mut db = Db::open(&dir, small_opts()).unwrap();
+        for i in 0..500u32 {
+            db.put(
+                format!("key{:04}", i % 100).into_bytes(),
+                format!("val{i}").into_bytes(),
+            )
+            .unwrap();
+        }
+        // Every key holds its latest value.
+        for k in 0..100u32 {
+            let expect = format!("val{}", 400 + k);
+            assert_eq!(
+                db.get(format!("key{k:04}").as_bytes()).unwrap(),
+                Some(expect.into_bytes()),
+                "key{k:04}"
+            );
+        }
+        let (_, _, flushes, compactions) = db.stats();
+        assert!(flushes > 0, "flushes must have happened");
+        assert!(compactions > 0, "compactions must have happened");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deletes_survive_flush() {
+        let dir = temp_dir("del");
+        let mut db = Db::open(&dir, small_opts()).unwrap();
+        db.put(b"gone".to_vec(), b"x".to_vec()).unwrap();
+        db.flush().unwrap();
+        db.delete(b"gone").unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.get(b"gone").unwrap(), None);
+        // And after compaction removes the tombstone, still gone.
+        db.compact().unwrap();
+        assert_eq!(db.get(b"gone").unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_recovers_from_wal_and_tables() {
+        let dir = temp_dir("reopen");
+        {
+            let mut db = Db::open(&dir, small_opts()).unwrap();
+            for i in 0..200u32 {
+                db.put(format!("k{i:04}").into_bytes(), format!("v{i}").into_bytes())
+                    .unwrap();
+            }
+            // Some writes remain only in the WAL (no explicit flush).
+        }
+        let db = Db::open(&dir, small_opts()).unwrap();
+        for i in 0..200u32 {
+            assert_eq!(
+                db.get(format!("k{i:04}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes()),
+                "k{i:04}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_is_ordered_and_bounded() {
+        let dir = temp_dir("scan");
+        let mut db = Db::open(&dir, small_opts()).unwrap();
+        for i in (0..100u32).rev() {
+            db.put(format!("k{i:04}").into_bytes(), format!("v{i}").into_bytes())
+                .unwrap();
+        }
+        db.delete(b"k0050").unwrap();
+        let out = db.scan(Some(b"k0040"), Some(b"k0060")).unwrap();
+        let keys: Vec<String> = out
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
+        assert_eq!(keys.len(), 19, "20 keys in range minus 1 deleted");
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(!keys.contains(&"k0050".to_string()));
+        assert_eq!(keys[0], "k0040");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_reads_see_frozen_state() {
+        let dir = temp_dir("snap");
+        let mut db = Db::open(&dir, Options::default()).unwrap();
+        db.put(b"x".to_vec(), b"old".to_vec()).unwrap();
+        let snap = db.snapshot();
+        db.put(b"x".to_vec(), b"new".to_vec()).unwrap();
+        db.put(b"y".to_vec(), b"fresh".to_vec()).unwrap();
+        assert_eq!(db.get_at(b"x", snap).unwrap(), Some(b"old".to_vec()));
+        assert_eq!(db.get_at(b"y", snap).unwrap(), None);
+        assert_eq!(db.get(b"x").unwrap(), Some(b"new".to_vec()));
+        let scanned = db.scan_at(None, None, snap).unwrap();
+        assert_eq!(scanned, vec![(b"x".to_vec(), b"old".to_vec())]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_spans_flush() {
+        let dir = temp_dir("snapflush");
+        let mut db = Db::open(&dir, small_opts()).unwrap();
+        db.put(b"k".to_vec(), b"before".to_vec()).unwrap();
+        let snap = db.snapshot();
+        db.put(b"k".to_vec(), b"after".to_vec()).unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.get_at(b"k", snap).unwrap(), Some(b"before".to_vec()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn large_values_cross_blocks() {
+        let dir = temp_dir("large");
+        let mut db = Db::open(&dir, small_opts()).unwrap();
+        let big = vec![0xabu8; 10_000];
+        db.put(b"big".to_vec(), big.clone()).unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.get(b"big").unwrap(), Some(big));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_db_behaves() {
+        let dir = temp_dir("empty");
+        let mut db = Db::open(&dir, Options::default()).unwrap();
+        assert_eq!(db.get(b"nothing").unwrap(), None);
+        assert!(db.scan(None, None).unwrap().is_empty());
+        db.flush().unwrap(); // no-op
+        db.compact().unwrap(); // no-op
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,85 @@
+//! A LevelDB-style log-structured merge (LSM) key-value storage engine.
+//!
+//! The GRuB paper runs its storage provider (SP) on Google LevelDB. Off-chain
+//! costs are explicitly excluded from the paper's cost model (§2.2), but the
+//! SP still needs a real, durable, ordered KV store to serve Puts/Gets/Scans
+//! and back the Merkle ADS — so this crate rebuilds the essential LevelDB
+//! architecture from scratch:
+//!
+//! * a write-ahead log ([`wal`]) with CRC-32-framed records and
+//!   truncate-on-corruption recovery;
+//! * an in-memory [`memtable`] holding multi-versioned entries;
+//! * immutable sorted-table files ([`sstable`]) with 4 KiB data blocks, a
+//!   block index and a bloom filter;
+//! * size-triggered flushes and leveled compaction (L0 overlapping files,
+//!   L1 merged and non-overlapping) in [`Db`];
+//! * snapshot reads by sequence number and ordered range scans.
+//!
+//! # Examples
+//!
+//! ```
+//! use grub_store::{Db, Options};
+//!
+//! # fn main() -> Result<(), grub_store::StoreError> {
+//! let dir = std::env::temp_dir().join(format!("grub-doc-{}", std::process::id()));
+//! let mut db = Db::open(&dir, Options::default())?;
+//! db.put(b"eth-usd".to_vec(), b"150".to_vec())?;
+//! assert_eq!(db.get(b"eth-usd")?, Some(b"150".to_vec()));
+//! db.delete(b"eth-usd")?;
+//! assert_eq!(db.get(b"eth-usd")?, None);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod crc;
+mod db;
+pub mod memtable;
+pub mod sstable;
+pub mod wal;
+
+pub use db::{Db, Options, Snapshot};
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors returned by the storage engine.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// A file was malformed (bad magic, bad CRC, truncated structure).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,536 @@
+//! Immutable sorted-table files (SSTables).
+//!
+//! Layout, LevelDB-style:
+//!
+//! ```text
+//! [data block]*  [index block]  [bloom block]  [footer]
+//! ```
+//!
+//! Data blocks hold `(key, seq, value?)` entries sorted by key ascending and
+//! sequence descending, cut at ~4 KiB on user-key boundaries (so one key's
+//! versions never straddle blocks). The index maps each block's last key to
+//! its file extent; the bloom filter short-circuits point lookups; the footer
+//! pins everything with a magic number. Blocks are CRC-checked.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use crate::bloom::Bloom;
+use crate::crc::crc32;
+use crate::{Result, StoreError};
+
+const MAGIC: u64 = 0x4752_5542_5353_5442; // "GRUBSSTB"
+const FOOTER_LEN: usize = 8 + 4 + 8 + 4 + 8 + 8;
+
+/// One stored entry as returned by table iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableEntry {
+    /// User key.
+    pub key: Vec<u8>,
+    /// Write sequence number.
+    pub seq: u64,
+    /// Value, or `None` for a tombstone.
+    pub value: Option<Vec<u8>>,
+}
+
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    last_key: Vec<u8>,
+    offset: u64,
+    len: u32,
+}
+
+/// Streaming SSTable writer. Entries must arrive sorted by
+/// `(key asc, seq desc)`.
+#[derive(Debug)]
+pub struct SsTableWriter {
+    file: File,
+    path: PathBuf,
+    block: Vec<u8>,
+    block_entries: usize,
+    offset: u64,
+    index: Vec<IndexEntry>,
+    keys: Vec<Vec<u8>>,
+    last: Option<(Vec<u8>, u64)>,
+    current_block_last_key: Option<Vec<u8>>,
+    block_target: usize,
+    bits_per_key: usize,
+    entry_count: u64,
+}
+
+impl SsTableWriter {
+    /// Creates a writer over a fresh file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error creating the file.
+    pub fn create(path: impl Into<PathBuf>, block_target: usize, bits_per_key: usize) -> Result<Self> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(SsTableWriter {
+            file,
+            path,
+            block: Vec::new(),
+            block_entries: 0,
+            offset: 0,
+            index: Vec::new(),
+            keys: Vec::new(),
+            last: None,
+            current_block_last_key: None,
+            block_target,
+            bits_per_key,
+            entry_count: 0,
+        })
+    }
+
+    /// Appends one entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries arrive out of `(key asc, seq desc)` order — that is
+    /// a caller bug that would corrupt lookups.
+    pub fn add(&mut self, key: &[u8], seq: u64, value: Option<&[u8]>) -> Result<()> {
+        if let Some((last_key, last_seq)) = &self.last {
+            let ordered = match key.cmp(last_key) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => seq < *last_seq,
+                std::cmp::Ordering::Less => false,
+            };
+            assert!(ordered, "entries must be sorted by (key asc, seq desc)");
+        }
+        // Cut the block at user-key boundaries only.
+        let key_changed = self
+            .current_block_last_key
+            .as_deref()
+            .map(|k| k != key)
+            .unwrap_or(true);
+        if self.block.len() >= self.block_target && key_changed {
+            self.finish_block()?;
+        }
+        self.block.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.block.extend_from_slice(&seq.to_le_bytes());
+        self.block.push(value.is_some() as u8);
+        let vlen = value.map(|v| v.len()).unwrap_or(0);
+        self.block.extend_from_slice(&(vlen as u32).to_le_bytes());
+        self.block.extend_from_slice(key);
+        if let Some(v) = value {
+            self.block.extend_from_slice(v);
+        }
+        self.block_entries += 1;
+        self.entry_count += 1;
+        if self.keys.last().map(|k| k.as_slice()) != Some(key) {
+            self.keys.push(key.to_vec());
+        }
+        self.last = Some((key.to_vec(), seq));
+        self.current_block_last_key = Some(key.to_vec());
+        Ok(())
+    }
+
+    fn finish_block(&mut self) -> Result<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let crc = crc32(&self.block);
+        let mut framed = Vec::with_capacity(self.block.len() + 8);
+        framed.extend_from_slice(&(self.block.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc.to_le_bytes());
+        framed.extend_from_slice(&self.block);
+        self.file.write_all(&framed)?;
+        self.index.push(IndexEntry {
+            last_key: self
+                .current_block_last_key
+                .clone()
+                .expect("non-empty block has a last key"),
+            offset: self.offset,
+            len: framed.len() as u32,
+        });
+        self.offset += framed.len() as u64;
+        self.block.clear();
+        self.block_entries = 0;
+        Ok(())
+    }
+
+    /// Finishes the table, writing index, bloom and footer.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error writing or syncing.
+    pub fn finish(mut self) -> Result<PathBuf> {
+        self.finish_block()?;
+        // Index block.
+        let mut index = Vec::new();
+        index.extend_from_slice(&(self.index.len() as u32).to_le_bytes());
+        for e in &self.index {
+            index.extend_from_slice(&(e.last_key.len() as u32).to_le_bytes());
+            index.extend_from_slice(&e.last_key);
+            index.extend_from_slice(&e.offset.to_le_bytes());
+            index.extend_from_slice(&e.len.to_le_bytes());
+        }
+        let index_off = self.offset;
+        self.file.write_all(&index)?;
+        self.offset += index.len() as u64;
+        // Bloom block.
+        let bloom = Bloom::from_keys(&self.keys, self.bits_per_key).encode();
+        let bloom_off = self.offset;
+        self.file.write_all(&bloom)?;
+        self.offset += bloom.len() as u64;
+        // Footer.
+        let mut footer = Vec::with_capacity(FOOTER_LEN);
+        footer.extend_from_slice(&index_off.to_le_bytes());
+        footer.extend_from_slice(&(index.len() as u32).to_le_bytes());
+        footer.extend_from_slice(&bloom_off.to_le_bytes());
+        footer.extend_from_slice(&(bloom.len() as u32).to_le_bytes());
+        footer.extend_from_slice(&self.entry_count.to_le_bytes());
+        footer.extend_from_slice(&MAGIC.to_le_bytes());
+        self.file.write_all(&footer)?;
+        self.file.sync_data()?;
+        Ok(self.path)
+    }
+}
+
+/// A read handle over a finished SSTable: index and bloom in memory, data
+/// blocks fetched (and CRC-checked) on demand.
+#[derive(Debug)]
+pub struct SsTableReader {
+    file: File,
+    index: Vec<IndexEntry>,
+    bloom: Bloom,
+    entry_count: u64,
+    smallest: Vec<u8>,
+    largest: Vec<u8>,
+}
+
+impl SsTableReader {
+    /// Opens and validates a table file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on bad magic, framing or CRC;
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len < FOOTER_LEN as u64 {
+            return Err(StoreError::Corrupt("file shorter than footer".into()));
+        }
+        let mut footer = vec![0u8; FOOTER_LEN];
+        file.read_exact_at(&mut footer, len - FOOTER_LEN as u64)?;
+        let magic = u64::from_le_bytes(footer[32..40].try_into().expect("8 bytes"));
+        if magic != MAGIC {
+            return Err(StoreError::Corrupt("bad magic".into()));
+        }
+        let index_off = u64::from_le_bytes(footer[0..8].try_into().expect("8"));
+        let index_len = u32::from_le_bytes(footer[8..12].try_into().expect("4")) as usize;
+        let bloom_off = u64::from_le_bytes(footer[12..20].try_into().expect("8"));
+        let bloom_len = u32::from_le_bytes(footer[20..24].try_into().expect("4")) as usize;
+        let entry_count = u64::from_le_bytes(footer[24..32].try_into().expect("8"));
+
+        let mut index_raw = vec![0u8; index_len];
+        file.read_exact_at(&mut index_raw, index_off)?;
+        let index = parse_index(&index_raw)?;
+
+        let mut bloom_raw = vec![0u8; bloom_len];
+        file.read_exact_at(&mut bloom_raw, bloom_off)?;
+        let bloom = Bloom::decode(&bloom_raw)
+            .ok_or_else(|| StoreError::Corrupt("bad bloom block".into()))?;
+
+        let mut reader = SsTableReader {
+            file,
+            index,
+            bloom,
+            entry_count,
+            smallest: Vec::new(),
+            largest: Vec::new(),
+        };
+        if let Some(first) = reader.index.first().cloned() {
+            let entries = reader.read_block(&first)?;
+            reader.smallest = entries
+                .first()
+                .map(|e| e.key.clone())
+                .unwrap_or_default();
+            reader.largest = reader
+                .index
+                .last()
+                .map(|e| e.last_key.clone())
+                .unwrap_or_default();
+        }
+        Ok(reader)
+    }
+
+    /// Number of entries (all versions).
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Smallest user key in the table.
+    pub fn smallest(&self) -> &[u8] {
+        &self.smallest
+    }
+
+    /// Largest user key in the table.
+    pub fn largest(&self) -> &[u8] {
+        &self.largest
+    }
+
+    fn read_block(&self, entry: &IndexEntry) -> Result<Vec<TableEntry>> {
+        let mut framed = vec![0u8; entry.len as usize];
+        self.file.read_exact_at(&mut framed, entry.offset)?;
+        if framed.len() < 8 {
+            return Err(StoreError::Corrupt("short block frame".into()));
+        }
+        let blen = u32::from_le_bytes(framed[0..4].try_into().expect("4")) as usize;
+        let crc = u32::from_le_bytes(framed[4..8].try_into().expect("4"));
+        let body = &framed[8..];
+        if body.len() != blen {
+            return Err(StoreError::Corrupt("block length mismatch".into()));
+        }
+        if crc32(body) != crc {
+            return Err(StoreError::Corrupt("block crc mismatch".into()));
+        }
+        parse_block(body)
+    }
+
+    /// Latest version of `key` at or below `seq_limit`.
+    ///
+    /// Returns `None` when this table has no opinion, `Some(None)` for a
+    /// visible tombstone.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption while reading the containing block.
+    pub fn get(&self, key: &[u8], seq_limit: u64) -> Result<Option<Option<Vec<u8>>>> {
+        if self.index.is_empty() || !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        // First block whose last_key >= key.
+        let idx = self
+            .index
+            .partition_point(|e| e.last_key.as_slice() < key);
+        let Some(entry) = self.index.get(idx) else {
+            return Ok(None);
+        };
+        let block = self.read_block(entry)?;
+        Ok(block
+            .into_iter()
+            .find(|e| e.key == key && e.seq <= seq_limit)
+            .map(|e| e.value))
+    }
+
+    /// All entries, in `(key asc, seq desc)` order.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption while reading blocks.
+    pub fn iter_all(&self) -> Result<Vec<TableEntry>> {
+        let mut out = Vec::with_capacity(self.entry_count as usize);
+        for e in &self.index {
+            out.extend(self.read_block(e)?);
+        }
+        Ok(out)
+    }
+}
+
+fn parse_index(raw: &[u8]) -> Result<Vec<IndexEntry>> {
+    let corrupt = |m: &str| StoreError::Corrupt(m.into());
+    if raw.len() < 4 {
+        return Err(corrupt("index too short"));
+    }
+    let count = u32::from_le_bytes(raw[0..4].try_into().expect("4")) as usize;
+    let mut pos = 4usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if pos + 4 > raw.len() {
+            return Err(corrupt("index truncated"));
+        }
+        let klen = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4")) as usize;
+        pos += 4;
+        if pos + klen + 12 > raw.len() {
+            return Err(corrupt("index truncated"));
+        }
+        let last_key = raw[pos..pos + klen].to_vec();
+        pos += klen;
+        let offset = u64::from_le_bytes(raw[pos..pos + 8].try_into().expect("8"));
+        pos += 8;
+        let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4"));
+        pos += 4;
+        out.push(IndexEntry {
+            last_key,
+            offset,
+            len,
+        });
+    }
+    Ok(out)
+}
+
+fn parse_block(body: &[u8]) -> Result<Vec<TableEntry>> {
+    let corrupt = |m: &str| StoreError::Corrupt(m.into());
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < body.len() {
+        if pos + 17 > body.len() {
+            return Err(corrupt("entry header truncated"));
+        }
+        let klen = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4")) as usize;
+        let seq = u64::from_le_bytes(body[pos + 4..pos + 12].try_into().expect("8"));
+        let has_value = body[pos + 12] != 0;
+        let vlen = u32::from_le_bytes(body[pos + 13..pos + 17].try_into().expect("4")) as usize;
+        pos += 17;
+        if pos + klen + if has_value { vlen } else { 0 } > body.len() {
+            return Err(corrupt("entry body truncated"));
+        }
+        let key = body[pos..pos + klen].to_vec();
+        pos += klen;
+        let value = if has_value {
+            let v = body[pos..pos + vlen].to_vec();
+            pos += vlen;
+            Some(v)
+        } else {
+            None
+        };
+        out.push(TableEntry { key, seq, value });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("grub-sst-{}-{name}.sst", std::process::id()))
+    }
+
+    fn build_table(name: &str, n: u32) -> PathBuf {
+        let path = temp_path(name);
+        let mut w = SsTableWriter::create(&path, 4096, 10).unwrap();
+        for i in 0..n {
+            let key = format!("key{i:06}");
+            w.add(key.as_bytes(), i as u64 + 1, Some(format!("val{i}").as_bytes()))
+                .unwrap();
+        }
+        w.finish().unwrap();
+        path
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let path = build_table("round", 500);
+        let r = SsTableReader::open(&path).unwrap();
+        assert_eq!(r.entry_count(), 500);
+        assert_eq!(r.smallest(), b"key000000");
+        assert_eq!(r.largest(), b"key000499");
+        assert_eq!(
+            r.get(b"key000123", u64::MAX).unwrap(),
+            Some(Some(b"val123".to_vec()))
+        );
+        assert_eq!(r.get(b"nope", u64::MAX).unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn multi_version_and_seq_limits() {
+        let path = temp_path("versions");
+        let mut w = SsTableWriter::create(&path, 4096, 10).unwrap();
+        // key "a": seqs 9 (newest, tombstone) then 4 then 1.
+        w.add(b"a", 9, None).unwrap();
+        w.add(b"a", 4, Some(b"v4")).unwrap();
+        w.add(b"a", 1, Some(b"v1")).unwrap();
+        w.add(b"b", 2, Some(b"bee")).unwrap();
+        w.finish().unwrap();
+        let r = SsTableReader::open(&path).unwrap();
+        assert_eq!(r.get(b"a", u64::MAX).unwrap(), Some(None), "tombstone wins");
+        assert_eq!(r.get(b"a", 8).unwrap(), Some(Some(b"v4".to_vec())));
+        assert_eq!(r.get(b"a", 3).unwrap(), Some(Some(b"v1".to_vec())));
+        assert_eq!(r.get(b"a", 0).unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn iter_all_is_sorted_and_complete() {
+        let path = build_table("iter", 300);
+        let r = SsTableReader::open(&path).unwrap();
+        let all = r.iter_all().unwrap();
+        assert_eq!(all.len(), 300);
+        for pair in all.windows(2) {
+            assert!(pair[0].key < pair[1].key);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn out_of_order_add_panics() {
+        let path = temp_path("order");
+        let mut w = SsTableWriter::create(&path, 4096, 10).unwrap();
+        w.add(b"b", 1, Some(b"x")).unwrap();
+        let _ = w.add(b"a", 2, Some(b"y"));
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let path = build_table("magic", 10);
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            SsTableReader::open(&path),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_block_detected_on_read() {
+        let path = build_table("crc", 200);
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a byte early in the first data block's body.
+        data[16] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        match SsTableReader::open(&path) {
+            // Either open (which reads block 0 for smallest key) or a get
+            // must surface the corruption.
+            Err(StoreError::Corrupt(_)) => {}
+            Ok(r) => {
+                let err = r.get(b"key000001", u64::MAX);
+                assert!(matches!(err, Err(StoreError::Corrupt(_))));
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn blocks_split_at_key_boundaries() {
+        let path = temp_path("blocks");
+        let mut w = SsTableWriter::create(&path, 64, 10).unwrap(); // tiny blocks
+        for i in 0..50u32 {
+            let key = format!("k{i:04}");
+            // Two versions per key; both must land in the same block.
+            w.add(key.as_bytes(), (100 + i) as u64, Some(b"new")).unwrap();
+            w.add(key.as_bytes(), i as u64 + 1, Some(b"old")).unwrap();
+        }
+        w.finish().unwrap();
+        let r = SsTableReader::open(&path).unwrap();
+        for i in 0..50u32 {
+            let key = format!("k{i:04}");
+            assert_eq!(
+                r.get(key.as_bytes(), u64::MAX).unwrap(),
+                Some(Some(b"new".to_vec())),
+                "key {key}"
+            );
+            assert_eq!(
+                r.get(key.as_bytes(), 99).unwrap(),
+                Some(Some(b"old".to_vec())),
+                "key {key} old version"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,139 @@
+//! Repeating read/write-ratio workloads (paper §2.3 and §5.1).
+//!
+//! Each workload is "a repeated sequence of X1 writes followed by X2 reads"
+//! under a single key. Ratios below one mean several writes per read (the
+//! paper sweeps 0, 0.125, 0.5, 1, 4, 16, 64, 256).
+
+use crate::{Op, Trace, ValueSpec};
+
+/// Generator for fixed-ratio single-key workloads.
+#[derive(Clone, Debug)]
+pub struct RatioWorkload {
+    key: String,
+    ratio: f64,
+    value_len: usize,
+    seed: u64,
+}
+
+impl RatioWorkload {
+    /// A ratio workload on `key` with `ratio` reads per write and one-word
+    /// (32-byte) values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is negative or not finite.
+    pub fn new(key: impl Into<String>, ratio: f64) -> Self {
+        assert!(ratio.is_finite() && ratio >= 0.0, "ratio must be ≥ 0");
+        RatioWorkload {
+            key: key.into(),
+            ratio,
+            value_len: 32,
+            seed: 1,
+        }
+    }
+
+    /// Sets the record size in bytes (paper Figure 8b sweeps 32–512).
+    pub fn value_len(mut self, len: usize) -> Self {
+        self.value_len = len;
+        self
+    }
+
+    /// Sets the value seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The `(writes, reads)` shape of one repetition: ratio ≥ 1 is one write
+    /// followed by `ratio` reads; ratio < 1 is `1/ratio` writes then one
+    /// read; ratio 0 is write-only.
+    pub fn cycle_shape(&self) -> (usize, usize) {
+        if self.ratio == 0.0 {
+            (1, 0)
+        } else if self.ratio >= 1.0 {
+            (1, self.ratio.round() as usize)
+        } else {
+            ((1.0 / self.ratio).round() as usize, 1)
+        }
+    }
+
+    /// Generates `cycles` repetitions.
+    pub fn generate(&self, cycles: usize) -> Trace {
+        let (writes, reads) = self.cycle_shape();
+        let mut ops = Vec::with_capacity(cycles * (writes + reads));
+        let mut version = 0u64;
+        for _ in 0..cycles {
+            for _ in 0..writes {
+                version += 1;
+                ops.push(Op::Write {
+                    key: self.key.clone(),
+                    value: ValueSpec::new(self.value_len, self.seed.wrapping_add(version)),
+                });
+            }
+            for _ in 0..reads {
+                ops.push(Op::Read {
+                    key: self.key.clone(),
+                });
+            }
+        }
+        Trace { ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_four_is_one_write_four_reads() {
+        let t = RatioWorkload::new("k", 4.0).generate(3);
+        assert_eq!(t.write_count(), 3);
+        assert_eq!(t.read_count(), 12);
+        assert!(t.ops[0].is_write());
+        assert!(!t.ops[1].is_write());
+    }
+
+    #[test]
+    fn fractional_ratio_is_many_writes_per_read() {
+        let t = RatioWorkload::new("k", 0.125).generate(2);
+        assert_eq!(t.write_count(), 16, "8 writes per read");
+        assert_eq!(t.read_count(), 2);
+    }
+
+    #[test]
+    fn zero_ratio_is_write_only() {
+        let t = RatioWorkload::new("k", 0.0).generate(5);
+        assert_eq!(t.write_count(), 5);
+        assert_eq!(t.read_count(), 0);
+    }
+
+    #[test]
+    fn record_size_is_respected() {
+        let t = RatioWorkload::new("k", 1.0).value_len(512).generate(1);
+        match &t.ops[0] {
+            Op::Write { value, .. } => assert_eq!(value.len, 512),
+            _ => panic!("first op must be a write"),
+        }
+    }
+
+    #[test]
+    fn successive_writes_have_distinct_values() {
+        let t = RatioWorkload::new("k", 0.5).generate(1);
+        let values: Vec<_> = t
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Write { value, .. } => Some(value.materialize()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values.len(), 2);
+        assert_ne!(values[0], values[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be ≥ 0")]
+    fn negative_ratio_rejected() {
+        RatioWorkload::new("k", -1.0);
+    }
+}

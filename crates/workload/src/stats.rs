@@ -1,0 +1,110 @@
+//! Trace statistics matching the paper's workload tables and figures.
+
+use std::collections::BTreeMap;
+
+use crate::Trace;
+
+/// Distribution of writes by the number of reads that follow them before the
+/// next write — the quantity tabulated in the paper's Table 1 and Table 6
+/// and plotted in Figures 2 and 16a.
+///
+/// Scans count as one read of their start key's feed.
+pub fn reads_after_write_distribution(trace: &Trace) -> BTreeMap<usize, usize> {
+    let mut dist = BTreeMap::new();
+    let series = reads_after_write_series(trace);
+    for reads in series {
+        *dist.entry(reads).or_insert(0) += 1;
+    }
+    dist
+}
+
+/// Per-write series of reads-following counts (the Y values of Figure 2).
+///
+/// Consecutive writes (a batch) are attributed the same following-read count
+/// only for the final write of the batch; earlier writes in the batch get 0,
+/// matching how the paper's X axis indexes every `poke()`.
+pub fn reads_after_write_series(trace: &Trace) -> Vec<usize> {
+    let mut series = Vec::new();
+    let mut current: Option<usize> = None;
+    for op in &trace.ops {
+        if op.is_write() {
+            if let Some(count) = current.take() {
+                series.push(count);
+            }
+            current = Some(0);
+        } else if let Some(count) = current.as_mut() {
+            *count += 1;
+        }
+    }
+    if let Some(count) = current {
+        series.push(count);
+    }
+    series
+}
+
+/// Renders the distribution as percentage rows, like the paper's tables.
+pub fn distribution_rows(dist: &BTreeMap<usize, usize>) -> Vec<(usize, f64)> {
+    let total: usize = dist.values().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    dist.iter()
+        .map(|(&reads, &count)| (reads, 100.0 * count as f64 / total as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Op, ValueSpec};
+
+    fn w(key: &str) -> Op {
+        Op::Write {
+            key: key.into(),
+            value: ValueSpec::new(8, 0),
+        }
+    }
+
+    fn r(key: &str) -> Op {
+        Op::Read { key: key.into() }
+    }
+
+    #[test]
+    fn series_counts_reads_between_writes() {
+        let trace: Trace = vec![w("k"), r("k"), r("k"), w("k"), w("k"), r("k")]
+            .into_iter()
+            .collect();
+        assert_eq!(reads_after_write_series(&trace), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn distribution_aggregates_series() {
+        let trace: Trace = vec![w("k"), r("k"), w("k"), r("k"), w("k")]
+            .into_iter()
+            .collect();
+        let dist = reads_after_write_distribution(&trace);
+        assert_eq!(dist.get(&1), Some(&2));
+        assert_eq!(dist.get(&0), Some(&1));
+    }
+
+    #[test]
+    fn rows_are_percentages() {
+        let trace: Trace = vec![w("k"), w("k"), r("k")].into_iter().collect();
+        let rows = distribution_rows(&reads_after_write_distribution(&trace));
+        let total: f64 = rows.iter().map(|(_, pct)| pct).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_empty() {
+        let trace = Trace::new();
+        assert!(reads_after_write_series(&trace).is_empty());
+        assert!(distribution_rows(&reads_after_write_distribution(&trace)).is_empty());
+    }
+
+    #[test]
+    fn leading_reads_before_any_write_are_ignored() {
+        let trace: Trace = vec![r("k"), r("k"), w("k"), r("k")].into_iter().collect();
+        assert_eq!(reads_after_write_series(&trace), vec![1]);
+    }
+}

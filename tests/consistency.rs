@@ -1,0 +1,118 @@
+//! Validation of the paper's consistency theorems (§3.4, Appendix E)
+//! against the multi-node network model.
+
+use grub::chain::network::NetworkSim;
+use grub::chain::ChainConfig;
+use grub::core::consistency::FreshnessModel;
+
+fn config() -> ChainConfig {
+    ChainConfig {
+        block_period_ms: 1_000,
+        finality_depth: 6,
+        propagation_ms: 300,
+    }
+}
+
+/// Theorem 3.2 / E.2 — epoch-bounded freshness: a gPut submitted at `t` is
+/// final on **every** node by `t + E + Pt + F·B`, where `E` accounts for the
+/// DO's batching delay before the transaction even enters the network.
+#[test]
+fn gput_visible_everywhere_within_freshness_bound() {
+    let epoch_ms = 2_000u64;
+    let model = FreshnessModel::new(epoch_ms, config());
+    for seed in 0..25 {
+        let mut net = NetworkSim::new(6, config(), seed);
+        let produced_at = 500u64; // the DO produced the update
+        let submitted_at = produced_at + epoch_ms; // worst-case batching wait
+        net.submit(0, submitted_at, "gPut");
+        let bound = produced_at + model.freshness_bound_ms();
+        net.run_until(bound + 60_000);
+        for node in 0..6 {
+            assert!(
+                net.finalized_view(node, bound).contains(&"gPut".to_string()),
+                "seed {seed}, node {node}: gPut not final at the freshness bound"
+            );
+        }
+    }
+}
+
+/// Theorem 3.1 / E.1 — concurrent gPut/gGet order non-deterministically,
+/// but identically across every node once final.
+#[test]
+fn concurrent_gput_gget_order_agrees_across_nodes() {
+    let mut seen_orders = std::collections::HashSet::new();
+    for seed in 0..40 {
+        let mut net = NetworkSim::new(5, config(), seed);
+        net.submit(1, 100, "gPut(k,v)");
+        net.submit(3, 100, "deliver(k)"); // the gGet's async completion
+        let horizon = net.finality_bound_ms(100) + 30_000;
+        net.run_until(horizon);
+        let reference = net.finalized_view(0, horizon);
+        assert_eq!(reference.len(), 2, "seed {seed}: both txs must finalize");
+        for node in 1..5 {
+            assert_eq!(
+                net.finalized_view(node, horizon),
+                reference,
+                "seed {seed}: node {node} saw a different final order"
+            );
+        }
+        seen_orders.insert(reference);
+    }
+    assert_eq!(
+        seen_orders.len(),
+        2,
+        "across seeds both serializations must occur (non-determinism)"
+    );
+}
+
+/// Before finality, views may differ between nodes; after the bound they
+/// cannot.
+#[test]
+fn prefinality_views_may_disagree_but_finalized_views_never_do() {
+    let mut any_prefinal_disagreement = false;
+    for seed in 0..30 {
+        let mut net = NetworkSim::new(4, config(), seed);
+        for i in 0..10 {
+            net.submit(i % 4, 100 + i as u64 * 50, format!("tx{i}"));
+        }
+        net.run_until(120_000);
+        // Probe inside the propagation window of block 1 (produced at
+        // 1000 ms, reaching each node up to Pt = 300 ms later).
+        let probe = 1_050;
+        let views: Vec<_> = (0..4).map(|n| net.node_view(n, probe)).collect();
+        if views.iter().any(|v| *v != views[0]) {
+            any_prefinal_disagreement = true;
+        }
+        // Finalized views at a late time must be identical.
+        let late = 110_000;
+        let finals: Vec<_> = (0..4).map(|n| net.finalized_view(n, late)).collect();
+        for f in &finals {
+            assert_eq!(*f, finals[0], "seed {seed}: finalized views diverged");
+        }
+        assert_eq!(finals[0].len(), 10, "seed {seed}: all txs must finalize");
+    }
+    assert!(
+        any_prefinal_disagreement,
+        "propagation delays should produce at least one pre-final disagreement"
+    );
+}
+
+/// The freshness bound is monotone in each parameter, matching the formula
+/// `E + Pt + F·B`.
+#[test]
+fn freshness_bound_monotonicity() {
+    let base = FreshnessModel::new(1_000, config());
+    let more_epoch = FreshnessModel::new(5_000, config());
+    assert!(more_epoch.freshness_bound_ms() > base.freshness_bound_ms());
+    let mut deeper = config();
+    deeper.finality_depth += 1;
+    assert!(
+        FreshnessModel::new(1_000, deeper).freshness_bound_ms()
+            > base.freshness_bound_ms()
+    );
+    assert_eq!(
+        base.freshness_bound_ms(),
+        1_000 + 300 + 6 * 1_000,
+        "formula check"
+    );
+}

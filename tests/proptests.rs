@@ -1,0 +1,236 @@
+//! Property-based tests over the core data structures and protocol
+//! invariants.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use grub::crypto::sha256;
+use grub::merkle::{record_value_hash, MerkleKv, ProofKey, ReplState};
+use grub::store::{Db, Options};
+use grub::workload::stats;
+use grub::workload::{Op, Trace, ValueSpec};
+
+fn pkey(state: bool, key: &str) -> ProofKey {
+    ProofKey::new(
+        if state {
+            ReplState::Replicated
+        } else {
+            ReplState::NotReplicated
+        },
+        key.as_bytes().to_vec(),
+    )
+}
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(bool, String, u64),
+    Invalidate(bool, String),
+}
+
+fn tree_op() -> impl Strategy<Value = TreeOp> {
+    let key = prop::sample::select(
+        (0..24u8).map(|i| format!("key{i:02}")).collect::<Vec<_>>(),
+    );
+    prop_oneof![
+        (any::<bool>(), key.clone(), any::<u64>()).prop_map(|(s, k, v)| TreeOp::Insert(s, k, v)),
+        (any::<bool>(), key).prop_map(|(s, k)| TreeOp::Invalidate(s, k)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Merkle tree agrees with a plain ordered-map model under random
+    /// insert/update/invalidate sequences, and two replicas applying the
+    /// same sequence always share a root (the SP/DO lock-step invariant).
+    #[test]
+    fn merkle_tree_matches_model(ops in prop::collection::vec(tree_op(), 1..120)) {
+        let mut tree = MerkleKv::new();
+        let mut twin = MerkleKv::new();
+        let mut model: BTreeMap<ProofKey, grub::crypto::Hash32> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                TreeOp::Insert(state, key, v) => {
+                    let pk = pkey(*state, key);
+                    let vh = record_value_hash(&v.to_le_bytes());
+                    tree.insert(pk.clone(), vh);
+                    twin.insert(pk.clone(), vh);
+                    model.insert(pk, vh);
+                }
+                TreeOp::Invalidate(state, key) => {
+                    let pk = pkey(*state, key);
+                    tree.invalidate(&pk);
+                    twin.invalidate(&pk);
+                    model.remove(&pk);
+                }
+            }
+        }
+        prop_assert_eq!(tree.root(), twin.root(), "replicas diverged");
+        prop_assert_eq!(tree.len(), model.len());
+        for (pk, vh) in &model {
+            prop_assert_eq!(tree.get(pk), Some(*vh));
+        }
+        // Live iteration matches the model's order exactly.
+        let live = tree.iter_live();
+        let expect: Vec<_> = model.into_iter().collect();
+        prop_assert_eq!(live, expect);
+    }
+
+    /// Membership proofs verify for every live record and never verify
+    /// against a mutated root.
+    #[test]
+    fn membership_proofs_sound_and_complete(ops in prop::collection::vec(tree_op(), 1..80)) {
+        let mut tree = MerkleKv::new();
+        for op in &ops {
+            match op {
+                TreeOp::Insert(state, key, v) => {
+                    tree.insert(pkey(*state, key), record_value_hash(&v.to_le_bytes()));
+                }
+                TreeOp::Invalidate(state, key) => {
+                    tree.invalidate(&pkey(*state, key));
+                }
+            }
+        }
+        let root = tree.root();
+        for (pk, vh) in tree.iter_live() {
+            let proof = tree.prove(&pk).expect("live key has a proof");
+            prop_assert!(proof.verify(&root, &pk, &vh));
+            let wrong_root = sha256(root.as_bytes());
+            prop_assert!(!proof.verify(&wrong_root, &pk, &vh));
+        }
+    }
+
+    /// Range proofs return exactly the model's records for arbitrary query
+    /// ranges (completeness + soundness of the pruned-tree construction).
+    #[test]
+    fn range_proofs_match_model(
+        ops in prop::collection::vec(tree_op(), 1..100),
+        lo in 0u8..24,
+        width in 0u8..24,
+    ) {
+        let mut tree = MerkleKv::new();
+        let mut model: BTreeMap<ProofKey, grub::crypto::Hash32> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                TreeOp::Insert(state, key, v) => {
+                    let pk = pkey(*state, key);
+                    let vh = record_value_hash(&v.to_le_bytes());
+                    tree.insert(pk.clone(), vh);
+                    model.insert(pk, vh);
+                }
+                TreeOp::Invalidate(state, key) => {
+                    let pk = pkey(*state, key);
+                    tree.invalidate(&pk);
+                    model.remove(&pk);
+                }
+            }
+        }
+        let lo_key = pkey(false, &format!("key{lo:02}"));
+        let hi_key = pkey(false, &format!("key{:02}", lo.saturating_add(width)));
+        let proof = tree.prove_range(&lo_key, &hi_key);
+        let got = proof.verify(&tree.root(), &lo_key, &hi_key).expect("verifies");
+        let expect: Vec<_> = model
+            .range(lo_key..=hi_key)
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The LSM store agrees with an ordered-map model across puts, deletes,
+    /// flushes, compactions and scans.
+    #[test]
+    fn store_matches_model(
+        ops in prop::collection::vec(
+            (0u8..3, 0u8..20, any::<u16>()),
+            1..150
+        )
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "grub-prop-{}-{}", std::process::id(),
+            rand::random::<u64>()
+        ));
+        let mut db = Db::open(&dir, Options {
+            memtable_bytes: 512,
+            l0_compaction_trigger: 2,
+            ..Options::default()
+        }).expect("open");
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for (kind, key_id, v) in &ops {
+            let key = format!("k{key_id:02}").into_bytes();
+            match kind {
+                0 => {
+                    let value = v.to_le_bytes().to_vec();
+                    db.put(key.clone(), value.clone()).expect("put");
+                    model.insert(key, value);
+                }
+                1 => {
+                    db.delete(&key).expect("delete");
+                    model.remove(&key);
+                }
+                _ => {
+                    db.flush().expect("flush");
+                }
+            }
+        }
+        for (key, value) in &model {
+            prop_assert_eq!(db.get(key).expect("get"), Some(value.clone()));
+        }
+        let scanned = db.scan(None, None).expect("scan");
+        let expect: Vec<_> = model.into_iter().collect();
+        prop_assert_eq!(scanned, expect);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// reads-after-write statistics: the series sums to the trace's read
+    /// count (minus leading reads) and has one entry per write.
+    #[test]
+    fn stats_series_invariants(flags in prop::collection::vec(any::<bool>(), 1..200)) {
+        let trace: Trace = flags
+            .iter()
+            .map(|w| {
+                if *w {
+                    Op::Write { key: "k".into(), value: ValueSpec::new(8, 0) }
+                } else {
+                    Op::Read { key: "k".into() }
+                }
+            })
+            .collect();
+        let series = stats::reads_after_write_series(&trace);
+        prop_assert_eq!(series.len(), trace.write_count());
+        let leading_reads = trace.ops.iter().take_while(|o| !o.is_write()).count();
+        prop_assert_eq!(
+            series.iter().sum::<usize>(),
+            trace.read_count() - leading_reads
+        );
+    }
+}
+
+/// The memoryless policy is 2-competitive in its decision count on the
+/// worst-case sequence (Theorem A.1, decision-level check): over n cycles of
+/// (write + K reads), it replicates exactly n times — each paid replication
+/// wasted, bounding cost at (1 + K·Cread/Cupd)× optimal.
+#[test]
+fn memoryless_worst_case_replication_count() {
+    use grub::core::policy::{Memoryless, ReplicationPolicy};
+    let k = 3u64;
+    let cycles = 50usize;
+    let mut policy = Memoryless::new(k);
+    let mut replications = 0;
+    let mut last = ReplState::NotReplicated;
+    for _ in 0..cycles {
+        let s = policy.on_write("k");
+        if s == ReplState::Replicated && last != ReplState::Replicated {
+            replications += 1;
+        }
+        last = s;
+        for _ in 0..k {
+            let s = policy.on_read("k");
+            if s == ReplState::Replicated && last != ReplState::Replicated {
+                replications += 1;
+            }
+            last = s;
+        }
+    }
+    assert_eq!(replications, cycles, "one wasted replication per cycle");
+}
