@@ -222,7 +222,9 @@ impl BitcoinSim {
 
     /// Validates the hash chaining of the whole header sequence.
     pub fn validate_links(&self) -> bool {
-        self.headers.windows(2).all(|w| w[1].prev_hash == w[0].block_hash())
+        self.headers
+            .windows(2)
+            .all(|w| w[1].prev_hash == w[0].block_hash())
     }
 }
 

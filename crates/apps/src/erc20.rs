@@ -60,7 +60,12 @@ impl Erc20 {
 }
 
 impl Contract for Erc20 {
-    fn call(&self, ctx: &mut CallContext<'_>, func: &str, input: &[u8]) -> Result<Vec<u8>, VmError> {
+    fn call(
+        &self,
+        ctx: &mut CallContext<'_>,
+        func: &str,
+        input: &[u8],
+    ) -> Result<Vec<u8>, VmError> {
         let mut dec = Decoder::new(input);
         match func {
             "mint" => {
@@ -193,9 +198,19 @@ mod tests {
     fn mint_transfer_burn_lifecycle() {
         let mut fx = setup();
         let (minter, alice, bob) = (fx.minter, fx.alice, fx.bob);
-        assert!(call(&mut fx, minter, "mint", encode_addr_amount(alice, 100)));
+        assert!(call(
+            &mut fx,
+            minter,
+            "mint",
+            encode_addr_amount(alice, 100)
+        ));
         assert_eq!(balance(&fx, alice), 100);
-        assert!(call(&mut fx, alice, "transfer", encode_addr_amount(bob, 40)));
+        assert!(call(
+            &mut fx,
+            alice,
+            "transfer",
+            encode_addr_amount(bob, 40)
+        ));
         assert_eq!(balance(&fx, alice), 60);
         assert_eq!(balance(&fx, bob), 40);
         assert!(call(&mut fx, minter, "burn", encode_addr_amount(bob, 40)));
@@ -206,7 +221,12 @@ mod tests {
     fn only_minter_can_mint() {
         let mut fx = setup();
         let (alice, _) = (fx.alice, fx.bob);
-        assert!(!call(&mut fx, alice, "mint", encode_addr_amount(alice, 100)));
+        assert!(!call(
+            &mut fx,
+            alice,
+            "mint",
+            encode_addr_amount(alice, 100)
+        ));
         assert_eq!(balance(&fx, alice), 0);
     }
 
@@ -215,7 +235,12 @@ mod tests {
         let mut fx = setup();
         let (minter, alice, bob) = (fx.minter, fx.alice, fx.bob);
         call(&mut fx, minter, "mint", encode_addr_amount(alice, 10));
-        assert!(!call(&mut fx, alice, "transfer", encode_addr_amount(bob, 11)));
+        assert!(!call(
+            &mut fx,
+            alice,
+            "transfer",
+            encode_addr_amount(bob, 11)
+        ));
         assert_eq!(balance(&fx, alice), 10);
         assert_eq!(balance(&fx, bob), 0);
     }

@@ -92,8 +92,7 @@ impl PeggedToken {
         manager: Address,
         height: u64,
     ) -> Result<(), VmError> {
-        let payload =
-            grub_core::contract::encode_gget(&block_key(height), ctx.this, "onHeader");
+        let payload = grub_core::contract::encode_gget(&block_key(height), ctx.this, "onHeader");
         ctx.call(manager, "gGet", &payload)?;
         Ok(())
     }
@@ -195,7 +194,12 @@ impl PeggedToken {
 }
 
 impl Contract for PeggedToken {
-    fn call(&self, ctx: &mut CallContext<'_>, func: &str, input: &[u8]) -> Result<Vec<u8>, VmError> {
+    fn call(
+        &self,
+        ctx: &mut CallContext<'_>,
+        func: &str,
+        input: &[u8],
+    ) -> Result<Vec<u8>, VmError> {
         match func {
             "mint" => self.start(ctx, input, false),
             "burn" => self.start(ctx, input, true),
@@ -282,7 +286,11 @@ mod tests {
             Rc::new(StorageManager::new(do_addr, OnChainTrace::None)),
             Layer::Feed,
         );
-        chain.deploy(relay, Rc::new(PeggedToken::new(mgr, token)), Layer::Application);
+        chain.deploy(
+            relay,
+            Rc::new(PeggedToken::new(mgr, token)),
+            Layer::Application,
+        );
         chain.deploy(token, Rc::new(Erc20::new(relay)), Layer::Application);
         let mut btc = BitcoinSim::new(42);
         let mut tree = MerkleKv::new();

@@ -79,7 +79,12 @@ fn slot(prefix: &[u8], index: u64) -> Vec<u8> {
 }
 
 impl Contract for SCoinIssuer {
-    fn call(&self, ctx: &mut CallContext<'_>, func: &str, input: &[u8]) -> Result<Vec<u8>, VmError> {
+    fn call(
+        &self,
+        ctx: &mut CallContext<'_>,
+        func: &str,
+        input: &[u8],
+    ) -> Result<Vec<u8>, VmError> {
         let mut dec = Decoder::new(input);
         match func {
             // issue(buyer, eth_milli): queue and ask the feed for the price.
@@ -228,12 +233,7 @@ mod tests {
             ProofKey::new(ReplState::Replicated, ETH_PRICE_KEY.to_vec()),
             record_value_hash(&value),
         );
-        let input = encode_update(
-            &tree.root(),
-            &[],
-            &[(ETH_PRICE_KEY.to_vec(), value)],
-            &[],
-        );
+        let input = encode_update(&tree.root(), &[], &[(ETH_PRICE_KEY.to_vec(), value)], &[]);
         chain.submit(Transaction::new(do_addr, mgr, "update", input, Layer::Feed));
         assert!(chain.produce_block().receipts[0].success);
         Fx {

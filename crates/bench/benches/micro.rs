@@ -13,7 +13,9 @@ use grub_workload::ratio::RatioWorkload;
 
 fn bench_crypto(c: &mut Criterion) {
     let data_1k = vec![0xabu8; 1024];
-    c.bench_function("sha256/1KiB", |b| b.iter(|| sha256(std::hint::black_box(&data_1k))));
+    c.bench_function("sha256/1KiB", |b| {
+        b.iter(|| sha256(std::hint::black_box(&data_1k)))
+    });
 }
 
 fn bench_merkle(c: &mut Criterion) {

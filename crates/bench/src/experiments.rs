@@ -47,12 +47,35 @@ fn ratio_trace(ratio: f64, value_len: usize) -> Trace {
 pub fn table2() -> String {
     let s = GasSchedule::default();
     let mut out = String::new();
-    let _ = writeln!(out, "## Table 2 — Ethereum Gas cost per operation (X = 32-byte words)");
-    let _ = writeln!(out, "Transaction            Ctx(X)    = {} + {}X", s.tx_base, s.tx_per_word);
-    let _ = writeln!(out, "Storage write (insert) Cinsert(X) = {}X", s.storage_insert_per_word);
-    let _ = writeln!(out, "Storage write (update) Cupdate(X) = {}X", s.storage_update_per_word);
-    let _ = writeln!(out, "Storage read           Cread(X)  = {}X", s.storage_read_per_word);
-    let _ = writeln!(out, "Hash computation       Chash(X)  = {} + {}X", s.hash_base, s.hash_per_word);
+    let _ = writeln!(
+        out,
+        "## Table 2 — Ethereum Gas cost per operation (X = 32-byte words)"
+    );
+    let _ = writeln!(
+        out,
+        "Transaction            Ctx(X)    = {} + {}X",
+        s.tx_base, s.tx_per_word
+    );
+    let _ = writeln!(
+        out,
+        "Storage write (insert) Cinsert(X) = {}X",
+        s.storage_insert_per_word
+    );
+    let _ = writeln!(
+        out,
+        "Storage write (update) Cupdate(X) = {}X",
+        s.storage_update_per_word
+    );
+    let _ = writeln!(
+        out,
+        "Storage read           Cread(X)  = {}X",
+        s.storage_read_per_word
+    );
+    let _ = writeln!(
+        out,
+        "Hash computation       Chash(X)  = {} + {}X",
+        s.hash_base, s.hash_per_word
+    );
     let _ = writeln!(
         out,
         "Equation 1 threshold   K = Cupdate/Cread_off = {:.2}",
@@ -92,13 +115,24 @@ pub fn table1_fig2() -> String {
 /// (the §2.3 motivating measurement).
 pub fn fig3() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## Figure 3 — per-op Gas of static baselines vs read-to-write ratio");
-    let _ = writeln!(out, "{:>8} {:>14} {:>14} {:>10}", "ratio", "BL1 gas/op", "BL2 gas/op", "winner");
+    let _ = writeln!(
+        out,
+        "## Figure 3 — per-op Gas of static baselines vs read-to-write ratio"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>14} {:>14} {:>10}",
+        "ratio", "BL1 gas/op", "BL2 gas/op", "winner"
+    );
     for &ratio in RATIOS {
         let trace = ratio_trace(ratio, 32);
         let bl1 = run(&trace, &SystemConfig::new(PolicyKind::Bl1));
         let bl2 = run(&trace, &SystemConfig::new(PolicyKind::Bl2));
-        let winner = if bl1.feed_gas_per_op() <= bl2.feed_gas_per_op() { "BL1" } else { "BL2" };
+        let winner = if bl1.feed_gas_per_op() <= bl2.feed_gas_per_op() {
+            "BL1"
+        } else {
+            "BL2"
+        };
         let _ = writeln!(
             out,
             "{ratio:>8} {:>14.0} {:>14.0} {winner:>10}",
@@ -147,7 +181,11 @@ fn run_scoin(policy: PolicyKind) -> RunReport {
             .map(|(i, _)| {
                 // Equal chance issue/redeem; redemptions are small so the
                 // balance accumulated by issues always covers them.
-                let (func, amount) = if i % 2 == 0 { ("issue", 1_000) } else { ("redeem", 1) };
+                let (func, amount) = if i % 2 == 0 {
+                    ("issue", 1_000)
+                } else {
+                    ("redeem", 1)
+                };
                 Transaction::new(user, issuer, func, encode_issue(user, amount), Layer::User)
             })
             .collect()
@@ -160,8 +198,15 @@ fn run_scoin(policy: PolicyKind) -> RunReport {
 /// application on top.
 pub fn fig5_table3() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## Table 3 — aggregated Gas: feed layer and SCoinIssuer (M = million)");
-    let _ = writeln!(out, "{:<28} {:>16} {:>18}", "policy", "price feed", "SCoinIssuer");
+    let _ = writeln!(
+        out,
+        "## Table 3 — aggregated Gas: feed layer and SCoinIssuer (M = million)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>16} {:>18}",
+        "policy", "price feed", "SCoinIssuer"
+    );
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
     let mut grub_feed = 0u64;
     let mut rows: Vec<(String, u64, u64)> = Vec::new();
@@ -181,7 +226,10 @@ pub fn fig5_table3() -> String {
     }
     for (name, feed, total) in &rows {
         let vs = if grub_feed > 0 && *feed != grub_feed {
-            format!(" (+{:.0}%)", 100.0 * (*feed as f64 - grub_feed as f64) / grub_feed as f64)
+            format!(
+                " (+{:.0}%)",
+                100.0 * (*feed as f64 - grub_feed as f64) / grub_feed as f64
+            )
         } else {
             String::new()
         };
@@ -192,7 +240,10 @@ pub fn fig5_table3() -> String {
             *total as f64 / 1e6
         );
     }
-    let _ = writeln!(out, "\n## Figure 5 — feed gas/op per epoch (every 4th epoch)");
+    let _ = writeln!(
+        out,
+        "\n## Figure 5 — feed gas/op per epoch (every 4th epoch)"
+    );
     let _ = write!(out, "{:<10}", "epoch");
     for (name, _) in &series {
         let _ = write!(out, "{:>28}", truncate(name, 26));
@@ -221,7 +272,10 @@ pub fn fig6() -> String {
         .boost_reads(100..200, 10.0)
         .generate();
     let mut out = String::new();
-    let _ = writeln!(out, "## Figure 6 — BtcRelay trace, gas/op per epoch (each of 4 txs)");
+    let _ = writeln!(
+        out,
+        "## Figure 6 — BtcRelay trace, gas/op per epoch (each of 4 txs)"
+    );
     let mut series = Vec::new();
     let mut totals = Vec::new();
     for policy in [
@@ -251,7 +305,11 @@ pub fn fig6() -> String {
     let _ = writeln!(out, "\naggregate gas/op:");
     let grub = totals.last().expect("grub row").1;
     for (name, value) in &totals {
-        let saving = if *value > grub { format!(" (GRuB saves {:.1}%)", 100.0 * (value - grub) / value) } else { String::new() };
+        let saving = if *value > grub {
+            format!(" (GRuB saves {:.1}%)", 100.0 * (value - grub) / value)
+        } else {
+            String::new()
+        };
         let _ = writeln!(out, "  {name:<28} {value:>10.0}{saving}");
     }
     out
@@ -273,8 +331,7 @@ pub fn fig7() -> String {
         let bl2 = run(&trace, &SystemConfig::new(PolicyKind::Bl2));
         let bl3r = run(
             &trace,
-            &SystemConfig::new(PolicyKind::Memoryless { k: 2 })
-                .on_chain_trace(OnChainTrace::Reads),
+            &SystemConfig::new(PolicyKind::Memoryless { k: 2 }).on_chain_trace(OnChainTrace::Reads),
         );
         let bl3rw = run(
             &trace,
@@ -292,7 +349,10 @@ pub fn fig7() -> String {
             grub.feed_gas_per_op()
         );
     }
-    let _ = writeln!(out, "\nGRuB should track min(BL1, BL2); BL3 pays on-chain monitoring on top.");
+    let _ = writeln!(
+        out,
+        "\nGRuB should track min(BL1, BL2); BL3 pays on-chain monitoring on top."
+    );
     out
 }
 
@@ -306,7 +366,10 @@ pub fn fig8a() -> String {
     let memless = run(&trace, &SystemConfig::new(PolicyKind::Memoryless { k }));
     let memor = run(
         &trace,
-        &SystemConfig::new(PolicyKind::Memorizing { k_prime: k as f64, d: 1.0 }),
+        &SystemConfig::new(PolicyKind::Memorizing {
+            k_prime: k as f64,
+            d: 1.0,
+        }),
     );
     let optimal = GrubSystem::run_trace_with_policy(
         &trace,
@@ -317,8 +380,16 @@ pub fn fig8a() -> String {
         )),
     )
     .expect("offline run");
-    let _ = writeln!(out, "{:<8}{:>18}{:>18}{:>18}", "epoch", "memoryless", "memorizing", "optimal");
-    let n = memless.epochs.len().max(memor.epochs.len()).max(optimal.epochs.len());
+    let _ = writeln!(
+        out,
+        "{:<8}{:>18}{:>18}{:>18}",
+        "epoch", "memoryless", "memorizing", "optimal"
+    );
+    let n = memless
+        .epochs
+        .len()
+        .max(memor.epochs.len())
+        .max(optimal.epochs.len());
     for e in 0..n {
         let _ = writeln!(
             out,
@@ -342,7 +413,11 @@ pub fn fig8a() -> String {
 pub fn fig8b() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## Figure 8b — gas/op vs record size (ratio 4)");
-    let _ = writeln!(out, "{:>8} {:>12} {:>12} {:>12}", "words", "BL1", "BL2", "GRuB");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>12}",
+        "words", "BL1", "BL2", "GRuB"
+    );
     for words in [1usize, 2, 4, 8, 16] {
         let trace = ratio_trace(4.0, words * 32);
         let bl1 = run(&trace, &SystemConfig::new(PolicyKind::Bl1));
@@ -359,7 +434,11 @@ pub fn fig8b() -> String {
     out
 }
 
-fn run_ycsb_mix(mix: &[(YcsbKind, usize)], record_len: usize, records: u64) -> Vec<(String, RunReport)> {
+fn run_ycsb_mix(
+    mix: &[(YcsbKind, usize)],
+    record_len: usize,
+    records: u64,
+) -> Vec<(String, RunReport)> {
     let preload: Vec<(String, Vec<u8>)> = ycsb::preload(records, record_len, 42)
         .into_iter()
         .map(|(k, v)| (k, v.materialize()))
@@ -391,11 +470,18 @@ fn render_ycsb(title: &str, results: &[(String, RunReport)]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     let grub = results.last().expect("grub row").1.feed_gas_total();
-    let _ = writeln!(out, "{:<28} {:>16} {:>10}", "policy", "total gas", "vs GRuB");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>16} {:>10}",
+        "policy", "total gas", "vs GRuB"
+    );
     for (name, report) in results {
         let total = report.feed_gas_total();
         let vs = if total != grub {
-            format!("{:+.1}%", 100.0 * (total as f64 - grub as f64) / grub as f64)
+            format!(
+                "{:+.1}%",
+                100.0 * (total as f64 - grub as f64) / grub as f64
+            )
         } else {
             "—".to_owned()
         };
@@ -407,7 +493,11 @@ fn render_ycsb(title: &str, results: &[(String, RunReport)]) -> String {
         let _ = write!(out, "{:>28}", truncate(name, 26));
     }
     let _ = writeln!(out);
-    let epochs = results.iter().map(|(_, r)| r.epochs.len()).max().unwrap_or(0);
+    let epochs = results
+        .iter()
+        .map(|(_, r)| r.epochs.len())
+        .max()
+        .unwrap_or(0);
     for e in (0..epochs).step_by(8) {
         let _ = write!(out, "{e:<8}");
         for (_, r) in results {
@@ -431,7 +521,10 @@ pub fn fig9_table4_ab() -> String {
         (YcsbKind::B, 1024),
     ];
     let results = run_ycsb_mix(&mix, 1024, 1 << 12);
-    render_ycsb("## Figure 9 + Table 4 (A,B) — mixed YCSB A,B, 1 KiB records", &results)
+    render_ycsb(
+        "## Figure 9 + Table 4 (A,B) — mixed YCSB A,B, 1 KiB records",
+        &results,
+    )
 }
 
 /// Figure 13 + Table 4 rows 2–3: mixed YCSB A,E (1 KiB) and A,F (32 B).
@@ -467,7 +560,11 @@ pub fn fig13_table4_ae_af() -> String {
 pub fn fig11() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## Figure 11 — GRuB gas/op vs parameter K");
-    let _ = writeln!(out, "{:>6} {:>14} {:>14} {:>14}", "K", "ratio 2", "ratio 4", "ratio 8");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>14} {:>14} {:>14}",
+        "K", "ratio 2", "ratio 4", "ratio 8"
+    );
     for k in [1u64, 2, 4, 8, 16, 32, 64] {
         let mut row = format!("{k:>6}");
         for ratio in [2.0, 4.0, 8.0] {
@@ -497,14 +594,24 @@ pub fn fig12() -> String {
             .collect();
         for &ratio in &grid {
             let trace = {
-                let per_cycle = if ratio >= 1.0 { 1.0 + ratio } else { 1.0 / ratio + 1.0 };
+                let per_cycle = if ratio >= 1.0 {
+                    1.0 + ratio
+                } else {
+                    1.0 / ratio + 1.0
+                };
                 let cycles = ((768.0 / per_cycle).ceil() as usize).max(4);
-                RatioWorkload::new(&ycsb::ycsb_key(0), ratio)
+                RatioWorkload::new(ycsb::ycsb_key(0), ratio)
                     .value_len(record_len)
                     .generate(cycles)
             };
-            let bl1 = run(&trace, &SystemConfig::new(PolicyKind::Bl1).preload(preload.clone()));
-            let bl2 = run(&trace, &SystemConfig::new(PolicyKind::Bl2).preload(preload.clone()));
+            let bl1 = run(
+                &trace,
+                &SystemConfig::new(PolicyKind::Bl1).preload(preload.clone()),
+            );
+            let bl2 = run(
+                &trace,
+                &SystemConfig::new(PolicyKind::Bl2).preload(preload.clone()),
+            );
             if bl2.feed_gas_per_op() <= bl1.feed_gas_per_op() {
                 return ratio;
             }
@@ -512,13 +619,27 @@ pub fn fig12() -> String {
         f64::NAN
     };
     let mut out = String::new();
-    let _ = writeln!(out, "## Figure 12a — threshold read-write ratio vs record size (256 records)");
+    let _ = writeln!(
+        out,
+        "## Figure 12a — threshold read-write ratio vs record size (256 records)"
+    );
     for record_len in [32usize, 512, 4096] {
-        let _ = writeln!(out, "  {record_len:>5} B: threshold ratio {:.2}", crossover(record_len, 256));
+        let _ = writeln!(
+            out,
+            "  {record_len:>5} B: threshold ratio {:.2}",
+            crossover(record_len, 256)
+        );
     }
-    let _ = writeln!(out, "\n## Figure 12b — threshold read-write ratio vs data size (32 B records)");
+    let _ = writeln!(
+        out,
+        "\n## Figure 12b — threshold read-write ratio vs data size (32 B records)"
+    );
     for data_size in [256u64, 4096, 65536] {
-        let _ = writeln!(out, "  {data_size:>6} records: threshold ratio {:.2}", crossover(32, data_size));
+        let _ = writeln!(
+            out,
+            "  {data_size:>6} records: threshold ratio {:.2}",
+            crossover(32, data_size)
+        );
     }
     let _ = writeln!(
         out,
@@ -537,11 +658,22 @@ pub fn fig14() -> String {
         .map(|(k, v)| (k, v.materialize()))
         .collect();
     let trace = ycsb::mixed_trace(records, record_len, 17, &mix);
-    let bl1 = run(&trace, &SystemConfig::new(PolicyKind::Bl1).preload(preload.clone()));
-    let bl2 = run(&trace, &SystemConfig::new(PolicyKind::Bl2).preload(preload.clone()));
+    let bl1 = run(
+        &trace,
+        &SystemConfig::new(PolicyKind::Bl1).preload(preload.clone()),
+    );
+    let bl2 = run(
+        &trace,
+        &SystemConfig::new(PolicyKind::Bl2).preload(preload.clone()),
+    );
     let mut out = String::new();
     let _ = writeln!(out, "## Figure 14 — gas/op vs K under YCSB (A,B mix)");
-    let _ = writeln!(out, "BL1 = {:.0}, BL2 = {:.0}", bl1.feed_gas_per_op(), bl2.feed_gas_per_op());
+    let _ = writeln!(
+        out,
+        "BL1 = {:.0}, BL2 = {:.0}",
+        bl1.feed_gas_per_op(),
+        bl2.feed_gas_per_op()
+    );
     let _ = writeln!(out, "{:>6} {:>16}", "K", "GRuB gas/op");
     for k in [1u64, 2, 4, 8, 16, 32, 64] {
         let report = run(
@@ -563,8 +695,14 @@ pub fn fig15_table5() -> String {
     let mut results = Vec::new();
     for policy in [
         PolicyKind::Memoryless { k: 1 },
-        PolicyKind::Adaptive { dual: false, window: 3 },
-        PolicyKind::Adaptive { dual: true, window: 3 },
+        PolicyKind::Adaptive {
+            dual: false,
+            window: 3,
+        },
+        PolicyKind::Adaptive {
+            dual: true,
+            window: 3,
+        },
     ] {
         let report = run(&trace, &SystemConfig::new(policy).live_reads());
         results.push((report.policy.clone(), report));
@@ -586,7 +724,11 @@ pub fn fig15_table5() -> String {
         let _ = write!(out, "{:>34}", truncate(name, 32));
     }
     let _ = writeln!(out);
-    let epochs = results.iter().map(|(_, r)| r.epochs.len()).max().unwrap_or(0);
+    let epochs = results
+        .iter()
+        .map(|(_, r)| r.epochs.len())
+        .max()
+        .unwrap_or(0);
     for e in (0..epochs).step_by(2) {
         let _ = write!(out, "{e:<8}");
         for (_, r) in &results {
@@ -603,7 +745,10 @@ pub fn table6_fig16() -> String {
     let trace = BtcRelayTrace::new().blocks(5000).generate();
     let dist = stats::reads_after_write_distribution(&trace);
     let mut out = String::new();
-    let _ = writeln!(out, "## Table 6 — BtcRelay: distribution of writes by #reads following");
+    let _ = writeln!(
+        out,
+        "## Table 6 — BtcRelay: distribution of writes by #reads following"
+    );
     let _ = writeln!(out, "{:>4} {:>10}", "#r", "percent");
     for (reads, pct) in stats::distribution_rows(&dist).into_iter().take(12) {
         let _ = writeln!(out, "{reads:>4} {pct:>9.2}%");
@@ -628,7 +773,10 @@ pub fn competitive() -> String {
     let schedule = GasSchedule::default();
     let k_eq1 = schedule.two_competitive_k();
     let mut out = String::new();
-    let _ = writeln!(out, "## Theorem A.1 — memoryless worst case (every write followed by exactly K reads)");
+    let _ = writeln!(
+        out,
+        "## Theorem A.1 — memoryless worst case (every write followed by exactly K reads)"
+    );
     for k in [2u64, 4, 8] {
         let trace = RatioWorkload::new("feed", k as f64).generate(64);
         let online = run(&trace, &SystemConfig::new(PolicyKind::Memoryless { k }));
@@ -645,7 +793,10 @@ pub fn competitive() -> String {
             "  K={k}: online/offline = {ratio:.2} (theory bound {bound:.2}; protocol overheads shared)"
         );
     }
-    let _ = writeln!(out, "\n## Theorem A.2 — memorizing bound (4D+2)/K' on alternating bursts");
+    let _ = writeln!(
+        out,
+        "\n## Theorem A.2 — memorizing bound (4D+2)/K' on alternating bursts"
+    );
     for (k_prime, d) in [(2.0f64, 2.0f64), (4.0, 4.0)] {
         let trace = RatioWorkload::new("feed", 3.0).generate(64);
         let online = run(
@@ -660,7 +811,10 @@ pub fn competitive() -> String {
         .expect("offline");
         let ratio = online.feed_gas_total() as f64 / offline.feed_gas_total() as f64;
         let bound = (4.0 * d + 2.0) / k_prime;
-        let _ = writeln!(out, "  K'={k_prime}, D={d}: online/offline = {ratio:.2} (theory bound {bound:.2})");
+        let _ = writeln!(
+            out,
+            "  K'={k_prime}, D={d}: online/offline = {ratio:.2} (theory bound {bound:.2})"
+        );
     }
     out
 }
@@ -670,14 +824,23 @@ pub fn competitive() -> String {
 pub fn ablation_self_tuning() -> String {
     let trace = OracleTrace::new().writes(400).generate();
     let mut out = String::new();
-    let _ = writeln!(out, "## Ablation — K selection policies under ethPriceOracle (live tempo)");
+    let _ = writeln!(
+        out,
+        "## Ablation — K selection policies under ethPriceOracle (live tempo)"
+    );
     let _ = writeln!(out, "{:<44} {:>14} {:>10}", "policy", "total gas", "gas/op");
     for policy in [
         PolicyKind::Memoryless { k: 1 },
         PolicyKind::Memoryless { k: 2 },
         PolicyKind::Memoryless { k: 4 },
-        PolicyKind::Adaptive { dual: false, window: 3 },
-        PolicyKind::Adaptive { dual: true, window: 3 },
+        PolicyKind::Adaptive {
+            dual: false,
+            window: 3,
+        },
+        PolicyKind::Adaptive {
+            dual: true,
+            window: 3,
+        },
         PolicyKind::SelfTuning { window: 32 },
     ] {
         let report = run(&trace, &SystemConfig::new(policy).live_reads());
@@ -702,6 +865,14 @@ fn truncate(s: &str, max: usize) -> String {
     if s.len() <= max {
         s.to_owned()
     } else {
-        format!("{}…", &s[..s.char_indices().take_while(|(i, _)| *i < max - 1).last().map(|(i, c)| i + c.len_utf8()).unwrap_or(0)])
+        format!(
+            "{}…",
+            &s[..s
+                .char_indices()
+                .take_while(|(i, _)| *i < max - 1)
+                .last()
+                .map(|(i, c)| i + c.len_utf8())
+                .unwrap_or(0)]
+        )
     }
 }

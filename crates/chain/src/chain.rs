@@ -263,8 +263,8 @@ impl Blockchain {
         };
         let receipt = match result {
             Ok(output) => {
-                events_out.extend(state.pending_events.drain(..));
-                calls_out.extend(state.call_records.drain(..));
+                events_out.append(&mut state.pending_events);
+                calls_out.append(&mut state.call_records);
                 Receipt {
                     tx_id,
                     block_number,
@@ -479,7 +479,13 @@ mod tests {
         let (mut chain, widget, user) = setup();
         let mut enc = Encoder::new();
         enc.u64(42);
-        chain.submit(Transaction::new(user, widget, "set", enc.finish(), Layer::User));
+        chain.submit(Transaction::new(
+            user,
+            widget,
+            "set",
+            enc.finish(),
+            Layer::User,
+        ));
         chain.produce_block();
         let out = chain.static_call(user, widget, "get", &[]).unwrap();
         assert_eq!(Decoder::new(&out).u64().unwrap(), 42);
@@ -490,7 +496,13 @@ mod tests {
         let (mut chain, widget, user) = setup();
         let mut enc = Encoder::new();
         enc.u64(1);
-        chain.submit(Transaction::new(user, widget, "set", enc.finish(), Layer::User));
+        chain.submit(Transaction::new(
+            user,
+            widget,
+            "set",
+            enc.finish(),
+            Layer::User,
+        ));
         chain.produce_block();
         chain.submit(Transaction::new(
             user,
@@ -501,9 +513,17 @@ mod tests {
         ));
         let block = chain.produce_block();
         assert!(!block.receipts[0].success);
-        assert!(block.receipts[0].error.as_deref().unwrap().contains("deliberate"));
+        assert!(block.receipts[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("deliberate"));
         let out = chain.static_call(user, widget, "get", &[]).unwrap();
-        assert_eq!(Decoder::new(&out).u64().unwrap(), 1, "write must be rolled back");
+        assert_eq!(
+            Decoder::new(&out).u64().unwrap(),
+            1,
+            "write must be rolled back"
+        );
     }
 
     #[test]
@@ -537,7 +557,10 @@ mod tests {
         assert_eq!(block.receipts[0].gas_used, expected);
         // Envelope went to User, storage to Application.
         assert_eq!(
-            chain.meter().kind_total(Layer::User, CostKind::Transaction).amount(),
+            chain
+                .meter()
+                .kind_total(Layer::User, CostKind::Transaction)
+                .amount(),
             schedule.tx_cost_bytes(payload_len)
         );
         assert_eq!(
@@ -573,7 +596,13 @@ mod tests {
         let (mut chain, widget, user) = setup();
         let mut enc = Encoder::new();
         enc.u64(5);
-        chain.submit(Transaction::new(user, widget, "set", enc.finish(), Layer::User));
+        chain.submit(Transaction::new(
+            user,
+            widget,
+            "set",
+            enc.finish(),
+            Layer::User,
+        ));
         chain.produce_block();
         let events = chain.events_since(0, widget, "ValueSet");
         assert_eq!(events.len(), 1);
@@ -586,7 +615,13 @@ mod tests {
         let (mut chain, widget, user) = setup();
         let mut enc = Encoder::new();
         enc.u64(9);
-        chain.submit(Transaction::new(user, widget, "set", enc.finish(), Layer::User));
+        chain.submit(Transaction::new(
+            user,
+            widget,
+            "set",
+            enc.finish(),
+            Layer::User,
+        ));
         chain.produce_block();
         chain.submit(Transaction::new(
             user,

@@ -64,7 +64,8 @@ pub trait Contract {
     ///
     /// Returns a [`VmError`] to revert the enclosing transaction; all storage
     /// writes made below the failing frame are rolled back.
-    fn call(&self, ctx: &mut CallContext<'_>, func: &str, input: &[u8]) -> Result<Vec<u8>, VmError>;
+    fn call(&self, ctx: &mut CallContext<'_>, func: &str, input: &[u8])
+        -> Result<Vec<u8>, VmError>;
 }
 
 /// Registry entry: code plus the Gas-attribution layer for the contract.

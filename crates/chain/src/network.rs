@@ -197,11 +197,7 @@ impl NetworkSim {
 
     fn view_impl(&self, node: usize, t_ms: u64, finalized_only: bool) -> Vec<String> {
         assert!(node < self.nodes, "node {node} out of range");
-        let produced_by_t = self
-            .blocks
-            .iter()
-            .filter(|b| b.produced_ms <= t_ms)
-            .count() as u64;
+        let produced_by_t = self.blocks.iter().filter(|b| b.produced_ms <= t_ms).count() as u64;
         let mut out = Vec::new();
         for (idx, block) in self.blocks.iter().enumerate() {
             if self.block_arrival[node][idx] > t_ms {

@@ -171,7 +171,10 @@ impl StorageManager {
             self.bump_counter(ctx, &start)?;
         }
         let mut enc = Encoder::new();
-        enc.bytes(&start).bytes(&end).address(&cb_addr).string(&cb_func);
+        enc.bytes(&start)
+            .bytes(&end)
+            .address(&cb_addr)
+            .string(&cb_func);
         ctx.emit("RequestRange", enc.finish());
         Ok(Vec::new())
     }
@@ -235,7 +238,9 @@ impl StorageManager {
                 .hash_cost(words_for_bytes(value.len()).max(1));
             ctx.charge(CostKind::Hash, cost);
             if record_value_hash(value) != *vhash {
-                return Err(VmError::Revert("delivered value does not match proof".into()));
+                return Err(VmError::Revert(
+                    "delivered value does not match proof".into(),
+                ));
             }
         }
 
@@ -272,7 +277,12 @@ impl StorageManager {
 }
 
 impl Contract for StorageManager {
-    fn call(&self, ctx: &mut CallContext<'_>, func: &str, input: &[u8]) -> Result<Vec<u8>, VmError> {
+    fn call(
+        &self,
+        ctx: &mut CallContext<'_>,
+        func: &str,
+        input: &[u8],
+    ) -> Result<Vec<u8>, VmError> {
         match func {
             "update" => self.update(ctx, input),
             "gGet" => self.g_get(ctx, input),
@@ -318,7 +328,10 @@ pub fn encode_gget(key: &[u8], cb_addr: Address, cb_func: &str) -> Vec<u8> {
 /// Encodes the input of a `gScan()` internal call.
 pub fn encode_gscan(start: &[u8], end: &[u8], cb_addr: Address, cb_func: &str) -> Vec<u8> {
     let mut enc = Encoder::new();
-    enc.bytes(start).bytes(end).address(&cb_addr).string(cb_func);
+    enc.bytes(start)
+        .bytes(end)
+        .address(&cb_addr)
+        .string(cb_func);
     enc.finish()
 }
 
@@ -414,7 +427,12 @@ impl NullConsumer {
 }
 
 impl Contract for NullConsumer {
-    fn call(&self, ctx: &mut CallContext<'_>, func: &str, input: &[u8]) -> Result<Vec<u8>, VmError> {
+    fn call(
+        &self,
+        ctx: &mut CallContext<'_>,
+        func: &str,
+        input: &[u8],
+    ) -> Result<Vec<u8>, VmError> {
         match func {
             // batchRead(n, key...): issue n gGet internal calls.
             "batchRead" => {
@@ -470,7 +488,11 @@ mod tests {
         let sp_addr = Address::derive("SP");
         let mgr = Address::derive("storage-manager");
         let du = Address::derive("du");
-        chain.deploy(mgr, Rc::new(StorageManager::new(do_addr, trace_mode)), Layer::Feed);
+        chain.deploy(
+            mgr,
+            Rc::new(StorageManager::new(do_addr, trace_mode)),
+            Layer::Feed,
+        );
         chain.deploy(du, Rc::new(NullConsumer::new(mgr)), Layer::Application);
         Fixture {
             chain,
@@ -484,12 +506,7 @@ mod tests {
 
     /// DO-side: push a record into the tree and send the digest (plus
     /// optional replica) on chain.
-    fn do_update(
-        fx: &mut Fixture,
-        key: &[u8],
-        value: &[u8],
-        replicate: bool,
-    ) {
+    fn do_update(fx: &mut Fixture, key: &[u8], value: &[u8], replicate: bool) {
         let state = if replicate {
             ReplState::Replicated
         } else {
@@ -505,7 +522,11 @@ mod tests {
         };
         let input = encode_update(&digest, &[], &to_r, &[]);
         fx.chain.submit(Transaction::new(
-            fx.do_addr, fx.mgr, "update", input, Layer::Feed,
+            fx.do_addr,
+            fx.mgr,
+            "update",
+            input,
+            Layer::Feed,
         ));
         let block = fx.chain.produce_block();
         assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);
@@ -576,7 +597,11 @@ mod tests {
             &[(fx.du, "onData".to_owned())],
         );
         fx.chain.submit(Transaction::new(
-            fx.sp_addr, fx.mgr, "deliver", input, Layer::Feed,
+            fx.sp_addr,
+            fx.mgr,
+            "deliver",
+            input,
+            Layer::Feed,
         ));
         let block = fx.chain.produce_block();
         assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);
@@ -596,7 +621,11 @@ mod tests {
             &[(fx.du, "onData".to_owned())],
         );
         fx.chain.submit(Transaction::new(
-            fx.sp_addr, fx.mgr, "deliver", input, Layer::Feed,
+            fx.sp_addr,
+            fx.mgr,
+            "deliver",
+            input,
+            Layer::Feed,
         ));
         let block = fx.chain.produce_block();
         assert!(!block.receipts[0].success);
@@ -623,7 +652,11 @@ mod tests {
             &[(fx.du, "onData".to_owned())],
         );
         fx.chain.submit(Transaction::new(
-            fx.sp_addr, fx.mgr, "deliver", input, Layer::Feed,
+            fx.sp_addr,
+            fx.mgr,
+            "deliver",
+            input,
+            Layer::Feed,
         ));
         let block = fx.chain.produce_block();
         assert!(!block.receipts[0].success, "replay must be rejected");
@@ -641,12 +674,19 @@ mod tests {
             b"aaa",
             b"ccc",
             false,
-            &[(b"aaa".to_vec(), b"1".to_vec()), (b"ccc".to_vec(), b"3".to_vec())],
+            &[
+                (b"aaa".to_vec(), b"1".to_vec()),
+                (b"ccc".to_vec(), b"3".to_vec()),
+            ],
             &proof,
             &[],
         );
         fx.chain.submit(Transaction::new(
-            fx.sp_addr, fx.mgr, "deliver", input, Layer::Feed,
+            fx.sp_addr,
+            fx.mgr,
+            "deliver",
+            input,
+            Layer::Feed,
         ));
         let block = fx.chain.produce_block();
         assert!(!block.receipts[0].success);
@@ -657,12 +697,16 @@ mod tests {
         let mut fx = setup(OnChainTrace::None);
         do_update(&mut fx, b"eth", b"150", true);
         // R→NR transition.
-        fx.tree.invalidate(&ProofKey::new(ReplState::Replicated, b"eth".to_vec()));
         fx.tree
-            .insert(nr_key(b"eth"), record_value_hash(b"150"));
+            .invalidate(&ProofKey::new(ReplState::Replicated, b"eth".to_vec()));
+        fx.tree.insert(nr_key(b"eth"), record_value_hash(b"150"));
         let input = encode_update(&fx.tree.root(), &[], &[], &[b"eth".to_vec()]);
         fx.chain.submit(Transaction::new(
-            fx.do_addr, fx.mgr, "update", input, Layer::Feed,
+            fx.do_addr,
+            fx.mgr,
+            "update",
+            input,
+            Layer::Feed,
         ));
         fx.chain.produce_block();
         // Next read misses and emits a request.
@@ -689,7 +733,10 @@ mod tests {
         let events = fx.chain.events_since(0, fx.mgr, "RequestRange");
         assert_eq!(events.len(), 1);
         let req = decode_request_range(&events[0].data).unwrap();
-        assert_eq!((req.start.as_slice(), req.end.as_slice()), (b"k1".as_slice(), b"k3".as_slice()));
+        assert_eq!(
+            (req.start.as_slice(), req.end.as_slice()),
+            (b"k1".as_slice(), b"k3".as_slice())
+        );
         // SP answers the whole range.
         let proof = fx.tree.prove_range(&nr_key(b"k1"), &nr_key(b"k3"));
         let input = encode_deliver(
@@ -705,7 +752,11 @@ mod tests {
             &[(req.cb_addr, req.cb_func)],
         );
         fx.chain.submit(Transaction::new(
-            fx.sp_addr, fx.mgr, "deliver", input, Layer::Feed,
+            fx.sp_addr,
+            fx.mgr,
+            "deliver",
+            input,
+            Layer::Feed,
         ));
         let block = fx.chain.produce_block();
         assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);
@@ -717,10 +768,20 @@ mod tests {
         do_update(&mut fx, b"aaa", b"1", false);
         do_update(&mut fx, b"zzz", b"2", false);
         let proof = fx.tree.prove_range(&nr_key(b"mmm"), &nr_key(b"mmm"));
-        let input =
-            encode_deliver(b"mmm", b"mmm", false, &[], &proof, &[(fx.du, "onData".to_owned())]);
+        let input = encode_deliver(
+            b"mmm",
+            b"mmm",
+            false,
+            &[],
+            &proof,
+            &[(fx.du, "onData".to_owned())],
+        );
         fx.chain.submit(Transaction::new(
-            fx.sp_addr, fx.mgr, "deliver", input, Layer::Feed,
+            fx.sp_addr,
+            fx.mgr,
+            "deliver",
+            input,
+            Layer::Feed,
         ));
         let block = fx.chain.produce_block();
         assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);

@@ -99,11 +99,7 @@ impl DataOwner {
 
     /// Preloads records (no policy involvement, no staging): used for the
     /// initial dataset before metering starts.
-    pub fn preload(
-        &mut self,
-        records: &[(String, Vec<u8>)],
-        state: ReplState,
-    ) -> Vec<SpSync> {
+    pub fn preload(&mut self, records: &[(String, Vec<u8>)], state: ReplState) -> Vec<SpSync> {
         let mut sync = Vec::with_capacity(records.len());
         for (key, value) in records {
             let pkey = ProofKey::new(state, key.as_bytes().to_vec());
@@ -139,10 +135,7 @@ impl DataOwner {
 
     /// The policy's current desired state for `key`.
     pub fn desired_state(&self, key: &str) -> ReplState {
-        *self
-            .desired
-            .get(key)
-            .unwrap_or(&ReplState::NotReplicated)
+        *self.desired.get(key).unwrap_or(&ReplState::NotReplicated)
     }
 
     /// Notes that a `deliver` installed a replica for `key` ahead of the
@@ -162,15 +155,12 @@ impl DataOwner {
         self.monitor_cursor = chain.height();
         let mut keys = Vec::new();
         for call in calls {
-            if call.func == "gGet" {
+            // gGet's key and gScan's start key are both the first
+            // byte-string field of the call input.
+            if call.func == "gGet" || call.func == "gScan" {
                 let mut dec = grub_chain::codec::Decoder::new(&call.input);
                 if let Ok(key) = dec.bytes() {
                     keys.push(String::from_utf8_lossy(key).into_owned());
-                }
-            } else if call.func == "gScan" {
-                let mut dec = grub_chain::codec::Decoder::new(&call.input);
-                if let Ok(start) = dec.bytes() {
-                    keys.push(String::from_utf8_lossy(start).into_owned());
                 }
             }
         }
@@ -179,10 +169,7 @@ impl DataOwner {
 
     /// The committed replication state of `key` (NR when unknown).
     pub fn state_of(&self, key: &str) -> ReplState {
-        *self
-            .states
-            .get(key)
-            .unwrap_or(&ReplState::NotReplicated)
+        *self.states.get(key).unwrap_or(&ReplState::NotReplicated)
     }
 
     /// Current root digest of the DO's mirror.
@@ -211,11 +198,7 @@ impl DataOwner {
             self.mirror.insert(pkey, record_value_hash(&value));
             self.values.insert(key.clone(), value.clone());
             occurrences.push((key.clone(), value.clone()));
-            sync.push(SpSync::Write {
-                key,
-                value,
-                state,
-            });
+            sync.push(SpSync::Write { key, value, state });
         }
         // 2. Apply transitions (desired ≠ committed), in key order.
         let written_this_epoch: std::collections::HashSet<&String> =
@@ -272,11 +255,7 @@ impl DataOwner {
         let r_updates: Vec<(Vec<u8>, Vec<u8>)> = occurrences
             .iter()
             .filter(|(key, _)| self.state_of(key) == ReplState::Replicated)
-            .filter(|(key, _)| {
-                !to_r
-                    .iter()
-                    .any(|(k, _)| k.as_slice() == key.as_bytes())
-            })
+            .filter(|(key, _)| !to_r.iter().any(|(k, _)| k.as_slice() == key.as_bytes()))
             .map(|(key, value)| (key.as_bytes().to_vec(), value.clone()))
             .collect();
 
@@ -335,7 +314,10 @@ mod tests {
         o.observe_write("b", b"2".to_vec());
         let flush = o.flush_epoch();
         assert!(flush.dirty);
-        assert!(flush.r_updates.is_empty(), "no values ride along for NR keys");
+        assert!(
+            flush.r_updates.is_empty(),
+            "no values ride along for NR keys"
+        );
         assert!(flush.to_r.is_empty() && flush.to_nr.is_empty());
         assert_eq!(flush.replications, 0);
         assert_eq!(flush.evictions, 0);

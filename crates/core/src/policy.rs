@@ -126,8 +126,7 @@ impl ReplicationPolicy for Memoryless {
 
     fn on_write(&mut self, key: &str) -> ReplState {
         self.counters.insert(key.to_owned(), 0);
-        self.states
-            .insert(key.to_owned(), ReplState::NotReplicated);
+        self.states.insert(key.to_owned(), ReplState::NotReplicated);
         ReplState::NotReplicated
     }
 
@@ -309,10 +308,7 @@ impl ReplicationPolicy for AdaptiveK {
 
     fn on_read(&mut self, key: &str) -> ReplState {
         *self.since_write.entry(key.to_owned()).or_insert(0) += 1;
-        *self
-            .states
-            .get(key)
-            .unwrap_or(&ReplState::NotReplicated)
+        *self.states.get(key).unwrap_or(&ReplState::NotReplicated)
     }
 
     fn name(&self) -> String {
@@ -397,10 +393,7 @@ impl ReplicationPolicy for OfflineOptimal {
     }
 
     fn on_read(&mut self, key: &str) -> ReplState {
-        *self
-            .states
-            .get(key)
-            .unwrap_or(&ReplState::NotReplicated)
+        *self.states.get(key).unwrap_or(&ReplState::NotReplicated)
     }
 
     fn name(&self) -> String {
@@ -511,7 +504,7 @@ impl ReplicationPolicy for SelfTuningK {
             self.bursts.pop_front();
         }
         self.writes_seen += 1;
-        if self.writes_seen % self.retune_every == 0 && !self.bursts.is_empty() {
+        if self.writes_seen.is_multiple_of(self.retune_every) && !self.bursts.is_empty() {
             self.retune();
         }
         self.inner.on_write(key)
@@ -744,9 +737,18 @@ mod tests {
         };
         let r = |key: &str| Op::Read { key: key.into() };
         // write, 1 read, write, 5 reads.
-        let trace: Trace = vec![w("k"), r("k"), w("k"), r("k"), r("k"), r("k"), r("k"), r("k")]
-            .into_iter()
-            .collect();
+        let trace: Trace = vec![
+            w("k"),
+            r("k"),
+            w("k"),
+            r("k"),
+            r("k"),
+            r("k"),
+            r("k"),
+            r("k"),
+        ]
+        .into_iter()
+        .collect();
         let mut p = OfflineOptimal::from_trace(&trace, 2.3);
         assert_eq!(p.on_write("k"), NR, "only 1 read follows: not worth it");
         assert_eq!(p.on_read("k"), NR);
@@ -768,9 +770,18 @@ mod tests {
             PolicyKind::Bl1,
             PolicyKind::Bl2,
             PolicyKind::Memoryless { k: 2 },
-            PolicyKind::Memorizing { k_prime: 2.0, d: 1.0 },
-            PolicyKind::Adaptive { dual: false, window: 3 },
-            PolicyKind::Adaptive { dual: true, window: 3 },
+            PolicyKind::Memorizing {
+                k_prime: 2.0,
+                d: 1.0,
+            },
+            PolicyKind::Adaptive {
+                dual: false,
+                window: 3,
+            },
+            PolicyKind::Adaptive {
+                dual: true,
+                window: 3,
+            },
         ] {
             let mut p = kind.build(&s);
             let _ = p.on_write("k");

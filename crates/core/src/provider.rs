@@ -64,6 +64,9 @@ pub enum AdversaryMode {
 
 static SP_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// A frozen (tree, records) view served by a replaying adversary.
+type StaleSnapshot = (MerkleKv, BTreeMap<Vec<u8>, Vec<u8>>);
+
 /// The storage provider node.
 pub struct StorageProvider {
     address: Address,
@@ -73,7 +76,7 @@ pub struct StorageProvider {
     watch_cursor: u64,
     mode: AdversaryMode,
     /// Snapshot for [`AdversaryMode::ReplayStale`].
-    stale: Option<(MerkleKv, BTreeMap<Vec<u8>, Vec<u8>>)>,
+    stale: Option<StaleSnapshot>,
     /// Latest replication decisions pushed from the DO's control plane:
     /// deliveries for keys marked [`ReplState::Replicated`] set the
     /// `replicate` flag (the paper's deliver-time replica installation).
@@ -133,8 +136,7 @@ impl StorageProvider {
     /// Records the DO's current desired replication state for `key`; the
     /// next point delivery of that key carries the `replicate` flag.
     pub fn set_decision_hint(&mut self, key: &str, state: ReplState) {
-        self.decision_hints
-            .insert(key.as_bytes().to_vec(), state);
+        self.decision_hints.insert(key.as_bytes().to_vec(), state);
     }
 
     fn storage_key(state: ReplState, key: &str) -> Vec<u8> {
@@ -357,7 +359,10 @@ mod tests {
         let mut sp = sp();
         sp.apply_sync(&[write("a", b"1", ReplState::NotReplicated)])
             .unwrap();
-        assert_eq!(sp.value_of(ReplState::NotReplicated, "a"), Some(b"1".to_vec()));
+        assert_eq!(
+            sp.value_of(ReplState::NotReplicated, "a"),
+            Some(b"1".to_vec())
+        );
         assert!(sp
             .tree
             .get(&ProofKey::new(ReplState::NotReplicated, b"a".to_vec()))
@@ -413,7 +418,10 @@ mod tests {
         // Only NR records in [a, c]: "c" is replicated and excluded.
         assert_eq!(
             records,
-            vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), b"2".to_vec())]
+            vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), b"2".to_vec())
+            ]
         );
     }
 }

@@ -144,10 +144,7 @@ impl GrubSystem {
     /// # Errors
     ///
     /// Propagates store failures and failed preload transactions.
-    pub fn with_policy(
-        config: &SystemConfig,
-        policy: Box<dyn ReplicationPolicy>,
-    ) -> Result<Self> {
+    pub fn with_policy(config: &SystemConfig, policy: Box<dyn ReplicationPolicy>) -> Result<Self> {
         let mut chain = Blockchain::with_config(config.chain);
         let do_addr = Address::derive("grub-data-owner");
         let sp_addr = Address::derive("grub-storage-provider");
@@ -158,7 +155,11 @@ impl GrubSystem {
             Rc::new(StorageManager::new(do_addr, config.on_chain_trace)),
             Layer::Feed,
         );
-        chain.deploy(consumer, Rc::new(NullConsumer::new(manager)), Layer::Application);
+        chain.deploy(
+            consumer,
+            Rc::new(NullConsumer::new(manager)),
+            Layer::Application,
+        );
         let mut owner = DataOwner::new(do_addr, policy);
         let mut provider = StorageProvider::new(sp_addr)?;
 
@@ -174,7 +175,7 @@ impl GrubSystem {
         };
         if !config.preload.is_empty() {
             let sync = owner.preload(&config.preload, preload_state);
-            provider.apply_sync(&sync).map_err(GrubError::from)?;
+            provider.apply_sync(&sync)?;
             // Seed the on-chain state: root digest, plus replicas when
             // preloading replicated. Chunk to stay under Ctx's X < 1000.
             let digest = owner.root();
@@ -201,8 +202,7 @@ impl GrubSystem {
                         }
                     }
                     if !batch.is_empty() {
-                        let input =
-                            crate::contract::encode_update(&digest, &[], &batch, &[]);
+                        let input = crate::contract::encode_update(&digest, &[], &batch, &[]);
                         submit_checked(&mut chain, do_addr, manager, "update", input)?;
                     }
                 }
@@ -341,9 +341,7 @@ impl GrubSystem {
         //    split across transactions: Ctx(X) is defined for X < 1000 words
         //    and every chunk carries the same final digest.
         let flush = self.owner.flush_epoch();
-        self.provider
-            .apply_sync(&flush.sp_sync)
-            .map_err(GrubError::from)?;
+        self.provider.apply_sync(&flush.sp_sync)?;
         if flush.dirty {
             for input in encode_update_chunked(&flush) {
                 let tx = Transaction::new(
@@ -416,9 +414,7 @@ impl GrubSystem {
     fn push_hint(&mut self, key: &str) {
         let want = self.owner.desired_state(key);
         self.provider.set_decision_hint(key, want);
-        if want == ReplState::Replicated
-            && self.owner.state_of(key) == ReplState::NotReplicated
-        {
+        if want == ReplState::Replicated && self.owner.state_of(key) == ReplState::NotReplicated {
             self.owner.note_hinted_replica(key);
         }
     }
@@ -481,10 +477,7 @@ impl GrubSystem {
     /// Runs the SP watchdog and mines its deliveries, returning how many
     /// the contract rejected.
     fn run_watchdog(&mut self) -> Result<usize> {
-        let delivers = self
-            .provider
-            .watchdog(&self.chain, self.manager)
-            .map_err(GrubError::from)?;
+        let delivers = self.provider.watchdog(&self.chain, self.manager)?;
         if delivers.is_empty() {
             return Ok(0);
         }
@@ -603,8 +596,8 @@ fn encode_update_chunked(flush: &crate::owner::EpochFlush) -> Vec<Vec<u8>> {
     let mut to_nr: Vec<Vec<u8>> = Vec::new();
     let mut bytes = 0usize;
     let flush_chunk = |r: &mut Vec<(Vec<u8>, Vec<u8>)>,
-                           tr: &mut Vec<(Vec<u8>, Vec<u8>)>,
-                           tn: &mut Vec<Vec<u8>>| {
+                       tr: &mut Vec<(Vec<u8>, Vec<u8>)>,
+                       tn: &mut Vec<Vec<u8>>| {
         crate::contract::encode_update(
             &flush.digest,
             &std::mem::take(r),
@@ -743,9 +736,10 @@ mod tests {
         assert_eq!(system.owner().state_of("hot"), ReplState::Replicated);
         // The last epochs serve reads from the replica: no Request events.
         let height = system.chain().height();
-        let recent_requests = system
-            .chain()
-            .events_since(height.saturating_sub(2), system.manager(), "Request");
+        let recent_requests =
+            system
+                .chain()
+                .events_since(height.saturating_sub(2), system.manager(), "Request");
         assert!(recent_requests.is_empty());
     }
 
@@ -778,7 +772,14 @@ mod tests {
         warm.ops
             .extend(std::iter::repeat_n(Op::Read { key: "k".into() }, 31));
         system.drive(&warm).unwrap();
-        assert_eq!(system.reports().iter().map(|e| e.failed_delivers).sum::<usize>(), 0);
+        assert_eq!(
+            system
+                .reports()
+                .iter()
+                .map(|e| e.failed_delivers)
+                .sum::<usize>(),
+            0
+        );
         // Now turn the SP hostile and read again.
         system.set_adversary(AdversaryMode::ForgeValue);
         let mut reads = Trace::new();

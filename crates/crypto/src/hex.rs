@@ -67,7 +67,7 @@ pub fn encode(bytes: &[u8]) -> String {
 /// ```
 pub fn decode(s: &str) -> Result<Vec<u8>, ParseHexError> {
     let bytes = s.as_bytes();
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         return Err(ParseHexError::BadLength {
             expected: bytes.len() + 1,
             actual: bytes.len(),
@@ -108,10 +108,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_character() {
-        assert_eq!(
-            decode("0g"),
-            Err(ParseHexError::BadCharacter { offset: 1 })
-        );
+        assert_eq!(decode("0g"), Err(ParseHexError::BadCharacter { offset: 1 }));
     }
 
     #[test]

@@ -384,10 +384,7 @@ pub struct GasSnapshot {
 impl GasSnapshot {
     /// Gas burned between `earlier` and `self`, per layer `(feed, app)`.
     pub fn since(&self, earlier: GasSnapshot) -> (Gas, Gas) {
-        (
-            Gas(self.feed - earlier.feed),
-            Gas(self.app - earlier.app),
-        )
+        (Gas(self.feed - earlier.feed), Gas(self.app - earlier.app))
     }
 
     /// Total across the feed and application layers (the reported metric).

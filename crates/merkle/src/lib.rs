@@ -51,9 +51,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// `NotReplicated` orders before `Replicated`, giving the paper's layout of
 /// the NR group first (range queries on the read path only touch NR records).
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ReplState {
     /// The record lives only on the SP; reads need a `deliver` transaction.
     NotReplicated,
@@ -184,7 +182,11 @@ mod tests {
         assert_ne!(base, leaf_hash(&k, &v, false), "validity flag");
         assert_ne!(
             base,
-            leaf_hash(&ProofKey::new(ReplState::Replicated, b"k".to_vec()), &v, true),
+            leaf_hash(
+                &ProofKey::new(ReplState::Replicated, b"k".to_vec()),
+                &v,
+                true
+            ),
             "state"
         );
         assert_ne!(base, leaf_hash(&k, &record_value_hash(b"w"), true), "value");

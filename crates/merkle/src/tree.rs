@@ -86,8 +86,7 @@ impl Node {
     /// identical shape decisions and their roots agree.
     fn balanced_join(left: Box<Node>, right: Box<Node>) -> Node {
         let total = left.count() + right.count();
-        let lopsided =
-            total > 8 && (left.count() * 4 > total * 3 || right.count() * 4 > total * 3);
+        let lopsided = total > 8 && (left.count() * 4 > total * 3 || right.count() * 4 > total * 3);
         if !lopsided {
             return Node::join(left, right);
         }
@@ -166,7 +165,10 @@ impl MerkleKv {
 
     /// The root digest ([`empty_root`] when the tree holds nothing).
     pub fn root(&self) -> Hash32 {
-        self.root.as_ref().map(|n| n.hash()).unwrap_or_else(empty_root)
+        self.root
+            .as_ref()
+            .map(|n| n.hash())
+            .unwrap_or_else(empty_root)
     }
 
     /// Number of live (non-tombstoned) records.
@@ -350,6 +352,7 @@ enum InsertOutcome {
     Grafted,
 }
 
+#[allow(clippy::boxed_local)] // tree nodes live boxed; unboxing here just re-boxes
 fn insert_rec(node: Box<Node>, pkey: ProofKey, vhash: Hash32) -> (Box<Node>, InsertOutcome) {
     match *node {
         Node::Leaf(mut l) => {
@@ -389,6 +392,7 @@ fn insert_rec(node: Box<Node>, pkey: ProofKey, vhash: Hash32) -> (Box<Node>, Ins
     }
 }
 
+#[allow(clippy::boxed_local)] // tree nodes live boxed; unboxing here just re-boxes
 fn invalidate_rec(node: Box<Node>, pkey: &ProofKey) -> (Box<Node>, bool) {
     match *node {
         Node::Leaf(mut l) => {
@@ -416,10 +420,7 @@ fn invalidate_rec(node: Box<Node>, pkey: &ProofKey) -> (Box<Node>, bool) {
 fn build_balanced(records: &[(ProofKey, Hash32)]) -> Option<Box<Node>> {
     match records.len() {
         0 => None,
-        1 => Some(Box::new(Node::new_leaf(
-            records[0].0.clone(),
-            records[0].1,
-        ))),
+        1 => Some(Box::new(Node::new_leaf(records[0].0.clone(), records[0].1))),
         n => {
             let mid = n / 2;
             let left = build_balanced(&records[..mid]).expect("non-empty");

@@ -92,11 +92,33 @@ impl Db {
             }
         }
         names.sort();
+        // The SEQ sidecar (written on every flush, LevelDB-MANIFEST style)
+        // guards against sequence regression: compaction drops tombstones at
+        // the bottom level, so the max over surviving records can undercount.
+        // Flush order (table → SEQ → WAL reset) guarantees max(SEQ, WAL)
+        // covers every SSTable record, so when the sidecar is present the
+        // per-record scan below is skipped.
         let mut max_seq = 0u64;
+        let mut have_sidecar = false;
+        match std::fs::read(dir.join("SEQ")) {
+            Ok(bytes) => {
+                if let Ok(bytes) = <[u8; 8]>::try_from(bytes.as_slice()) {
+                    max_seq = u64::from_le_bytes(bytes);
+                    have_sidecar = true;
+                }
+                // A torn sidecar (wrong length) falls back to the scan.
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(crate::StoreError::Io(e)),
+        }
         for (_, level, path) in names {
             let reader = SsTableReader::open(&path)?;
-            for e in reader.iter_all()? {
-                max_seq = max_seq.max(e.seq);
+            if !have_sidecar {
+                // Pre-sidecar directory: recover the sequence the old way,
+                // from the max over surviving records.
+                for e in reader.iter_all()? {
+                    max_seq = max_seq.max(e.seq);
+                }
             }
             let table = Table { path, reader };
             if level == 0 {
@@ -193,9 +215,7 @@ impl Db {
             }
         }
         // L1 is non-overlapping: at most one candidate table.
-        let idx = self
-            .l1
-            .partition_point(|t| t.reader.largest() < key);
+        let idx = self.l1.partition_point(|t| t.reader.largest() < key);
         if let Some(table) = self.l1.get(idx) {
             if table.reader.smallest() <= key {
                 if let Some(opinion) = table.reader.get(key, snapshot.seq)? {
@@ -211,7 +231,11 @@ impl Db {
     /// # Errors
     ///
     /// I/O or corruption while consulting SSTables.
-    pub fn scan(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    pub fn scan(
+        &self,
+        start: Option<&[u8]>,
+        end: Option<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         self.scan_at(start, end, Snapshot { seq: u64::MAX })
     }
 
@@ -277,6 +301,9 @@ impl Db {
         let reader = SsTableReader::open(&path)?;
         self.l0.push(Table { path, reader });
         self.mem = Memtable::new();
+        // Persist the sequence BEFORE truncating the WAL: a crash in between
+        // leaves both sources available and recovery takes the max.
+        self.persist_sequence()?;
         self.wal.reset()?;
         self.flush_count += 1;
         if self.l0.len() >= self.opts.l0_compaction_trigger {
@@ -358,6 +385,26 @@ impl Db {
         self.dir.join(format!("{no:06}-l{level}.sst"))
     }
 
+    /// Durably records the current sequence number in the SEQ sidecar:
+    /// temp-file + fsync + rename + directory fsync, so a crash at any
+    /// point leaves either the old or the new sidecar intact — matching
+    /// the sync discipline of the SSTable and WAL paths.
+    fn persist_sequence(&self) -> Result<()> {
+        let tmp = self.dir.join("SEQ.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut f, &self.seq.to_le_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, self.dir.join("SEQ"))?;
+        // Persist the rename itself (best effort on platforms where
+        // directories cannot be opened for sync).
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            d.sync_all().ok();
+        }
+        Ok(())
+    }
+
     /// (L0 file count, L1 file count, flushes, compactions) — for tests.
     pub fn stats(&self) -> (usize, usize, u64, u64) {
         (
@@ -403,6 +450,27 @@ mod tests {
             bits_per_key: 10,
             sync_writes: false,
         }
+    }
+
+    #[test]
+    fn sequence_survives_tombstone_dropping_compaction() {
+        // The newest operation is a delete; its tombstone is flushed and then
+        // compacted away (L1 drops tombstones). Recovery must still restore
+        // the pre-crash sequence number via the SEQ sidecar.
+        let dir = temp_dir("seq-sidecar");
+        let mut db = Db::open(&dir, small_opts()).unwrap();
+        db.put(b"a".to_vec(), b"1".to_vec()).unwrap();
+        db.put(b"b".to_vec(), b"2".to_vec()).unwrap();
+        db.delete(b"b").unwrap();
+        db.flush().unwrap();
+        db.compact().unwrap();
+        let seq = db.sequence();
+        drop(db);
+        let db = Db::open(&dir, small_opts()).unwrap();
+        assert_eq!(db.sequence(), seq, "sequence regressed across recovery");
+        assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"b").unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -465,8 +533,11 @@ mod tests {
         {
             let mut db = Db::open(&dir, small_opts()).unwrap();
             for i in 0..200u32 {
-                db.put(format!("k{i:04}").into_bytes(), format!("v{i}").into_bytes())
-                    .unwrap();
+                db.put(
+                    format!("k{i:04}").into_bytes(),
+                    format!("v{i}").into_bytes(),
+                )
+                .unwrap();
             }
             // Some writes remain only in the WAL (no explicit flush).
         }
@@ -486,8 +557,11 @@ mod tests {
         let dir = temp_dir("scan");
         let mut db = Db::open(&dir, small_opts()).unwrap();
         for i in (0..100u32).rev() {
-            db.put(format!("k{i:04}").into_bytes(), format!("v{i}").into_bytes())
-                .unwrap();
+            db.put(
+                format!("k{i:04}").into_bytes(),
+                format!("v{i}").into_bytes(),
+            )
+            .unwrap();
         }
         db.delete(b"k0050").unwrap();
         let out = db.scan(Some(b"k0040"), Some(b"k0060")).unwrap();

@@ -66,7 +66,11 @@ impl SsTableWriter {
     /// # Errors
     ///
     /// Any filesystem error creating the file.
-    pub fn create(path: impl Into<PathBuf>, block_target: usize, bits_per_key: usize) -> Result<Self> {
+    pub fn create(
+        path: impl Into<PathBuf>,
+        block_target: usize,
+        bits_per_key: usize,
+    ) -> Result<Self> {
         let path = path.into();
         let file = OpenOptions::new()
             .create(true)
@@ -113,7 +117,8 @@ impl SsTableWriter {
         if self.block.len() >= self.block_target && key_changed {
             self.finish_block()?;
         }
-        self.block.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.block
+            .extend_from_slice(&(key.len() as u32).to_le_bytes());
         self.block.extend_from_slice(&seq.to_le_bytes());
         self.block.push(value.is_some() as u8);
         let vlen = value.map(|v| v.len()).unwrap_or(0);
@@ -250,10 +255,7 @@ impl SsTableReader {
         };
         if let Some(first) = reader.index.first().cloned() {
             let entries = reader.read_block(&first)?;
-            reader.smallest = entries
-                .first()
-                .map(|e| e.key.clone())
-                .unwrap_or_default();
+            reader.smallest = entries.first().map(|e| e.key.clone()).unwrap_or_default();
             reader.largest = reader
                 .index
                 .last()
@@ -309,9 +311,7 @@ impl SsTableReader {
             return Ok(None);
         }
         // First block whose last_key >= key.
-        let idx = self
-            .index
-            .partition_point(|e| e.last_key.as_slice() < key);
+        let idx = self.index.partition_point(|e| e.last_key.as_slice() < key);
         let Some(entry) = self.index.get(idx) else {
             return Ok(None);
         };
@@ -411,8 +411,12 @@ mod tests {
         let mut w = SsTableWriter::create(&path, 4096, 10).unwrap();
         for i in 0..n {
             let key = format!("key{i:06}");
-            w.add(key.as_bytes(), i as u64 + 1, Some(format!("val{i}").as_bytes()))
-                .unwrap();
+            w.add(
+                key.as_bytes(),
+                i as u64 + 1,
+                Some(format!("val{i}").as_bytes()),
+            )
+            .unwrap();
         }
         w.finish().unwrap();
         path
@@ -513,7 +517,8 @@ mod tests {
         for i in 0..50u32 {
             let key = format!("k{i:04}");
             // Two versions per key; both must land in the same block.
-            w.add(key.as_bytes(), (100 + i) as u64, Some(b"new")).unwrap();
+            w.add(key.as_bytes(), (100 + i) as u64, Some(b"new"))
+                .unwrap();
             w.add(key.as_bytes(), i as u64 + 1, Some(b"old")).unwrap();
         }
         w.finish().unwrap();

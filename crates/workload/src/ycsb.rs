@@ -395,7 +395,7 @@ mod tests {
     fn mixed_trace_runs_phases_in_order() {
         let t = mixed_trace(1 << 8, 64, 7, &[(YcsbKind::A, 100), (YcsbKind::C, 100)]);
         assert_eq!(t.ops.len(), 200 + t.ops.len() - 200); // no panic, sized
-        // Phase 2 is read-only: the last 100 ops contain no writes.
+                                                          // Phase 2 is read-only: the last 100 ops contain no writes.
         assert!(t.ops[t.ops.len() - 100..].iter().all(|o| !o.is_write()));
     }
 

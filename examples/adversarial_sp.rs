@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (mode, label) in [
         (AdversaryMode::ForgeValue, "forge record values"),
         (AdversaryMode::OmitRecord, "omit a requested record"),
-        (AdversaryMode::HideLeaf, "hide a leaf behind an opaque digest"),
+        (
+            AdversaryMode::HideLeaf,
+            "hide a leaf behind an opaque digest",
+        ),
         (AdversaryMode::ReplayStale, "replay a stale snapshot"),
     ] {
         let config = SystemConfig::new(PolicyKind::Bl1);
@@ -27,7 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             value: ValueSpec::new(32, 7),
         });
         for _ in 0..31 {
-            warmup.ops.push(Op::Read { key: "price".into() });
+            warmup.ops.push(Op::Read {
+                key: "price".into(),
+            });
         }
         system.drive(&warmup)?;
         let honest_failures: usize = system.reports().iter().map(|e| e.failed_delivers).sum();
@@ -41,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             value: ValueSpec::new(32, 8),
         });
         for _ in 0..31 {
-            attack.ops.push(Op::Read { key: "price".into() });
+            attack.ops.push(Op::Read {
+                key: "price".into(),
+            });
         }
         system.drive(&attack)?;
         let total_failures: usize = system.reports().iter().map(|e| e.failed_delivers).sum();

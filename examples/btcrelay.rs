@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Rc::new(StorageManager::new(relayer, OnChainTrace::None)),
         Layer::Feed,
     );
-    chain.deploy(pegged, Rc::new(PeggedToken::new(mgr, token)), Layer::Application);
+    chain.deploy(
+        pegged,
+        Rc::new(PeggedToken::new(mgr, token)),
+        Layer::Application,
+    );
     chain.deploy(token, Rc::new(Erc20::new(pegged)), Layer::Application);
 
     // Mine 10 Bitcoin blocks and relay every header into the feed
@@ -39,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut to_r = Vec::new();
     for h in 0..10u64 {
         btc.mine_block(4);
-        let header = btc.header(h as usize).expect("just mined").to_bytes().to_vec();
+        let header = btc
+            .header(h as usize)
+            .expect("just mined")
+            .to_bytes()
+            .to_vec();
         tree.insert(
             ProofKey::new(ReplState::Replicated, block_key(h)),
             record_value_hash(&header),

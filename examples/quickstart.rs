@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PolicyKind::Bl1,
         PolicyKind::Bl2,
         PolicyKind::Memoryless { k: 2 },
-        PolicyKind::Memorizing { k_prime: 2.0, d: 4.0 },
+        PolicyKind::Memorizing {
+            k_prime: 2.0,
+            d: 4.0,
+        },
     ] {
         let report = GrubSystem::run_trace(&trace, &SystemConfig::new(policy))?;
         println!(

@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Rc::new(StorageManager::new(do_addr, OnChainTrace::None)),
         Layer::Feed,
     );
-    chain.deploy(issuer, Rc::new(SCoinIssuer::new(mgr, token)), Layer::Application);
+    chain.deploy(
+        issuer,
+        Rc::new(SCoinIssuer::new(mgr, token)),
+        Layer::Application,
+    );
     chain.deploy(token, Rc::new(Erc20::new(issuer)), Layer::Application);
 
     // Drive a few days of simulated Ether prices through the feed and buy

@@ -1,0 +1,143 @@
+//! Security tests: a hostile storage provider tries every attack class the
+//! provider implements — forging values, omitting records naively, hiding a
+//! leaf behind an opaque digest, and replaying a stale snapshot — and the
+//! storage-manager contract's Merkle ADS verification must reject each one
+//! (paper §3.3; promoted from `examples/adversarial_sp.rs` into assertions).
+
+use grub::core::policy::PolicyKind;
+use grub::core::provider::AdversaryMode;
+use grub::core::system::{GrubSystem, SystemConfig};
+use grub::workload::{Op, Trace, ValueSpec};
+
+/// One full-epoch trace: a fresh write of `key` followed by 31 reads.
+fn epoch_trace(key: &str, value_seed: u64) -> Trace {
+    let mut trace = Trace::new();
+    trace.ops.push(Op::Write {
+        key: key.into(),
+        value: ValueSpec::new(32, value_seed),
+    });
+    trace
+        .ops
+        .extend(std::iter::repeat_n(Op::Read { key: key.into() }, 31));
+    trace
+}
+
+/// Runs warm-up honestly, switches the SP to `mode`, replays an epoch of
+/// traffic, and returns `(honest_rejections, attack_rejections)`.
+fn run_attack(mode: AdversaryMode) -> (usize, usize) {
+    // BL1 keeps the record off chain, so every read needs a delivery — the
+    // maximal attack surface for a lying SP.
+    let config = SystemConfig::new(PolicyKind::Bl1);
+    let mut system = GrubSystem::new(&config).expect("system builds");
+    system
+        .drive(&epoch_trace("price", 7))
+        .expect("honest warmup");
+    let honest: usize = system.reports().iter().map(|e| e.failed_delivers).sum();
+
+    // The fresh write gives ReplayStale a genuinely stale snapshot to serve.
+    system.set_adversary(mode);
+    system
+        .drive(&epoch_trace("price", 8))
+        .expect("attack epoch");
+    let total: usize = system.reports().iter().map(|e| e.failed_delivers).sum();
+    (honest, total - honest)
+}
+
+#[test]
+fn honest_sp_has_no_rejected_deliveries() {
+    let (honest, attack) = run_attack(AdversaryMode::Honest);
+    assert_eq!(honest, 0, "honest warm-up must verify cleanly");
+    assert_eq!(attack, 0, "an honest SP is never rejected");
+}
+
+#[test]
+fn forged_values_are_rejected() {
+    let (honest, attack) = run_attack(AdversaryMode::ForgeValue);
+    assert_eq!(honest, 0);
+    assert!(attack > 0, "tampered record values must fail proof checks");
+}
+
+#[test]
+fn omitted_records_are_rejected() {
+    let (honest, attack) = run_attack(AdversaryMode::OmitRecord);
+    assert_eq!(honest, 0);
+    assert!(attack > 0, "dropping a requested record must be detected");
+}
+
+#[test]
+fn hidden_leaves_are_rejected() {
+    let (honest, attack) = run_attack(AdversaryMode::HideLeaf);
+    assert_eq!(honest, 0);
+    assert!(
+        attack > 0,
+        "collapsing an in-range leaf to an opaque digest must be detected"
+    );
+}
+
+#[test]
+fn stale_replays_are_rejected() {
+    let (honest, attack) = run_attack(AdversaryMode::ReplayStale);
+    assert_eq!(honest, 0);
+    assert!(attack > 0, "proofs against a superseded root must fail");
+}
+
+/// After an attack is caught, an SP that returns to the protocol serves
+/// verifiable deliveries again — rejection never wedges the feed.
+#[test]
+fn feed_recovers_once_the_sp_turns_honest_again() {
+    let config = SystemConfig::new(PolicyKind::Bl1);
+    let mut system = GrubSystem::new(&config).expect("system builds");
+    system
+        .drive(&epoch_trace("price", 7))
+        .expect("honest warmup");
+
+    system.set_adversary(AdversaryMode::ForgeValue);
+    system
+        .drive(&epoch_trace("price", 8))
+        .expect("attack epoch");
+    let after_attack: usize = system.reports().iter().map(|e| e.failed_delivers).sum();
+    assert!(after_attack > 0, "attack must be caught first");
+
+    system.set_adversary(AdversaryMode::Honest);
+    system
+        .drive(&epoch_trace("price", 9))
+        .expect("recovery epoch");
+    let after_recovery: usize = system.reports().iter().map(|e| e.failed_delivers).sum();
+    assert_eq!(
+        after_recovery, after_attack,
+        "no further rejections once the SP follows the protocol again"
+    );
+}
+
+/// The attacks must also fail against an adaptive policy mid-flight (the
+/// record may be replicated or in transition — verification must hold in
+/// every replication state).
+#[test]
+fn attacks_fail_under_an_adaptive_policy_too() {
+    for mode in [
+        AdversaryMode::ForgeValue,
+        AdversaryMode::ReplayStale,
+        AdversaryMode::OmitRecord,
+    ] {
+        let config = SystemConfig::new(PolicyKind::Memoryless { k: 64 });
+        let mut system = GrubSystem::new(&config).expect("system builds");
+        system
+            .drive(&epoch_trace("price", 7))
+            .expect("honest warmup");
+        let honest: usize = system.reports().iter().map(|e| e.failed_delivers).sum();
+        assert_eq!(honest, 0, "{mode:?}: honest warm-up must verify");
+
+        system.set_adversary(mode);
+        // K=64 exceeds the reads per epoch, so the record stays
+        // un-replicated and the epoch still exercises request/deliver
+        // under an adaptive policy.
+        system
+            .drive(&epoch_trace("price", 8))
+            .expect("attack epoch");
+        let total: usize = system.reports().iter().map(|e| e.failed_delivers).sum();
+        assert!(
+            total > 0,
+            "{mode:?}: attack must be rejected mid-adaptation"
+        );
+    }
+}

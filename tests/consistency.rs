@@ -29,7 +29,8 @@ fn gput_visible_everywhere_within_freshness_bound() {
         net.run_until(bound + 60_000);
         for node in 0..6 {
             assert!(
-                net.finalized_view(node, bound).contains(&"gPut".to_string()),
+                net.finalized_view(node, bound)
+                    .contains(&"gPut".to_string()),
                 "seed {seed}, node {node}: gPut not final at the freshness bound"
             );
         }
@@ -106,10 +107,7 @@ fn freshness_bound_monotonicity() {
     assert!(more_epoch.freshness_bound_ms() > base.freshness_bound_ms());
     let mut deeper = config();
     deeper.finality_depth += 1;
-    assert!(
-        FreshnessModel::new(1_000, deeper).freshness_bound_ms()
-            > base.freshness_bound_ms()
-    );
+    assert!(FreshnessModel::new(1_000, deeper).freshness_bound_ms() > base.freshness_bound_ms());
     assert_eq!(
         base.freshness_bound_ms(),
         1_000 + 300 + 6 * 1_000,

@@ -106,7 +106,11 @@ fn adversarial_sp_modes_are_all_rejected() {
         }
         system.drive(&warmup).expect("honest warmup");
         assert_eq!(
-            system.reports().iter().map(|e| e.failed_delivers).sum::<usize>(),
+            system
+                .reports()
+                .iter()
+                .map(|e| e.failed_delivers)
+                .sum::<usize>(),
             0,
             "{mode:?}: honest phase must not fail"
         );
@@ -200,7 +204,9 @@ fn reading_absent_keys_is_safe() {
         value: ValueSpec::new(32, 1),
     });
     for _ in 0..8 {
-        trace.ops.push(Op::Read { key: "ghost".into() });
+        trace.ops.push(Op::Read {
+            key: "ghost".into(),
+        });
     }
     system.drive(&trace).expect("drive");
     let report = system.into_report();

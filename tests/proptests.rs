@@ -29,9 +29,7 @@ enum TreeOp {
 }
 
 fn tree_op() -> impl Strategy<Value = TreeOp> {
-    let key = prop::sample::select(
-        (0..24u8).map(|i| format!("key{i:02}")).collect::<Vec<_>>(),
-    );
+    let key = prop::sample::select((0..24u8).map(|i| format!("key{i:02}")).collect::<Vec<_>>());
     prop_oneof![
         (any::<bool>(), key.clone(), any::<u64>()).prop_map(|(s, k, v)| TreeOp::Insert(s, k, v)),
         (any::<bool>(), key).prop_map(|(s, k)| TreeOp::Invalidate(s, k)),

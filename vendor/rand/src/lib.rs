@@ -1,0 +1,338 @@
+//! Offline stand-in for `rand` 0.8, exposing exactly the API surface the
+//! GRuB workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, the
+//! `Rng` extension trait (`gen`, `gen_range`, `gen_bool`, `sample`), the
+//! `distributions::{Distribution, WeightedIndex, Standard}` family, and the
+//! free function `random()`.
+//!
+//! `StdRng` is a splitmix64-fed xoshiro256++ — deterministic for a given
+//! seed, statistically solid for workload generation, and *not* intended to
+//! be cryptographically secure (the real `rand::rngs::StdRng` is ChaCha12;
+//! nothing in this workspace relies on RNG secrecy).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness (object-safe core trait).
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing extension methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value via the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D>(&mut self, distr: D) -> T
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Ranges that can be sampled uniformly (`gen_range` argument).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 sample range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer sample range");
+                let span = (self.end - self.start) as u128;
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive sample range");
+                let span = (hi - lo) as u128 + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer sample range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive sample range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_sample_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator seeded via splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    //! The distribution traits and the weighted-index distribution.
+
+    use super::Rng;
+
+    /// Types that can produce samples of `T` given an RNG.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution for primitives: uniform over the full
+    /// domain for integers, uniform in `[0, 1)` for floats, fair for bools.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    /// Error from building a [`WeightedIndex`] with invalid weights.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct WeightedError;
+
+    impl std::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "invalid weights for WeightedIndex")
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Item types accepted by [`WeightedIndex::new`] (weights by value or
+    /// by reference, so both `vec.iter()` and `&vec` work).
+    pub trait IntoWeight {
+        /// The weight as an `f64` for cumulative-sum sampling.
+        fn into_weight(self) -> f64;
+    }
+
+    macro_rules! impl_into_weight {
+        ($($t:ty),*) => {$(
+            impl IntoWeight for $t {
+                fn into_weight(self) -> f64 {
+                    self as f64
+                }
+            }
+            impl IntoWeight for &$t {
+                fn into_weight(self) -> f64 {
+                    *self as f64
+                }
+            }
+        )*};
+    }
+
+    impl_into_weight!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+    /// Samples indices `0..n` proportionally to the supplied weights.
+    #[derive(Debug, Clone)]
+    pub struct WeightedIndex {
+        cumulative: Vec<f64>,
+        total: f64,
+    }
+
+    impl WeightedIndex {
+        /// Builds the distribution; errors on empty, negative, or all-zero
+        /// weights (mirroring `rand::distributions::WeightedIndex`).
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: IntoWeight,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0_f64;
+            for w in weights {
+                let w = w.into_weight();
+                if !w.is_finite() || w < 0.0 {
+                    return Err(WeightedError);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() || total <= 0.0 {
+                return Err(WeightedError);
+            }
+            Ok(WeightedIndex { cumulative, total })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let needle = unit * self.total;
+            match self
+                .cumulative
+                .binary_search_by(|c| c.partial_cmp(&needle).expect("finite"))
+            {
+                Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+                Err(i) => i.min(self.cumulative.len() - 1),
+            }
+        }
+    }
+}
+
+/// One sample of `T` from process-local (non-deterministic) entropy.
+pub fn random<T>() -> T
+where
+    distributions::Standard: distributions::Distribution<T>,
+{
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    // RandomState draws per-process OS entropy; the counter decorrelates
+    // successive calls within the process.
+    let mut hasher = RandomState::new().build_hasher();
+    hasher.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+    let mut rng = <rngs::StdRng as SeedableRng>::seed_from_u64(hasher.finish());
+    Rng::gen(&mut rng)
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The GRuB workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! markers (no actual serialization happens in-process), so this stub keeps
+//! the builds hermetic: the traits exist, are blanket-implemented for every
+//! type, and the derives expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    //! Stand-ins for the `serde::de` entry points the workspace may name.
+
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}

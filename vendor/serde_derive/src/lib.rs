@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` stub gives `Serialize` / `Deserialize` blanket
+//! impls, so the derives only need to exist and accept `#[serde(...)]`
+//! attributes — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]` (the `serde` stub blanket-implements the trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]` (the `serde` stub blanket-implements the trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
