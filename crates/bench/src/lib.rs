@@ -78,5 +78,10 @@ pub fn registry() -> Vec<Experiment> {
             "Ablation (extension): self-tuning K vs static/adaptive",
             e::ablation_self_tuning,
         ),
+        (
+            "multifeed",
+            "Multi-tenant engine (extension): cross-feed epoch batching",
+            e::multifeed_batching,
+        ),
     ]
 }

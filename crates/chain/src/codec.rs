@@ -169,6 +169,45 @@ impl<'a> Decoder<'a> {
     }
 }
 
+/// Encodes a batch of per-target call sections — the multi-feed `update`
+/// framing used by shard routers: each section names the contract that
+/// should receive `payload` as an internal call. Framing overhead is one
+/// `u64` count plus an address and a length prefix per section, so batching
+/// `n` payloads into one transaction trades `n - 1` transaction base costs
+/// for a few words of calldata.
+pub fn encode_sections(sections: &[(Address, Vec<u8>)]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.u64(sections.len() as u64);
+    for (target, payload) in sections {
+        enc.address(target).bytes(payload);
+    }
+    enc.finish()
+}
+
+/// Decodes a batch encoded by [`encode_sections`].
+///
+/// # Errors
+///
+/// Returns [`VmError::Decode`] if the payload is malformed or truncated.
+pub fn decode_sections(input: &[u8]) -> Result<Vec<(Address, Vec<u8>)>, VmError> {
+    let mut dec = Decoder::new(input);
+    let n = dec.u64()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let target = dec.address()?;
+        let payload = dec.bytes()?.to_vec();
+        out.push((target, payload));
+    }
+    if !dec.is_empty() {
+        return Err(VmError::Decode(format!(
+            "{} trailing bytes after {} sections",
+            dec.remaining(),
+            n
+        )));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +244,25 @@ mod tests {
         let buf = enc.finish();
         let mut dec = Decoder::new(&buf[..4]);
         assert!(matches!(dec.u64(), Err(VmError::Decode(_))));
+    }
+
+    #[test]
+    fn sections_round_trip() {
+        let sections = vec![
+            (Address::derive("m1"), b"payload-one".to_vec()),
+            (Address::derive("m2"), Vec::new()),
+            (Address::derive("m3"), vec![0u8; 300]),
+        ];
+        let buf = encode_sections(&sections);
+        assert_eq!(decode_sections(&buf).unwrap(), sections);
+        assert!(decode_sections(&encode_sections(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sections_reject_trailing_garbage() {
+        let mut buf = encode_sections(&[(Address::derive("m"), b"p".to_vec())]);
+        buf.push(0xAB);
+        assert!(matches!(decode_sections(&buf), Err(VmError::Decode(_))));
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub enum OnChainTrace {
 #[derive(Debug)]
 pub struct StorageManager {
     data_owner: Address,
+    update_delegate: Option<Address>,
     trace_mode: OnChainTrace,
 }
 
@@ -70,6 +71,23 @@ impl StorageManager {
     pub fn new(data_owner: Address, trace_mode: OnChainTrace) -> Self {
         StorageManager {
             data_owner,
+            update_delegate: None,
+            trace_mode,
+        }
+    }
+
+    /// Like [`StorageManager::new`] with a second account/contract trusted
+    /// to call `update()` — the multi-tenant engine's shard router, which
+    /// forwards many feeds' epoch updates out of one batched transaction.
+    /// The DO stays authorized (it still sends preload updates directly).
+    pub fn with_delegate(
+        data_owner: Address,
+        update_delegate: Address,
+        trace_mode: OnChainTrace,
+    ) -> Self {
+        StorageManager {
+            data_owner,
+            update_delegate: Some(update_delegate),
             trace_mode,
         }
     }
@@ -96,7 +114,7 @@ impl StorageManager {
 
     /// `update()` — the DO's epoch transaction (write path, §3.3).
     fn update(&self, ctx: &mut CallContext<'_>, input: &[u8]) -> Result<Vec<u8>, VmError> {
-        if ctx.caller != self.data_owner {
+        if ctx.caller != self.data_owner && Some(ctx.caller) != self.update_delegate {
             return Err(VmError::Unauthorized);
         }
         let mut dec = Decoder::new(input);

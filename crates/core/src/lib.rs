@@ -30,7 +30,10 @@
 //!   omit / replay) for security testing;
 //! * [`system`] — the harness wiring DO + SP + chain + consumer contracts
 //!   and driving workload traces epoch by epoch, with per-epoch Gas
-//!   reporting at feed and application layers.
+//!   reporting at feed and application layers. Its
+//!   [`system::EpochDriver`] building block borrows the chain instead of
+//!   owning it, so external schedulers (the multi-tenant `grub-engine`)
+//!   can interleave many feeds on one blockchain.
 //!
 //! # Examples
 //!

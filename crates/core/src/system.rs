@@ -8,6 +8,20 @@
 //! watchdog answers replica misses with proof-carrying `deliver`
 //! transactions in the following block. Gas is read off the chain's meter
 //! per epoch and attributed to feed and application layers.
+//!
+//! The machinery comes in two layers:
+//!
+//! * [`EpochDriver`] — one feed's full deployment (DO, SP, storage-manager
+//!   and consumer contracts) *without* a chain of its own: every method
+//!   borrows a [`Blockchain`], so any number of drivers can share one chain.
+//!   The epoch is split into [`EpochDriver::stage_update`] /
+//!   [`EpochDriver::submit_update`] / [`EpochDriver::run_read_phase`] so
+//!   external schedulers (the multi-tenant `grub-engine`) can reroute the
+//!   staged `update()` payloads — e.g. coalescing many feeds' epochs into
+//!   one batched transaction per shard — while reusing the read path
+//!   verbatim;
+//! * [`GrubSystem`] — the classic single-feed harness: owns one chain and
+//!   one driver and exposes the one-call `run_trace` entry points.
 
 use std::rc::Rc;
 
@@ -106,9 +120,77 @@ impl SystemConfig {
 /// (e.g. SCoinIssuer's `issue`/`redeem`, §4.1).
 pub type ReadTxBuilder = Box<dyn Fn(&[String]) -> Vec<Transaction>>;
 
-/// The assembled GRuB deployment.
-pub struct GrubSystem {
-    chain: Blockchain,
+/// On-chain identity of one feed deployment: how its contract and account
+/// addresses are derived, and who besides the DO may call `update()`.
+#[derive(Clone, Debug, Default)]
+pub struct DriverIdentity {
+    /// Distinguishes this feed's addresses from other feeds sharing the
+    /// chain. The empty namespace yields the classic singleton layout
+    /// (`grub-storage-manager` etc.); a multi-tenant engine passes the
+    /// tenant name.
+    pub namespace: String,
+    /// An additional account/contract authorized to call `update()` on this
+    /// feed's storage manager — the shard router that batches many feeds'
+    /// epoch updates into one transaction.
+    pub update_delegate: Option<Address>,
+}
+
+impl DriverIdentity {
+    /// Identity for a namespaced tenant feed.
+    pub fn tenant(namespace: impl Into<String>) -> Self {
+        DriverIdentity {
+            namespace: namespace.into(),
+            update_delegate: None,
+        }
+    }
+
+    /// Adds a delegated `update()` caller (the shard router).
+    pub fn with_update_delegate(mut self, delegate: Address) -> Self {
+        self.update_delegate = Some(delegate);
+        self
+    }
+
+    fn derive(&self, base: &str) -> Address {
+        if self.namespace.is_empty() {
+            Address::derive(base)
+        } else {
+            Address::derive(&format!("{base}/{}", self.namespace))
+        }
+    }
+}
+
+/// One epoch's staged `update()` transaction payloads, produced by
+/// [`EpochDriver::stage_update`] and consumed either by
+/// [`EpochDriver::submit_update`] (the single-feed path) or by an external
+/// batcher that routes the chunks through a shard-level transaction.
+#[derive(Clone, Debug, Default)]
+pub struct StagedUpdate {
+    /// Encoded `update()` inputs, each under the `Ctx` 1000-word bound.
+    /// Empty when the epoch had nothing to flush.
+    pub chunks: Vec<Vec<u8>>,
+    /// Trace operations closed out by this epoch.
+    pub ops: usize,
+    /// NR→R transitions actuated at this flush.
+    pub replications: usize,
+    /// R→NR transitions actuated at this flush.
+    pub evictions: usize,
+}
+
+impl StagedUpdate {
+    /// Total payload bytes across all chunks.
+    pub fn payload_bytes(&self) -> usize {
+        self.chunks.iter().map(Vec::len).sum()
+    }
+}
+
+/// One feed's deployment, driving epochs against a *borrowed* chain.
+///
+/// All per-feed state lives here; the chain (and its Gas meter) is shared,
+/// which is what lets the multi-tenant engine run many drivers against one
+/// blockchain. Per-epoch Gas is attributed by snapshot-differencing around
+/// this feed's own read phase, so attribution stays exact as long as a
+/// scheduler completes one driver's epoch work before starting the next.
+pub struct EpochDriver {
     owner: DataOwner,
     provider: StorageProvider,
     manager: Address,
@@ -119,42 +201,51 @@ pub struct GrubSystem {
     pending_scans: Vec<(String, String)>,
     reports: Vec<EpochReport>,
     ops_in_epoch: usize,
-    last_snapshot: grub_gas::GasSnapshot,
     read_tx_builder: Option<ReadTxBuilder>,
     coalesce_reads: bool,
 }
 
-impl GrubSystem {
-    /// Builds the full deployment (contracts, DO, SP), preloads the dataset,
-    /// and resets the Gas meter so setup costs are excluded — the paper
-    /// meters steady-state operation, not provisioning.
+impl EpochDriver {
+    /// Deploys one feed (contracts, DO, SP) onto `chain` and preloads its
+    /// dataset. The Gas meter is *not* reset — the caller decides when
+    /// provisioning ends (a multi-feed engine resets once after all feeds
+    /// deploy).
     ///
     /// # Errors
     ///
     /// Propagates store failures and failed preload transactions.
-    pub fn new(config: &SystemConfig) -> Result<Self> {
+    pub fn deploy(
+        chain: &mut Blockchain,
+        config: &SystemConfig,
+        identity: &DriverIdentity,
+    ) -> Result<Self> {
         let policy = config.policy.build(&grub_gas::GasSchedule::default());
-        Self::with_policy(config, policy)
+        Self::deploy_with_policy(chain, config, policy, identity)
     }
 
-    /// Like [`GrubSystem::new`] but with an explicit policy object — used
-    /// for the offline-optimal reference, which must be precomputed from the
-    /// trace.
+    /// Like [`EpochDriver::deploy`] with an explicit policy object (offline
+    /// optimal).
     ///
     /// # Errors
     ///
     /// Propagates store failures and failed preload transactions.
-    pub fn with_policy(config: &SystemConfig, policy: Box<dyn ReplicationPolicy>) -> Result<Self> {
-        let mut chain = Blockchain::with_config(config.chain);
-        let do_addr = Address::derive("grub-data-owner");
-        let sp_addr = Address::derive("grub-storage-provider");
-        let manager = Address::derive("grub-storage-manager");
-        let consumer = Address::derive("grub-null-consumer");
-        chain.deploy(
-            manager,
-            Rc::new(StorageManager::new(do_addr, config.on_chain_trace)),
-            Layer::Feed,
-        );
+    pub fn deploy_with_policy(
+        chain: &mut Blockchain,
+        config: &SystemConfig,
+        policy: Box<dyn ReplicationPolicy>,
+        identity: &DriverIdentity,
+    ) -> Result<Self> {
+        let do_addr = identity.derive("grub-data-owner");
+        let sp_addr = identity.derive("grub-storage-provider");
+        let manager = identity.derive("grub-storage-manager");
+        let consumer = identity.derive("grub-null-consumer");
+        let manager_code = match identity.update_delegate {
+            Some(delegate) => {
+                StorageManager::with_delegate(do_addr, delegate, config.on_chain_trace)
+            }
+            None => StorageManager::new(do_addr, config.on_chain_trace),
+        };
+        chain.deploy(manager, Rc::new(manager_code), Layer::Feed);
         chain.deploy(
             consumer,
             Rc::new(NullConsumer::new(manager)),
@@ -182,7 +273,7 @@ impl GrubSystem {
             match preload_state {
                 ReplState::NotReplicated => {
                     let input = crate::contract::encode_update(&digest, &[], &[], &[]);
-                    submit_checked(&mut chain, do_addr, manager, "update", input)?;
+                    submit_checked(chain, do_addr, manager, "update", input)?;
                 }
                 ReplState::Replicated => {
                     let mut batch: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
@@ -197,54 +288,38 @@ impl GrubSystem {
                                 &std::mem::take(&mut batch),
                                 &[],
                             );
-                            submit_checked(&mut chain, do_addr, manager, "update", input)?;
+                            submit_checked(chain, do_addr, manager, "update", input)?;
                             batch_bytes = 0;
                         }
                     }
                     if !batch.is_empty() {
                         let input = crate::contract::encode_update(&digest, &[], &batch, &[]);
-                        submit_checked(&mut chain, do_addr, manager, "update", input)?;
+                        submit_checked(chain, do_addr, manager, "update", input)?;
                     }
                 }
             }
         } else {
             // Even an empty feed pins its (empty-tree) digest on chain.
             let input = crate::contract::encode_update(&owner.root(), &[], &[], &[]);
-            submit_checked(&mut chain, do_addr, manager, "update", input)?;
+            submit_checked(chain, do_addr, manager, "update", input)?;
         }
-        chain.meter_reset();
-        let last_snapshot = chain.gas_snapshot();
-        Ok(GrubSystem {
-            chain,
+        Ok(EpochDriver {
             owner,
             provider,
             manager,
             consumer,
-            epoch_ops: config.epoch_ops,
+            // Clamped even though the builder clamps too: the field is pub,
+            // and a zero here would make external epoch-granular schedulers
+            // spin on empty epochs without ever consuming the trace.
+            epoch_ops: config.epoch_ops.max(1),
             reads_per_tx: config.reads_per_tx.max(1),
             pending_reads: Vec::new(),
             pending_scans: Vec::new(),
             reports: Vec::new(),
             ops_in_epoch: 0,
-            last_snapshot,
             read_tx_builder: None,
             coalesce_reads: config.coalesce_reads,
         })
-    }
-
-    /// Deploys an application contract into the running system (after the
-    /// meter reset, so its provisioning is not metered either).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the address is already taken.
-    pub fn deploy_contract(
-        &mut self,
-        address: Address,
-        code: Rc<dyn grub_chain::Contract>,
-        layer: Layer,
-    ) {
-        self.chain.deploy(address, code, layer);
     }
 
     /// Replaces the default `batchRead` driver: the builder receives each
@@ -254,58 +329,10 @@ impl GrubSystem {
         self.read_tx_builder = Some(builder);
     }
 
-    /// One-call convenience: build the system and drive the whole trace.
-    ///
-    /// # Errors
-    ///
-    /// Propagates store failures and protocol-violating transaction
-    /// failures.
-    pub fn run_trace(trace: &Trace, config: &SystemConfig) -> Result<RunReport> {
-        let mut system = GrubSystem::new(config)?;
-        system.drive(trace)?;
-        Ok(system.into_report())
-    }
-
-    /// Like [`GrubSystem::run_trace`] with an explicit policy (offline
-    /// optimal).
-    ///
-    /// # Errors
-    ///
-    /// Propagates store failures and protocol-violating transaction
-    /// failures.
-    pub fn run_trace_with_policy(
-        trace: &Trace,
-        config: &SystemConfig,
-        policy: Box<dyn ReplicationPolicy>,
-    ) -> Result<RunReport> {
-        let mut system = GrubSystem::with_policy(config, policy)?;
-        system.drive(trace)?;
-        Ok(system.into_report())
-    }
-
-    /// Drives a full trace, closing the trailing partial epoch.
-    ///
-    /// # Errors
-    ///
-    /// Propagates store failures and protocol-violating transaction
-    /// failures.
-    pub fn drive(&mut self, trace: &Trace) -> Result<()> {
-        for op in &trace.ops {
-            self.feed_op(op)?;
-        }
-        if self.ops_in_epoch > 0 {
-            self.close_epoch()?;
-        }
-        Ok(())
-    }
-
-    /// Feeds a single trace operation, closing an epoch when due.
-    ///
-    /// # Errors
-    ///
-    /// Propagates store failures and protocol-violating transaction
-    /// failures.
-    pub fn feed_op(&mut self, op: &Op) -> Result<()> {
+    /// Stages a trace operation into the current epoch without chain
+    /// interaction; the caller closes the epoch when
+    /// [`EpochDriver::epoch_is_full`] (or at end of trace).
+    pub fn push_op(&mut self, op: &Op) {
         match op {
             Op::Write { key, value } => {
                 self.owner.observe_write(key, value.materialize());
@@ -314,7 +341,7 @@ impl GrubSystem {
                 // In batched mode the whole epoch's reads share a block, so
                 // the monitor legitimately sees them all before the SP
                 // delivers; in live mode each read is observed at its own
-                // block (see close_epoch).
+                // block (see run_read_phase).
                 if self.coalesce_reads {
                     self.owner.observe_read(key);
                 }
@@ -329,51 +356,92 @@ impl GrubSystem {
             }
         }
         self.ops_in_epoch += 1;
-        if self.ops_in_epoch >= self.epoch_ops {
-            self.close_epoch()?;
-        }
-        Ok(())
     }
 
-    fn close_epoch(&mut self) -> Result<()> {
+    /// Whether the current epoch has reached its operation budget.
+    pub fn epoch_is_full(&self) -> bool {
+        self.ops_in_epoch >= self.epoch_ops
+    }
+
+    /// Operations staged in the still-open epoch.
+    pub fn pending_ops(&self) -> usize {
+        self.ops_in_epoch
+    }
+
+    /// Closes the epoch's write path off-chain: flushes the DO, syncs the
+    /// SP, and returns the encoded `update()` payload chunks for the caller
+    /// to submit (directly, or batched through a shard router).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures.
+    pub fn stage_update(&mut self) -> Result<StagedUpdate> {
         let ops = std::mem::replace(&mut self.ops_in_epoch, 0);
-        // 1. The DO's epoch update (gPuts write path). Oversized epochs are
-        //    split across transactions: Ctx(X) is defined for X < 1000 words
-        //    and every chunk carries the same final digest.
+        // The DO's epoch update (gPuts write path). Oversized epochs are
+        // split across payload chunks: Ctx(X) is defined for X < 1000 words
+        // and every chunk carries the same final digest.
         let flush = self.owner.flush_epoch();
         self.provider.apply_sync(&flush.sp_sync)?;
-        if flush.dirty {
-            for input in encode_update_chunked(&flush) {
-                let tx = Transaction::new(
-                    self.owner.address(),
-                    self.manager,
-                    "update",
-                    input,
-                    Layer::Feed,
-                );
-                self.chain.submit(tx);
-            }
+        let chunks = if flush.dirty {
+            encode_update_chunked(&flush)
+        } else {
+            Vec::new()
+        };
+        Ok(StagedUpdate {
+            chunks,
+            ops,
+            replications: flush.replications,
+            evictions: flush.evictions,
+        })
+    }
+
+    /// Submits the staged update chunks as this feed's own transactions
+    /// (one per chunk, unbatched). They are mined by the next block seal —
+    /// in coalesced-read mode that is the epoch's shared block.
+    pub fn submit_update(&self, chain: &mut Blockchain, staged: &StagedUpdate) {
+        for input in &staged.chunks {
+            let tx = Transaction::new(
+                self.owner.address(),
+                self.manager,
+                "update",
+                input.clone(),
+                Layer::Feed,
+            );
+            chain.submit(tx);
         }
-        // 2. Consumer read transactions: batched into shared blocks (§5.1
-        //    methodology) or replayed one per block (§4 tempo), then the SP
-        //    watchdog answers outstanding requests.
+    }
+
+    /// Runs the epoch's read path — consumer transactions, SP watchdog
+    /// deliveries — and books the epoch's Gas (everything mined between the
+    /// start and end of this call, which includes any update transactions
+    /// still in the mempool).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and protocol-violating transaction
+    /// failures.
+    pub fn run_read_phase(&mut self, chain: &mut Blockchain, staged: &StagedUpdate) -> Result<()> {
+        let before = chain.gas_snapshot();
         let reads = std::mem::take(&mut self.pending_reads);
         let scans = std::mem::take(&mut self.pending_scans);
         let mut failed_delivers = 0usize;
         if self.coalesce_reads {
+            // Consumer read transactions batched into shared blocks (§5.1
+            // methodology), then the SP watchdog answers outstanding
+            // requests.
             for key in &reads {
                 self.push_hint(key);
             }
             for tx in self.build_read_txs(&reads) {
-                self.chain.submit(tx);
+                chain.submit(tx);
             }
             for (start, end) in scans {
-                self.submit_scan(&start, &end);
+                self.submit_scan(chain, &start, &end);
             }
-            self.seal_block()?;
-            failed_delivers += self.run_watchdog()?;
+            self.seal_block(chain)?;
+            failed_delivers += self.run_watchdog(chain)?;
         } else {
-            self.seal_block()?; // the update lands in its own block
+            self.seal_block(chain)?; // the update lands in its own block
             for key in reads {
                 // Live tempo: the monitor observes this read when its block
                 // lands, and the SP learns the (possibly flipped) decision
@@ -381,31 +449,82 @@ impl GrubSystem {
                 self.owner.observe_read(&key);
                 self.push_hint(&key);
                 for tx in self.build_read_txs(std::slice::from_ref(&key)) {
-                    self.chain.submit(tx);
+                    chain.submit(tx);
                 }
-                self.seal_block()?;
-                failed_delivers += self.run_watchdog()?;
+                self.seal_block(chain)?;
+                failed_delivers += self.run_watchdog(chain)?;
             }
             for (start, end) in scans {
                 self.owner.observe_read(&start);
-                self.submit_scan(&start, &end);
-                self.seal_block()?;
-                failed_delivers += self.run_watchdog()?;
+                self.submit_scan(chain, &start, &end);
+                self.seal_block(chain)?;
+                failed_delivers += self.run_watchdog(chain)?;
             }
         }
-        // 4. Account the epoch.
-        let snapshot = self.chain.gas_snapshot();
-        let (feed, app) = snapshot.since(self.last_snapshot);
-        self.last_snapshot = snapshot;
+        // Account the epoch.
+        let (feed, app) = chain.gas_snapshot().since(before);
         self.reports.push(EpochReport {
             epoch: self.reports.len(),
-            ops,
+            ops: staged.ops,
             feed_gas: feed.amount(),
             app_gas: app.amount(),
-            replications: flush.replications,
-            evictions: flush.evictions,
+            replications: staged.replications,
+            evictions: staged.evictions,
             failed_delivers,
         });
+        Ok(())
+    }
+
+    /// Closes the current epoch end to end: stage, submit own update
+    /// transactions, run the read phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and protocol-violating transaction
+    /// failures.
+    pub fn close_epoch(&mut self, chain: &mut Blockchain) -> Result<()> {
+        let staged = self.stage_update()?;
+        self.submit_update(chain, &staged);
+        self.run_read_phase(chain, &staged)
+    }
+
+    /// Feeds a single trace operation, closing an epoch when due.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and protocol-violating transaction
+    /// failures.
+    pub fn feed_op(&mut self, chain: &mut Blockchain, op: &Op) -> Result<()> {
+        self.push_op(op);
+        if self.epoch_is_full() {
+            self.close_epoch(chain)?;
+        }
+        Ok(())
+    }
+
+    /// Drives a full trace, closing the trailing partial epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and protocol-violating transaction
+    /// failures.
+    pub fn drive(&mut self, chain: &mut Blockchain, trace: &Trace) -> Result<()> {
+        for op in &trace.ops {
+            self.feed_op(chain, op)?;
+        }
+        self.finish(chain)
+    }
+
+    /// Closes a trailing partial epoch, if any operations are staged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and protocol-violating transaction
+    /// failures.
+    pub fn finish(&mut self, chain: &mut Blockchain) -> Result<()> {
+        if self.ops_in_epoch > 0 {
+            self.close_epoch(chain)?;
+        }
         Ok(())
     }
 
@@ -445,10 +564,10 @@ impl GrubSystem {
             .collect()
     }
 
-    fn submit_scan(&mut self, start: &str, end: &str) {
+    fn submit_scan(&self, chain: &mut Blockchain, start: &str, end: &str) {
         let mut enc = Encoder::new();
         enc.bytes(start.as_bytes()).bytes(end.as_bytes());
-        self.chain.submit(Transaction::new(
+        chain.submit(Transaction::new(
             Address::derive("end-user"),
             self.consumer,
             "scan",
@@ -458,11 +577,11 @@ impl GrubSystem {
     }
 
     /// Mines pending transactions, erroring on any protocol failure.
-    fn seal_block(&mut self) -> Result<()> {
-        if self.chain.mempool_len() == 0 {
+    fn seal_block(&self, chain: &mut Blockchain) -> Result<()> {
+        if chain.mempool_len() == 0 {
             return Ok(());
         }
-        let block = self.chain.produce_block();
+        let block = chain.produce_block();
         for receipt in &block.receipts {
             if !receipt.success {
                 return Err(GrubError::Chain(format!(
@@ -476,32 +595,21 @@ impl GrubSystem {
 
     /// Runs the SP watchdog and mines its deliveries, returning how many
     /// the contract rejected.
-    fn run_watchdog(&mut self) -> Result<usize> {
-        let delivers = self.provider.watchdog(&self.chain, self.manager)?;
+    fn run_watchdog(&mut self, chain: &mut Blockchain) -> Result<usize> {
+        let delivers = self.provider.watchdog(chain, self.manager)?;
         if delivers.is_empty() {
             return Ok(0);
         }
         for tx in delivers {
-            self.chain.submit(tx);
+            chain.submit(tx);
         }
-        let block = self.chain.produce_block();
+        let block = chain.produce_block();
         Ok(block.receipts.iter().filter(|r| !r.success).count())
     }
 
     /// Puts the SP into an adversarial mode (security experiments).
     pub fn set_adversary(&mut self, mode: AdversaryMode) {
         self.provider.set_mode(mode);
-    }
-
-    /// The §3.2 monitor: read keys reconstructed from the chain's
-    /// contract-call history since the last call.
-    pub fn federated_read_keys(&mut self) -> Vec<String> {
-        self.owner.federate_reads(&self.chain, self.manager)
-    }
-
-    /// The chain, for assertions.
-    pub fn chain(&self) -> &Blockchain {
-        &self.chain
     }
 
     /// The storage-manager contract address.
@@ -535,7 +643,7 @@ impl GrubSystem {
         &self.reports
     }
 
-    /// Finishes the run and returns the report.
+    /// Finishes the driver and returns its run report.
     pub fn into_report(self) -> RunReport {
         RunReport {
             policy: self.owner.policy_name(),
@@ -544,11 +652,185 @@ impl GrubSystem {
     }
 }
 
+impl std::fmt::Debug for EpochDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochDriver")
+            .field("policy", &self.owner.policy_name())
+            .field("manager", &self.manager)
+            .field("epochs", &self.reports.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The assembled single-feed GRuB deployment: one chain, one
+/// [`EpochDriver`].
+pub struct GrubSystem {
+    chain: Blockchain,
+    driver: EpochDriver,
+}
+
+impl GrubSystem {
+    /// Builds the full deployment (contracts, DO, SP), preloads the dataset,
+    /// and resets the Gas meter so setup costs are excluded — the paper
+    /// meters steady-state operation, not provisioning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and failed preload transactions.
+    pub fn new(config: &SystemConfig) -> Result<Self> {
+        let policy = config.policy.build(&grub_gas::GasSchedule::default());
+        Self::with_policy(config, policy)
+    }
+
+    /// Like [`GrubSystem::new`] but with an explicit policy object — used
+    /// for the offline-optimal reference, which must be precomputed from the
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and failed preload transactions.
+    pub fn with_policy(config: &SystemConfig, policy: Box<dyn ReplicationPolicy>) -> Result<Self> {
+        let mut chain = Blockchain::with_config(config.chain);
+        let driver = EpochDriver::deploy_with_policy(
+            &mut chain,
+            config,
+            policy,
+            &DriverIdentity::default(),
+        )?;
+        chain.meter_reset();
+        Ok(GrubSystem { chain, driver })
+    }
+
+    /// Deploys an application contract into the running system (after the
+    /// meter reset, so its provisioning is not metered either).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already taken.
+    pub fn deploy_contract(
+        &mut self,
+        address: Address,
+        code: Rc<dyn grub_chain::Contract>,
+        layer: Layer,
+    ) {
+        self.chain.deploy(address, code, layer);
+    }
+
+    /// Replaces the default `batchRead` driver: the builder receives each
+    /// epoch's pending read keys and returns the consumer transactions to
+    /// submit (the §4.1 experiment maps reads onto SCoinIssuer calls).
+    pub fn set_read_tx_builder(&mut self, builder: ReadTxBuilder) {
+        self.driver.set_read_tx_builder(builder);
+    }
+
+    /// One-call convenience: build the system and drive the whole trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and protocol-violating transaction
+    /// failures.
+    pub fn run_trace(trace: &Trace, config: &SystemConfig) -> Result<RunReport> {
+        let mut system = GrubSystem::new(config)?;
+        system.drive(trace)?;
+        Ok(system.into_report())
+    }
+
+    /// Like [`GrubSystem::run_trace`] with an explicit policy (offline
+    /// optimal).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and protocol-violating transaction
+    /// failures.
+    pub fn run_trace_with_policy(
+        trace: &Trace,
+        config: &SystemConfig,
+        policy: Box<dyn ReplicationPolicy>,
+    ) -> Result<RunReport> {
+        let mut system = GrubSystem::with_policy(config, policy)?;
+        system.drive(trace)?;
+        Ok(system.into_report())
+    }
+
+    /// Drives a full trace, closing the trailing partial epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and protocol-violating transaction
+    /// failures.
+    pub fn drive(&mut self, trace: &Trace) -> Result<()> {
+        self.driver.drive(&mut self.chain, trace)
+    }
+
+    /// Feeds a single trace operation, closing an epoch when due.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and protocol-violating transaction
+    /// failures.
+    pub fn feed_op(&mut self, op: &Op) -> Result<()> {
+        self.driver.feed_op(&mut self.chain, op)
+    }
+
+    /// Puts the SP into an adversarial mode (security experiments).
+    pub fn set_adversary(&mut self, mode: AdversaryMode) {
+        self.driver.set_adversary(mode);
+    }
+
+    /// The §3.2 monitor: read keys reconstructed from the chain's
+    /// contract-call history since the last call.
+    pub fn federated_read_keys(&mut self) -> Vec<String> {
+        let manager = self.driver.manager();
+        self.driver.owner_mut().federate_reads(&self.chain, manager)
+    }
+
+    /// The chain, for assertions.
+    pub fn chain(&self) -> &Blockchain {
+        &self.chain
+    }
+
+    /// The storage-manager contract address.
+    pub fn manager(&self) -> Address {
+        self.driver.manager()
+    }
+
+    /// The consumer contract address used for batched reads.
+    pub fn consumer(&self) -> Address {
+        self.driver.consumer()
+    }
+
+    /// The data owner, for assertions.
+    pub fn owner(&self) -> &DataOwner {
+        self.driver.owner()
+    }
+
+    /// Mutable DO access (used by application harnesses that interleave
+    /// their own monitoring).
+    pub fn owner_mut(&mut self) -> &mut DataOwner {
+        self.driver.owner_mut()
+    }
+
+    /// The storage provider, for assertions.
+    pub fn provider(&self) -> &StorageProvider {
+        self.driver.provider()
+    }
+
+    /// Epoch reports accumulated so far.
+    pub fn reports(&self) -> &[EpochReport] {
+        self.driver.reports()
+    }
+
+    /// Finishes the run and returns the report.
+    pub fn into_report(self) -> RunReport {
+        self.driver.into_report()
+    }
+}
+
 impl std::fmt::Debug for GrubSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GrubSystem")
-            .field("policy", &self.owner.policy_name())
-            .field("epochs", &self.reports.len())
+            .field("policy", &self.driver.owner().policy_name())
+            .field("epochs", &self.driver.reports().len())
             .finish_non_exhaustive()
     }
 }
@@ -572,11 +854,17 @@ fn submit_checked(
     }
 }
 
+/// Byte budget for one `update()` transaction payload, kept under the `Ctx`
+/// 1000-word bound with headroom for framing. Shared by the single-feed
+/// epoch chunking and the multi-tenant engine's shard batches so both stay
+/// within the same calldata envelope.
+pub const UPDATE_CHUNK_BYTES: usize = 24_000;
+
 /// Splits an epoch flush into one or more `update()` payloads, each under
 /// the `Ctx` 1000-word bound. Every chunk carries the epoch's final digest;
 /// the contract overwrites the root slot idempotently.
 fn encode_update_chunked(flush: &crate::owner::EpochFlush) -> Vec<Vec<u8>> {
-    const CHUNK_BYTES: usize = 24_000;
+    const CHUNK_BYTES: usize = UPDATE_CHUNK_BYTES;
     #[derive(Clone, Copy)]
     enum Item<'a> {
         RUpdate(&'a (Vec<u8>, Vec<u8>)),
@@ -808,5 +1096,25 @@ mod tests {
         let report = system.into_report();
         assert_eq!(report.failed_delivers(), 0);
         assert!(report.feed_gas_total() > 0);
+    }
+
+    #[test]
+    fn namespaced_drivers_coexist_on_one_chain() {
+        // Two independent feeds on one chain must not collide and must
+        // produce the same per-feed gas as two single-feed systems.
+        let trace = RatioWorkload::new("k", 4.0).generate(8);
+        let cfg = config(PolicyKind::Memoryless { k: 2 });
+        let mut chain = Blockchain::with_config(cfg.chain);
+        let mut a = EpochDriver::deploy(&mut chain, &cfg, &DriverIdentity::tenant("a")).unwrap();
+        let mut b = EpochDriver::deploy(&mut chain, &cfg, &DriverIdentity::tenant("b")).unwrap();
+        chain.meter_reset();
+        a.drive(&mut chain, &trace).unwrap();
+        b.drive(&mut chain, &trace).unwrap();
+        let single = GrubSystem::run_trace(&trace, &cfg).unwrap();
+        for driver in [a, b] {
+            let report = driver.into_report();
+            assert_eq!(report.feed_gas_total(), single.feed_gas_total());
+            assert_eq!(report.failed_delivers(), 0);
+        }
     }
 }

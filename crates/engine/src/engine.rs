@@ -1,0 +1,467 @@
+//! The multi-tenant engine: deployment, scheduling, sharded batching.
+
+use grub_chain::codec::encode_sections;
+use grub_chain::{Address, Blockchain, ChainConfig, Transaction};
+use grub_core::system::{DriverIdentity, EpochDriver, StagedUpdate, SystemConfig};
+use grub_core::{GrubError, Result};
+use grub_gas::Layer;
+use grub_workload::Trace;
+
+use crate::report::{EngineReport, TenantReport};
+use crate::router::ShardRouter;
+
+/// A shard batch transaction stays under the same `Ctx` payload bound the
+/// single-feed epoch chunking uses ([`grub_core::system::UPDATE_CHUNK_BYTES`]);
+/// sections that would overflow it spill into a follow-up transaction in
+/// the same block.
+const BATCH_CHUNK_BYTES: usize = grub_core::system::UPDATE_CHUNK_BYTES;
+
+/// Calldata the section framing adds per batched payload: a 20-byte target
+/// address plus a 4-byte length prefix (see `encode_sections`).
+const SECTION_OVERHEAD_BYTES: usize = 24;
+
+/// Engine-wide configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Number of shards feeds are hashed across (≥ 1).
+    pub shards: usize,
+    /// Whether same-block updates of a shard's feeds are coalesced into one
+    /// `batchUpdate` transaction (the engine's reason to exist); disabling
+    /// it reproduces N independent single-feed runs on one chain, which is
+    /// the baseline the batching savings are measured against.
+    pub batching: bool,
+    /// Chain timing parameters shared by all feeds.
+    pub chain: ChainConfig,
+}
+
+impl EngineConfig {
+    /// A batching engine with `shards` shards and default chain timing.
+    pub fn new(shards: usize) -> Self {
+        EngineConfig {
+            shards: shards.max(1),
+            batching: true,
+            chain: ChainConfig::default(),
+        }
+    }
+
+    /// Disables cross-feed batching (the sum-of-singles baseline).
+    pub fn unbatched(mut self) -> Self {
+        self.batching = false;
+        self
+    }
+}
+
+/// One tenant's feed: a name, a full single-feed configuration, and the
+/// workload trace the engine will drive through it.
+#[derive(Clone, Debug)]
+pub struct FeedSpec {
+    /// Unique tenant name; determines the shard and the on-chain address
+    /// namespace.
+    pub tenant: String,
+    /// The feed's own policy/epoch/preload configuration. (`chain` timing
+    /// inside it is ignored — the engine's chain is shared.)
+    pub config: SystemConfig,
+    /// The tenant's workload.
+    pub trace: Trace,
+}
+
+impl FeedSpec {
+    /// Builds a feed spec.
+    pub fn new(tenant: impl Into<String>, config: SystemConfig, trace: Trace) -> Self {
+        FeedSpec {
+            tenant: tenant.into(),
+            config,
+            trace,
+        }
+    }
+}
+
+/// Deterministic tenant→shard assignment: FNV-1a over the tenant name.
+pub fn tenant_shard(tenant: &str, shards: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in tenant.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+struct Shard {
+    operator: Address,
+    router: Address,
+    update_gas: u64,
+    update_txs: usize,
+}
+
+struct FeedSlot {
+    tenant: String,
+    shard: usize,
+    driver: EpochDriver,
+    trace: Trace,
+    cursor: usize,
+    batched_update_gas: u64,
+}
+
+impl FeedSlot {
+    fn exhausted(&self) -> bool {
+        self.cursor >= self.trace.ops.len()
+    }
+
+    /// Stages the next epoch's worth of trace operations into the driver.
+    fn ingest_epoch(&mut self) {
+        while !self.exhausted() && !self.driver.epoch_is_full() {
+            self.driver.push_op(&self.trace.ops[self.cursor]);
+            self.cursor += 1;
+        }
+    }
+}
+
+/// The sharded multi-tenant feed engine.
+///
+/// See the crate docs for the architecture and invariants. Build with
+/// [`FeedEngine::new`], then [`FeedEngine::run`] to completion.
+pub struct FeedEngine {
+    chain: Blockchain,
+    shards: Vec<Shard>,
+    feeds: Vec<FeedSlot>,
+    batching: bool,
+    rounds: usize,
+}
+
+impl FeedEngine {
+    /// Deploys every shard router and every feed onto a fresh chain, then
+    /// resets the Gas meter so provisioning (contract setup, preloads) is
+    /// excluded from all reports — the same steady-state metering the
+    /// single-feed harness uses.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty or duplicate tenant names; propagates store failures
+    /// and failed preload transactions.
+    pub fn new(config: &EngineConfig, specs: Vec<FeedSpec>) -> Result<Self> {
+        let mut chain = Blockchain::with_config(config.chain);
+        let shards: Vec<Shard> = (0..config.shards.max(1))
+            .map(|i| {
+                let operator = Address::derive(&format!("grub-shard-operator/{i}"));
+                let router = Address::derive(&format!("grub-shard-router/{i}"));
+                chain.deploy(
+                    router,
+                    std::rc::Rc::new(ShardRouter::new(operator)),
+                    Layer::Feed,
+                );
+                Shard {
+                    operator,
+                    router,
+                    update_gas: 0,
+                    update_txs: 0,
+                }
+            })
+            .collect();
+        let mut feeds = Vec::with_capacity(specs.len());
+        let mut seen = std::collections::BTreeSet::new();
+        for spec in specs {
+            if spec.tenant.is_empty() {
+                return Err(GrubError::Chain("tenant name must be non-empty".into()));
+            }
+            if !seen.insert(spec.tenant.clone()) {
+                return Err(GrubError::Chain(format!(
+                    "duplicate tenant name: {}",
+                    spec.tenant
+                )));
+            }
+            let shard = tenant_shard(&spec.tenant, shards.len());
+            let mut identity = DriverIdentity::tenant(format!("tenant/{}", spec.tenant));
+            if config.batching {
+                identity = identity.with_update_delegate(shards[shard].router);
+            }
+            let driver = EpochDriver::deploy(&mut chain, &spec.config, &identity)?;
+            feeds.push(FeedSlot {
+                tenant: spec.tenant,
+                shard,
+                driver,
+                trace: spec.trace,
+                cursor: 0,
+                batched_update_gas: 0,
+            });
+        }
+        chain.meter_reset();
+        Ok(FeedEngine {
+            chain,
+            shards,
+            feeds,
+            batching: config.batching,
+            rounds: 0,
+        })
+    }
+
+    /// Convenience: build and run in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FeedEngine::new`] and [`FeedEngine::run`] failures.
+    pub fn run_specs(config: &EngineConfig, specs: Vec<FeedSpec>) -> Result<EngineReport> {
+        FeedEngine::new(config, specs)?.run()
+    }
+
+    /// Drives every feed's trace to completion, one interleaved epoch per
+    /// feed per round, and returns the per-tenant + aggregate report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and protocol-violating transaction
+    /// failures.
+    pub fn run(mut self) -> Result<EngineReport> {
+        while self.feeds.iter().any(|f| !f.exhausted()) {
+            self.run_round()?;
+            self.rounds += 1;
+        }
+        Ok(self.into_report())
+    }
+
+    /// One scheduler round: every feed with trace remaining ingests and
+    /// closes one epoch. With batching on, the round's update payloads are
+    /// routed per shard before any read phase runs, so all of a shard's
+    /// writes land in one block.
+    fn run_round(&mut self) -> Result<()> {
+        let live: Vec<usize> = (0..self.feeds.len())
+            .filter(|&i| !self.feeds[i].exhausted())
+            .collect();
+        if !self.batching {
+            // Sum-of-singles baseline: each feed runs its epoch exactly as
+            // a standalone GrubSystem would (update txs share the epoch's
+            // read block), one feed after another.
+            for &idx in &live {
+                self.feeds[idx].ingest_epoch();
+                let feed = &mut self.feeds[idx];
+                feed.driver.close_epoch(&mut self.chain)?;
+            }
+            return Ok(());
+        }
+        // 1. Ingest + stage every live feed's epoch (off-chain work only).
+        let mut staged: Vec<(usize, StagedUpdate)> = Vec::with_capacity(live.len());
+        for &idx in &live {
+            self.feeds[idx].ingest_epoch();
+            let update = self.feeds[idx].driver.stage_update()?;
+            staged.push((idx, update));
+        }
+        // 2. Coalesce the round's update payloads into one batchUpdate per
+        //    shard (spilling only past the Ctx payload bound), mine them in
+        //    a single block, and attribute the metered Gas back to tenants.
+        //    The chunks are moved out; the read phase below only needs the
+        //    epoch metadata.
+        self.submit_shard_batches(&mut staged)?;
+        // 3. Read phases, one feed at a time so snapshot-differenced Gas
+        //    attribution stays exact.
+        for (idx, update) in &staged {
+            let feed = &mut self.feeds[*idx];
+            feed.driver.run_read_phase(&mut self.chain, update)?;
+        }
+        Ok(())
+    }
+
+    /// Groups staged update chunks by shard, submits the batch
+    /// transactions, seals their block, and splits each transaction's
+    /// metered Gas over its sections proportionally to payload bytes.
+    /// Takes the chunks out of `staged`; the epoch metadata stays.
+    fn submit_shard_batches(&mut self, staged: &mut [(usize, StagedUpdate)]) -> Result<()> {
+        // Sections per shard, in scheduler order: (feed index, payload).
+        let mut shard_sections: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); self.shards.len()];
+        for (idx, update) in staged {
+            for chunk in std::mem::take(&mut update.chunks) {
+                shard_sections[self.feeds[*idx].shard].push((*idx, chunk));
+            }
+        }
+        // Submit per-shard batch transactions; remember each transaction's
+        // section composition for attribution.
+        let mut submitted: Vec<(usize, Vec<(usize, usize)>)> = Vec::new(); // (shard, [(feed, bytes)])
+        for (shard_idx, sections) in shard_sections.into_iter().enumerate() {
+            if sections.is_empty() {
+                continue;
+            }
+            let mut batch: Vec<(Address, Vec<u8>)> = Vec::new();
+            let mut parts: Vec<(usize, usize)> = Vec::new();
+            let mut bytes = 0usize;
+            for (feed_idx, payload) in sections {
+                let section_bytes = payload.len() + SECTION_OVERHEAD_BYTES;
+                if bytes + section_bytes > BATCH_CHUNK_BYTES && !batch.is_empty() {
+                    self.submit_batch_tx(shard_idx, std::mem::take(&mut batch));
+                    submitted.push((shard_idx, std::mem::take(&mut parts)));
+                    bytes = 0;
+                }
+                bytes += section_bytes;
+                parts.push((feed_idx, payload.len()));
+                batch.push((self.feeds[feed_idx].driver.manager(), payload));
+            }
+            self.submit_batch_tx(shard_idx, batch);
+            submitted.push((shard_idx, parts));
+        }
+        if submitted.is_empty() {
+            return Ok(());
+        }
+        // One block carries the whole round's writes.
+        let receipts: Vec<(bool, Option<String>, u64)> = {
+            let block = self.chain.produce_block();
+            block
+                .receipts
+                .iter()
+                .map(|r| (r.success, r.error.clone(), r.gas_used))
+                .collect()
+        };
+        for ((shard_idx, parts), (success, error, gas_used)) in submitted.into_iter().zip(receipts)
+        {
+            if !success {
+                return Err(GrubError::Chain(format!(
+                    "shard {shard_idx} batch update failed: {}",
+                    error.as_deref().unwrap_or("unknown")
+                )));
+            }
+            self.shards[shard_idx].update_gas += gas_used;
+            self.shards[shard_idx].update_txs += 1;
+            let total_bytes: u64 = parts.iter().map(|(_, b)| *b as u64).sum();
+            let mut assigned = 0u64;
+            let last = parts.len() - 1;
+            for (i, (feed_idx, bytes)) in parts.iter().enumerate() {
+                let share = if i == last {
+                    gas_used - assigned
+                } else {
+                    ((u128::from(gas_used) * *bytes as u128) / u128::from(total_bytes.max(1)))
+                        as u64
+                };
+                assigned += share;
+                self.feeds[*feed_idx].batched_update_gas += share;
+            }
+        }
+        Ok(())
+    }
+
+    fn submit_batch_tx(&mut self, shard_idx: usize, batch: Vec<(Address, Vec<u8>)>) {
+        let shard = &self.shards[shard_idx];
+        self.chain.submit(Transaction::new(
+            shard.operator,
+            shard.router,
+            "batchUpdate",
+            encode_sections(&batch),
+            Layer::Feed,
+        ));
+    }
+
+    /// The shared chain, for assertions.
+    pub fn chain(&self) -> &Blockchain {
+        &self.chain
+    }
+
+    fn into_report(self) -> EngineReport {
+        let batching = self.batching;
+        let rounds = self.rounds;
+        let tenants: Vec<TenantReport> = self
+            .feeds
+            .into_iter()
+            .map(|feed| TenantReport {
+                tenant: feed.tenant,
+                shard: feed.shard,
+                batched_update_gas: feed.batched_update_gas,
+                run: feed.driver.into_report(),
+            })
+            .collect();
+        EngineReport {
+            tenants,
+            shard_update_gas: self.shards.iter().map(|s| s.update_gas).collect(),
+            shard_update_txs: self.shards.iter().map(|s| s.update_txs).collect(),
+            rounds,
+            batching,
+        }
+    }
+}
+
+impl std::fmt::Debug for FeedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeedEngine")
+            .field("feeds", &self.feeds.len())
+            .field("shards", &self.shards.len())
+            .field("batching", &self.batching)
+            .field("rounds", &self.rounds)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grub_core::policy::PolicyKind;
+    use grub_workload::ratio::RatioWorkload;
+
+    fn spec(tenant: &str, ratio: f64, cycles: usize) -> FeedSpec {
+        FeedSpec::new(
+            tenant,
+            SystemConfig::new(PolicyKind::Memoryless { k: 2 }),
+            RatioWorkload::new(format!("{tenant}-key"), ratio).generate(cycles),
+        )
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_in_range() {
+        for shards in [1, 2, 7] {
+            for tenant in ["alice", "bob", "carol", ""] {
+                let s = tenant_shard(tenant, shards);
+                assert!(s < shards);
+                assert_eq!(s, tenant_shard(tenant, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_epoch_ops_cannot_hang_the_scheduler() {
+        // epoch_ops is a pub field, so a caller can bypass the clamping
+        // builder; the driver clamps again so a round always makes progress.
+        let mut cfg = SystemConfig::new(PolicyKind::Memoryless { k: 2 });
+        cfg.epoch_ops = 0;
+        let trace = RatioWorkload::new("k", 1.0).generate(4);
+        let ops = trace.ops.len();
+        let specs = vec![FeedSpec::new("zero", cfg, trace)];
+        let report = FeedEngine::run_specs(&EngineConfig::new(1), specs).unwrap();
+        assert_eq!(report.tenants[0].total_ops(), ops);
+    }
+
+    #[test]
+    fn duplicate_tenants_rejected() {
+        let specs = vec![spec("same", 1.0, 2), spec("same", 2.0, 2)];
+        assert!(FeedEngine::new(&EngineConfig::new(2), specs).is_err());
+    }
+
+    #[test]
+    fn empty_tenant_rejected() {
+        let specs = vec![spec("", 1.0, 2)];
+        assert!(FeedEngine::new(&EngineConfig::new(2), specs).is_err());
+    }
+
+    #[test]
+    fn engine_runs_mixed_feeds_to_completion() {
+        let specs = vec![spec("a", 4.0, 6), spec("b", 0.0, 6), spec("c", 16.0, 3)];
+        let report = FeedEngine::run_specs(&EngineConfig::new(2), specs.clone()).unwrap();
+        assert_eq!(report.tenants.len(), 3);
+        for (tenant, s) in report.tenants.iter().zip(&specs) {
+            assert_eq!(tenant.run.total_ops(), s.trace.ops.len());
+            assert_eq!(tenant.run.failed_delivers(), 0);
+        }
+        assert!(report.rounds > 0);
+        assert!(report.feed_gas_total() > 0);
+    }
+
+    #[test]
+    fn batch_gas_attribution_is_exact() {
+        let specs = vec![spec("a", 0.5, 8), spec("b", 0.5, 8), spec("c", 0.5, 8)];
+        let report = FeedEngine::run_specs(&EngineConfig::new(1), specs).unwrap();
+        let attributed: u64 = report.tenants.iter().map(|t| t.batched_update_gas).sum();
+        let metered: u64 = report.shard_update_gas.iter().sum();
+        assert_eq!(attributed, metered, "no gas lost to rounding");
+        assert!(metered > 0, "write-heavy feeds must batch updates");
+    }
+
+    #[test]
+    fn unbatched_engine_reports_no_shard_gas() {
+        let specs = vec![spec("a", 1.0, 4), spec("b", 1.0, 4)];
+        let report = FeedEngine::run_specs(&EngineConfig::new(2).unbatched(), specs).unwrap();
+        assert_eq!(report.shard_update_gas.iter().sum::<u64>(), 0);
+        assert!(report.tenants.iter().all(|t| t.batched_update_gas == 0));
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-tenant and aggregate reporting for multi-tenant runs.
+
+use std::fmt::Write as _;
+
+use grub_core::metrics::RunReport;
+use serde::{Deserialize, Serialize};
+
+/// One tenant's share of a multi-tenant run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub tenant: String,
+    /// Shard the tenant was hashed to.
+    pub shard: usize,
+    /// The tenant's own epoch-by-epoch report (read path, delivers, and —
+    /// when batching is off — its update transactions).
+    pub run: RunReport,
+    /// The tenant's byte-proportional share of its shard's batched update
+    /// transactions (zero when batching is off).
+    pub batched_update_gas: u64,
+}
+
+impl TenantReport {
+    /// Total feed-layer Gas the tenant is accountable for: its own epochs
+    /// plus its share of the shard batches.
+    pub fn feed_gas_total(&self) -> u64 {
+        self.run.feed_gas_total() + self.batched_update_gas
+    }
+
+    /// Trace operations the tenant ran.
+    pub fn total_ops(&self) -> usize {
+        self.run.total_ops()
+    }
+
+    /// Feed-layer Gas per operation, batch share included.
+    pub fn feed_gas_per_op(&self) -> f64 {
+        let ops = self.total_ops();
+        if ops == 0 {
+            0.0
+        } else {
+            self.feed_gas_total() as f64 / ops as f64
+        }
+    }
+}
+
+/// The aggregate result of one engine run.
+///
+/// Tenant order is the feed declaration order; all contained quantities are
+/// deterministic functions of the engine's specs, so two identical runs
+/// render byte-identical tables.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Per-tenant reports, in declaration order.
+    pub tenants: Vec<TenantReport>,
+    /// Metered Gas of each shard's batched update transactions. Tenant
+    /// `batched_update_gas` shares sum exactly to these totals.
+    pub shard_update_gas: Vec<u64>,
+    /// Number of batched update transactions each shard sent.
+    pub shard_update_txs: Vec<usize>,
+    /// Scheduler rounds until every trace completed.
+    pub rounds: usize,
+    /// Whether cross-feed batching was on.
+    pub batching: bool,
+}
+
+impl EngineReport {
+    /// Total feed-layer Gas across all tenants (shard batches included,
+    /// exactly once — the per-tenant shares partition them).
+    pub fn feed_gas_total(&self) -> u64 {
+        self.tenants.iter().map(TenantReport::feed_gas_total).sum()
+    }
+
+    /// Total application-layer Gas across all tenants.
+    pub fn app_gas_total(&self) -> u64 {
+        self.tenants.iter().map(|t| t.run.app_gas_total()).sum()
+    }
+
+    /// Total trace operations across all tenants.
+    pub fn total_ops(&self) -> usize {
+        self.tenants.iter().map(TenantReport::total_ops).sum()
+    }
+
+    /// Aggregate feed-layer Gas per operation.
+    pub fn feed_gas_per_op(&self) -> f64 {
+        let ops = self.total_ops();
+        if ops == 0 {
+            0.0
+        } else {
+            self.feed_gas_total() as f64 / ops as f64
+        }
+    }
+
+    /// Rejected deliver transactions across all tenants (zero under honest
+    /// SPs).
+    pub fn failed_delivers(&self) -> usize {
+        self.tenants.iter().map(|t| t.run.failed_delivers()).sum()
+    }
+
+    /// Renders the run as a fixed-width table — the artifact the multifeed
+    /// example and the determinism test compare byte for byte.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14}{:>6}  {:<30}{:>8}{:>14}{:>12}{:>10}",
+            "tenant", "shard", "policy", "ops", "feed gas", "gas/op", "batch gas"
+        );
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "{:<14}{:>6}  {:<30}{:>8}{:>14}{:>12.1}{:>10}",
+                t.tenant,
+                t.shard,
+                t.run.policy,
+                t.total_ops(),
+                t.feed_gas_total(),
+                t.feed_gas_per_op(),
+                t.batched_update_gas,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<14}{:>6}  {:<30}{:>8}{:>14}{:>12.1}{:>10}",
+            "TOTAL",
+            "-",
+            if self.batching {
+                "batched"
+            } else {
+                "unbatched"
+            },
+            self.total_ops(),
+            self.feed_gas_total(),
+            self.feed_gas_per_op(),
+            self.shard_update_gas.iter().sum::<u64>(),
+        );
+        let _ = writeln!(
+            out,
+            "rounds: {}; shard update txs: {:?}; shard update gas: {:?}",
+            self.rounds, self.shard_update_txs, self.shard_update_gas
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grub_core::metrics::EpochReport;
+
+    fn tenant(name: &str, feed: u64, batch: u64, ops: usize) -> TenantReport {
+        TenantReport {
+            tenant: name.into(),
+            shard: 0,
+            run: RunReport {
+                policy: "test".into(),
+                epochs: vec![EpochReport {
+                    epoch: 0,
+                    ops,
+                    feed_gas: feed,
+                    app_gas: 7,
+                    replications: 0,
+                    evictions: 0,
+                    failed_delivers: 0,
+                }],
+            },
+            batched_update_gas: batch,
+        }
+    }
+
+    #[test]
+    fn aggregates_include_batch_shares_once() {
+        let report = EngineReport {
+            tenants: vec![tenant("a", 100, 40, 2), tenant("b", 50, 60, 2)],
+            shard_update_gas: vec![100],
+            shard_update_txs: vec![1],
+            rounds: 1,
+            batching: true,
+        };
+        assert_eq!(report.feed_gas_total(), 100 + 40 + 50 + 60);
+        assert_eq!(report.app_gas_total(), 14);
+        assert_eq!(report.total_ops(), 4);
+        assert_eq!(report.feed_gas_per_op(), 62.5);
+        let table = report.render_table();
+        assert!(table.contains("tenant"));
+        assert!(table.contains("TOTAL"));
+        assert_eq!(table, report.render_table(), "rendering is deterministic");
+    }
+}

@@ -1,0 +1,156 @@
+//! The on-chain shard router: one transaction, many feeds' `update()`s.
+
+use grub_chain::codec::{decode_sections, Encoder};
+use grub_chain::Address;
+use grub_chain::{CallContext, Contract, VmError};
+
+/// A shard's batching contract.
+///
+/// `batchUpdate(sections)` takes the [`encode_sections`] framing — a list of
+/// `(storage manager address, update payload)` pairs — and forwards each
+/// payload to its manager as an internal call. Internal calls pay no
+/// transaction envelope, so the shard's feeds share a single `Ctx` base
+/// cost; every storage write and digest update is still executed (and
+/// metered) by the target manager exactly as an unbatched `update()` would.
+///
+/// Only the shard operator account configured at deploy time may call it;
+/// each target manager additionally enforces its own authorization (the
+/// router must be registered as that manager's update delegate), so a
+/// compromised router cannot write feeds outside its shard.
+///
+/// [`encode_sections`]: grub_chain::codec::encode_sections
+#[derive(Debug)]
+pub struct ShardRouter {
+    operator: Address,
+}
+
+impl ShardRouter {
+    /// A router accepting batches only from `operator`.
+    pub fn new(operator: Address) -> Self {
+        ShardRouter { operator }
+    }
+
+    fn batch_update(&self, ctx: &mut CallContext<'_>, input: &[u8]) -> Result<Vec<u8>, VmError> {
+        if ctx.caller != self.operator {
+            return Err(VmError::Unauthorized);
+        }
+        let sections = decode_sections(input)?;
+        if sections.is_empty() {
+            return Err(VmError::Revert("empty update batch".into()));
+        }
+        for (manager, payload) in &sections {
+            ctx.call(*manager, "update", payload)?;
+        }
+        let mut out = Encoder::new();
+        out.u64(sections.len() as u64);
+        Ok(out.finish())
+    }
+}
+
+impl Contract for ShardRouter {
+    fn call(
+        &self,
+        ctx: &mut CallContext<'_>,
+        func: &str,
+        input: &[u8],
+    ) -> Result<Vec<u8>, VmError> {
+        match func {
+            "batchUpdate" => self.batch_update(ctx, input),
+            _ => Err(VmError::UnknownFunction(func.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grub_chain::codec::{encode_sections, Decoder};
+    use grub_chain::{Blockchain, Transaction};
+    use grub_core::contract::OnChainTrace;
+    use grub_core::contract::{encode_update, StorageManager};
+    use grub_gas::Layer;
+    use grub_merkle::MerkleKv;
+    use std::rc::Rc;
+
+    #[test]
+    fn router_forwards_sections_and_rejects_strangers() {
+        let mut chain = Blockchain::new();
+        let operator = Address::derive("shard-op");
+        let router = Address::derive("shard-router");
+        let do_a = Address::derive("do-a");
+        let mgr_a = Address::derive("mgr-a");
+        chain.deploy(router, Rc::new(ShardRouter::new(operator)), Layer::Feed);
+        chain.deploy(
+            mgr_a,
+            Rc::new(StorageManager::with_delegate(
+                do_a,
+                router,
+                OnChainTrace::None,
+            )),
+            Layer::Feed,
+        );
+        let digest = MerkleKv::new().root();
+        let payload = encode_update(&digest, &[], &[], &[]);
+        let batch = encode_sections(&[(mgr_a, payload.clone())]);
+
+        // A stranger's batch reverts.
+        chain.submit(Transaction::new(
+            Address::derive("mallory"),
+            router,
+            "batchUpdate",
+            batch.clone(),
+            Layer::Feed,
+        ));
+        assert!(!chain.produce_block().receipts[0].success);
+
+        // The operator's batch lands and reports the section count.
+        chain.submit(Transaction::new(
+            operator,
+            router,
+            "batchUpdate",
+            batch,
+            Layer::Feed,
+        ));
+        let block = chain.produce_block();
+        assert!(block.receipts[0].success, "{:?}", block.receipts[0].error);
+        let mut dec = Decoder::new(&block.receipts[0].output);
+        assert_eq!(dec.u64().unwrap(), 1);
+
+        // A batch naming a manager that does not trust the router reverts
+        // atomically (manager-side authorization).
+        let mgr_b = Address::derive("mgr-b");
+        chain.deploy(
+            mgr_b,
+            Rc::new(StorageManager::new(
+                Address::derive("do-b"),
+                OnChainTrace::None,
+            )),
+            Layer::Feed,
+        );
+        let batch = encode_sections(&[(mgr_b, encode_update(&digest, &[], &[], &[]))]);
+        chain.submit(Transaction::new(
+            operator,
+            router,
+            "batchUpdate",
+            batch,
+            Layer::Feed,
+        ));
+        assert!(!chain.produce_block().receipts[0].success);
+    }
+
+    #[test]
+    fn empty_batch_reverts() {
+        let mut chain = Blockchain::new();
+        let operator = Address::derive("shard-op");
+        let router = Address::derive("shard-router");
+        chain.deploy(router, Rc::new(ShardRouter::new(operator)), Layer::Feed);
+        chain.submit(Transaction::new(
+            operator,
+            router,
+            "batchUpdate",
+            encode_sections(&[]),
+            Layer::Feed,
+        ));
+        assert!(!chain.produce_block().receipts[0].success);
+    }
+}

@@ -16,7 +16,8 @@
 //!   the macro-benchmarks of §5.2.
 //!
 //! [`stats`] computes the summary tables the paper prints (Table 1, Table 6)
-//! from any trace.
+//! from any trace; [`multiplex`] splits a global op budget over N tenants
+//! (uniform or Zipfian activity skew) for multi-feed engine runs.
 //!
 //! # Examples
 //!
@@ -33,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod btcrelay;
+pub mod multiplex;
 pub mod oracle;
 pub mod ratio;
 pub mod stats;

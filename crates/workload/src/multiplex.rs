@@ -1,0 +1,185 @@
+//! Multi-tenant workload multiplexing: splitting a global operation budget
+//! across N tenants with configurable (uniform or Zipfian) activity skew.
+//!
+//! Real multi-tenant deployments are not uniform: a handful of hot feeds
+//! (major price pairs, popular relays) carry most of the traffic while a
+//! long tail idles. [`Multiplex`] models that by allocating a total op
+//! budget over tenants — deterministically, by largest-remainder
+//! apportionment over the skew weights, so the same parameters always
+//! produce the same split — and then materializing one trace per tenant
+//! through a caller-supplied generator.
+//!
+//! # Examples
+//!
+//! ```
+//! use grub_workload::multiplex::Multiplex;
+//! use grub_workload::ratio::RatioWorkload;
+//!
+//! // 4 tenants sharing 1000 ops, zipfian activity: tenant 0 is hottest.
+//! let feeds = Multiplex::new(4, 1000).zipfian(0.99).generate(|tenant, ops| {
+//!     RatioWorkload::new(format!("key-{tenant}"), 4.0).generate(ops / 5)
+//! });
+//! assert_eq!(feeds.len(), 4);
+//! assert!(feeds[0].1.ops.len() > feeds[3].1.ops.len());
+//! ```
+
+use crate::Trace;
+
+/// How the global op budget is distributed over tenants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TenantSkew {
+    /// Every tenant gets the same share.
+    Uniform,
+    /// Tenant `i` gets a share ∝ `1 / (i + 1)^theta` — the YCSB-style
+    /// Zipfian activity profile over tenants (not keys).
+    Zipfian {
+        /// The skew exponent θ (YCSB uses 0.99).
+        theta: f64,
+    },
+}
+
+/// A deterministic multi-tenant workload splitter.
+#[derive(Clone, Debug)]
+pub struct Multiplex {
+    tenants: usize,
+    total_ops: usize,
+    skew: TenantSkew,
+}
+
+impl Multiplex {
+    /// Splits `total_ops` uniformly over `tenants` tenants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants == 0`.
+    pub fn new(tenants: usize, total_ops: usize) -> Self {
+        assert!(tenants > 0, "need at least one tenant");
+        Multiplex {
+            tenants,
+            total_ops,
+            skew: TenantSkew::Uniform,
+        }
+    }
+
+    /// Switches to Zipfian tenant skew with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is negative or not finite.
+    pub fn zipfian(mut self, theta: f64) -> Self {
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be ≥ 0");
+        self.skew = TenantSkew::Zipfian { theta };
+        self
+    }
+
+    /// The canonical tenant name for index `i` (`tenant-00`, `tenant-01`…).
+    pub fn tenant_name(i: usize) -> String {
+        format!("tenant-{i:02}")
+    }
+
+    /// The per-tenant op budget: sums exactly to `total_ops`, allocated by
+    /// largest-remainder apportionment over the skew weights (ties broken
+    /// toward lower-indexed, i.e. hotter, tenants).
+    pub fn ops_per_tenant(&self) -> Vec<usize> {
+        let weights: Vec<f64> = match self.skew {
+            TenantSkew::Uniform => vec![1.0; self.tenants],
+            TenantSkew::Zipfian { theta } => (0..self.tenants)
+                .map(|i| 1.0 / ((i + 1) as f64).powf(theta))
+                .collect(),
+        };
+        let total_weight: f64 = weights.iter().sum();
+        let quotas: Vec<f64> = weights
+            .iter()
+            .map(|w| self.total_ops as f64 * w / total_weight)
+            .collect();
+        let mut out: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+        let assigned: usize = out.iter().sum();
+        // Distribute the remainder by descending fractional part; sort is
+        // stable, so equal fractions favor hotter tenants deterministically.
+        let mut order: Vec<usize> = (0..self.tenants).collect();
+        order.sort_by(|&a, &b| {
+            let fa = quotas[a] - quotas[a].floor();
+            let fb = quotas[b] - quotas[b].floor();
+            fb.partial_cmp(&fa).expect("finite fractions")
+        });
+        for &i in order.iter().take(self.total_ops - assigned) {
+            out[i] += 1;
+        }
+        out
+    }
+
+    /// Materializes one `(name, trace)` pair per tenant. The generator
+    /// receives the tenant index and its op budget; it may return a trace
+    /// of a different length (e.g. whole read/write cycles only) — the
+    /// budget is a target, not a straitjacket.
+    pub fn generate<F>(&self, mut generator: F) -> Vec<(String, Trace)>
+    where
+        F: FnMut(usize, usize) -> Trace,
+    {
+        self.ops_per_tenant()
+            .into_iter()
+            .enumerate()
+            .map(|(i, ops)| (Self::tenant_name(i), generator(i, ops)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::RatioWorkload;
+
+    #[test]
+    fn uniform_split_sums_and_balances() {
+        let m = Multiplex::new(7, 100);
+        let split = m.ops_per_tenant();
+        assert_eq!(split.iter().sum::<usize>(), 100);
+        assert!(split.iter().all(|&n| n == 14 || n == 15));
+    }
+
+    #[test]
+    fn zipfian_split_is_skewed_and_exact() {
+        let m = Multiplex::new(8, 1000).zipfian(0.99);
+        let split = m.ops_per_tenant();
+        assert_eq!(split.iter().sum::<usize>(), 1000);
+        assert!(
+            split.windows(2).all(|w| w[0] >= w[1]),
+            "shares must be non-increasing: {split:?}"
+        );
+        assert!(
+            split[0] > 2 * split[7],
+            "hottest tenant must dominate the tail: {split:?}"
+        );
+    }
+
+    #[test]
+    fn zero_theta_degenerates_to_uniform() {
+        let uniform = Multiplex::new(5, 500).ops_per_tenant();
+        let zipf0 = Multiplex::new(5, 500).zipfian(0.0).ops_per_tenant();
+        assert_eq!(uniform, zipf0);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let a = Multiplex::new(9, 12_345).zipfian(1.2).ops_per_tenant();
+        let b = Multiplex::new(9, 12_345).zipfian(1.2).ops_per_tenant();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_names_tenants_and_passes_budgets() {
+        let feeds = Multiplex::new(3, 30).generate(|tenant, ops| {
+            RatioWorkload::new(format!("k{tenant}"), 1.0).generate(ops / 2)
+        });
+        assert_eq!(feeds.len(), 3);
+        assert_eq!(feeds[0].0, "tenant-00");
+        assert_eq!(feeds[2].0, "tenant-02");
+        assert!(feeds.iter().all(|(_, t)| t.ops.len() == 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn zero_tenants_rejected() {
+        Multiplex::new(0, 10);
+    }
+}

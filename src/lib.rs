@@ -7,6 +7,7 @@
 //! | Module | Crate | Role |
 //! |--------|-------|------|
 //! | [`core`] | `grub-core` | the GRuB system: policies, contracts, DO/SP, harness |
+//! | [`engine`] | `grub-engine` | sharded multi-tenant feed engine, cross-feed batching |
 //! | [`chain`] | `grub-chain` | Ethereum-like Gas-metered chain simulator |
 //! | [`store`] | `grub-store` | LevelDB-style LSM storage engine (the SP's store) |
 //! | [`merkle`] | `grub-merkle` | the authenticated data structure (Merkle ADS) |
@@ -38,6 +39,7 @@ pub use grub_apps as apps;
 pub use grub_chain as chain;
 pub use grub_core as core;
 pub use grub_crypto as crypto;
+pub use grub_engine as engine;
 pub use grub_gas as gas;
 pub use grub_merkle as merkle;
 pub use grub_store as store;

@@ -1,0 +1,151 @@
+//! Correctness net for the multi-tenant feed engine (`grub-engine`).
+//!
+//! The engine's headline invariants, checked end to end:
+//!
+//! 1. **Unbatched equivalence** — an N-feed engine run with batching off
+//!    submits exactly the transactions N standalone single-feed
+//!    [`GrubSystem`] runs would, so every tenant's feed-layer Gas equals
+//!    its standalone run and the aggregate equals the sum of singles.
+//! 2. **Batching saves** — with batching on, same-block updates of a
+//!    shard's feeds share one transaction envelope, so total feed-layer Gas
+//!    is *strictly* lower than the unbatched sum-of-singles baseline while
+//!    every read, replica, and digest stays byte-identical.
+//! 3. **Determinism** — two engine runs with the same specs render
+//!    byte-identical reports.
+
+use grub::core::policy::PolicyKind;
+use grub::core::system::{GrubSystem, SystemConfig};
+use grub::engine::specs::{demo_policies, zipfian_ratio_specs, DEMO_RATIOS};
+use grub::engine::{EngineConfig, FeedEngine, FeedSpec};
+use grub::workload::ratio::RatioWorkload;
+use grub::workload::ycsb;
+
+/// Three deliberately different feeds: write-heavy adaptive, read-heavy
+/// static-replicated with a preload, and a mixed memorizing feed.
+fn mixed_specs() -> Vec<FeedSpec> {
+    let preload: Vec<(String, Vec<u8>)> = ycsb::preload(16, 32, 5)
+        .into_iter()
+        .map(|(k, v)| (k, v.materialize()))
+        .collect();
+    vec![
+        FeedSpec::new(
+            "writer",
+            SystemConfig::new(PolicyKind::Memoryless { k: 2 }),
+            RatioWorkload::new("sensor", 0.125).generate(8),
+        ),
+        FeedSpec::new(
+            "reader",
+            SystemConfig::new(PolicyKind::Bl2).preload(preload),
+            RatioWorkload::new(ycsb::ycsb_key(3), 16.0).generate(4),
+        ),
+        FeedSpec::new(
+            "mixed",
+            SystemConfig::new(PolicyKind::Memorizing {
+                k_prime: 2.3,
+                d: 2.0,
+            }),
+            RatioWorkload::new("price", 2.0).generate(16),
+        ),
+    ]
+}
+
+/// Invariant 1: with batching disabled, each tenant's feed-layer Gas is
+/// exactly its standalone single-feed run, and the engine total is the sum.
+#[test]
+fn unbatched_engine_equals_sum_of_singles() {
+    let specs = mixed_specs();
+    let singles: Vec<u64> = specs
+        .iter()
+        .map(|s| {
+            GrubSystem::run_trace(&s.trace, &s.config)
+                .expect("single-feed run")
+                .feed_gas_total()
+        })
+        .collect();
+    let report = FeedEngine::run_specs(&EngineConfig::new(2).unbatched(), specs).expect("engine");
+    assert_eq!(report.tenants.len(), singles.len());
+    for (tenant, single) in report.tenants.iter().zip(&singles) {
+        assert_eq!(
+            tenant.feed_gas_total(),
+            *single,
+            "{}: engine feed gas must equal the standalone run",
+            tenant.tenant
+        );
+        assert_eq!(tenant.batched_update_gas, 0);
+    }
+    assert_eq!(report.feed_gas_total(), singles.iter().sum::<u64>());
+    assert_eq!(report.failed_delivers(), 0);
+}
+
+/// Invariant 2 on the same specs: batching strictly undercuts the
+/// sum-of-singles baseline, without changing what was served.
+#[test]
+fn batched_engine_strictly_undercuts_sum_of_singles() {
+    let specs = mixed_specs();
+    // One shard forces all three feeds' same-round updates into one batch.
+    let unbatched =
+        FeedEngine::run_specs(&EngineConfig::new(1).unbatched(), specs.clone()).expect("baseline");
+    let batched = FeedEngine::run_specs(&EngineConfig::new(1), specs).expect("batched");
+    assert!(
+        batched.feed_gas_total() < unbatched.feed_gas_total(),
+        "batched {} must be strictly below unbatched {}",
+        batched.feed_gas_total(),
+        unbatched.feed_gas_total()
+    );
+    // Same work was done: identical op counts, no rejected deliveries, and
+    // the shard batches are fully accounted to tenants.
+    assert_eq!(batched.total_ops(), unbatched.total_ops());
+    assert_eq!(batched.failed_delivers(), 0);
+    assert_eq!(
+        batched
+            .tenants
+            .iter()
+            .map(|t| t.batched_update_gas)
+            .sum::<u64>(),
+        batched.shard_update_gas.iter().sum::<u64>()
+    );
+    assert!(batched.shard_update_txs.iter().sum::<usize>() > 0);
+}
+
+/// The ISSUE acceptance run: ≥ 8 feeds with mixed Zipfian/uniform tenant
+/// skew and mixed policies complete deterministically, and batching
+/// demonstrably reduces total feed-layer Gas versus the unbatched
+/// sum-of-singles baseline.
+#[test]
+fn eight_feed_mixed_skew_run_is_deterministic_and_batching_saves() {
+    // Zipfian activity skew over 8 tenants: tenant-00 is the hot feed, the
+    // tail idles — the cross-subsidization regime. Shared builder so test,
+    // example, and bench measure the same workload shape.
+    let build_specs = || zipfian_ratio_specs(8, 640, DEMO_RATIOS, &demo_policies());
+
+    let unbatched = FeedEngine::run_specs(&EngineConfig::new(2).unbatched(), build_specs())
+        .expect("unbatched run");
+    let batched = FeedEngine::run_specs(&EngineConfig::new(2), build_specs()).expect("batched run");
+    let batched_again =
+        FeedEngine::run_specs(&EngineConfig::new(2), build_specs()).expect("batched rerun");
+
+    // Deterministic: byte-identical rendered reports across reruns.
+    assert_eq!(
+        batched.render_table(),
+        batched_again.render_table(),
+        "same specs must render byte-identical reports"
+    );
+
+    // All 8 tenants completed their full traces, honestly.
+    assert_eq!(batched.tenants.len(), 8);
+    assert_eq!(batched.failed_delivers(), 0);
+    assert_eq!(batched.total_ops(), unbatched.total_ops());
+    // The zipfian skew is visible in the per-tenant accounting.
+    assert!(
+        batched.tenants[0].total_ops() > batched.tenants[7].total_ops(),
+        "hot tenant must carry more traffic than the tail"
+    );
+
+    // And the headline: batching reduces total feed-layer gas.
+    assert!(
+        batched.feed_gas_total() < unbatched.feed_gas_total(),
+        "batched {} must undercut unbatched {}",
+        batched.feed_gas_total(),
+        unbatched.feed_gas_total()
+    );
+}

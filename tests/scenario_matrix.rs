@@ -8,7 +8,9 @@
 //!   read-heavy (§2.3, §5.1);
 //! * `oracle` — the synthesized ethPriceOracle trace (Table 1, Figure 2);
 //! * `btcrelay` — the synthesized BtcRelay block feed (Table 6, Appendix D);
-//! * `ycsb/<A|B|C>` — YCSB core workloads over a preloaded dataset (§5.2).
+//! * `ycsb/<A..F>` — all six YCSB core workloads over a preloaded dataset
+//!   (§5.2): A/B/C zipfian read/update mixes, D latest-read with inserts,
+//!   E scan-heavy, F read-modify-write.
 //!
 //! Assertions, per the paper:
 //!
@@ -114,10 +116,21 @@ fn scenarios() -> Vec<Scenario> {
         .into_iter()
         .map(|(k, v)| (k, v.materialize()))
         .collect();
-    for kind in [YcsbKind::A, YcsbKind::B, YcsbKind::C] {
+    for kind in [
+        YcsbKind::A,
+        YcsbKind::B,
+        YcsbKind::C,
+        YcsbKind::D,
+        YcsbKind::E,
+        YcsbKind::F,
+    ] {
+        // E's scans are capped well below the YCSB default of 100 to keep
+        // the 105-combination matrix fast; the scan path itself is the same.
         out.push(Scenario {
             name: format!("ycsb/{kind:?}"),
-            trace: YcsbRunner::new(records, record_len, 17).generate(kind, 128),
+            trace: YcsbRunner::new(records, record_len, 17)
+                .max_scan_len(8)
+                .generate(kind, 128),
             preload: preload.clone(),
             read_heavy: None,
         });
@@ -156,7 +169,7 @@ fn policies() -> Vec<(&'static str, PolicyKind)> {
 }
 
 /// Every policy drives every workload to completion with honest-SP
-/// invariants intact. 7 policies × 12 workloads = 84 combinations.
+/// invariants intact. 7 policies × 15 workloads = 105 combinations.
 #[test]
 fn full_matrix_runs_every_policy_on_every_workload() {
     let scenarios = scenarios();

@@ -1,15 +1,47 @@
 //! Offline stand-in for `criterion`, covering the API the GRuB bench
-//! harness uses. Rather than statistics-grade sampling, each benchmark is
-//! timed over a small fixed number of iterations and the mean is printed —
-//! enough for `cargo bench` to compile, run, and give a rough signal
-//! offline.
+//! harness uses.
+//!
+//! Unlike the original fixed-10-iteration stub, measurement now follows the
+//! real criterion's shape closely enough for perf PRs to trust the numbers:
+//!
+//! 1. **warmup** — the routine runs untimed for a short budget
+//!    ([`WARMUP_MS`]) so caches, allocators, and branch predictors settle,
+//!    and the warmup pace calibrates the per-sample iteration count;
+//! 2. **adaptive sampling** — the target sample count (default
+//!    [`DEFAULT_SAMPLES`], configurable via [`Criterion::sample_size`]) is
+//!    spread over a measurement budget ([`MEASURE_MS`]); each sample times
+//!    `max(1, budget / (samples · t_iter))` iterations, so fast routines
+//!    amortize timer overhead while slow ones still produce every sample;
+//! 3. **outlier rejection** — samples outside the Tukey fences
+//!    (`median ± 1.5·IQR`) are discarded, and the mean ± standard deviation
+//!    of the surviving samples is reported along with how many were
+//!    rejected.
+//!
+//! Environment knobs (both in milliseconds): `GRUB_BENCH_WARMUP_MS`,
+//! `GRUB_BENCH_MEASURE_MS` — lower them for smoke runs, raise them for
+//! low-noise measurements.
 
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard black box (real criterion has its own).
 pub use std::hint::black_box;
 
-const ITERS: u32 = 10;
+/// Default untimed warmup budget per benchmark, milliseconds.
+pub const WARMUP_MS: u64 = 50;
+
+/// Default measurement budget per benchmark, milliseconds.
+pub const MEASURE_MS: u64 = 250;
+
+/// Default number of samples the measurement budget is spread over.
+pub const DEFAULT_SAMPLES: usize = 20;
+
+fn env_ms(var: &str, default: u64) -> Duration {
+    let ms = std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default);
+    Duration::from_millis(ms.max(1))
+}
 
 /// How batches are sized in `iter_batched` (ignored by the stub).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,20 +54,102 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Summary statistics of one benchmark after outlier rejection.
+#[derive(Clone, Copy, Debug, Default)]
+struct Stats {
+    mean: Duration,
+    stddev: Duration,
+    samples: usize,
+    rejected: usize,
+}
+
+/// Rejects samples outside the Tukey fences (median ± 1.5·IQR) and returns
+/// mean/stddev of the rest. Per-iteration durations are in nanoseconds.
+fn tukey_stats(mut per_iter_ns: Vec<f64>) -> Stats {
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = per_iter_ns.len();
+    let quartile = |q: f64| -> f64 {
+        // Nearest-rank on the sorted samples; n ≥ 1.
+        let idx = ((q * (n - 1) as f64).round() as usize).min(n - 1);
+        per_iter_ns[idx]
+    };
+    let (q1, q3) = (quartile(0.25), quartile(0.75));
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = per_iter_ns
+        .iter()
+        .copied()
+        .filter(|&x| x >= lo && x <= hi)
+        .collect();
+    let rejected = n - kept.len();
+    let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+    let var = kept.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / kept.len() as f64;
+    Stats {
+        mean: Duration::from_nanos(mean as u64),
+        stddev: Duration::from_nanos(var.sqrt() as u64),
+        samples: kept.len(),
+        rejected,
+    }
+}
+
 /// Entry point handed to `bench_function` closures.
 pub struct Bencher {
-    elapsed: Duration,
-    iters: u32,
+    warmup: Duration,
+    measure: Duration,
+    target_samples: usize,
+    stats: Stats,
 }
 
 impl Bencher {
-    /// Times `routine` over a fixed number of iterations.
-    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+    /// Warmup pass: run untimed until the warmup budget elapses, returning
+    /// the observed per-iteration pace.
+    fn warm<F: FnMut() -> Duration>(&mut self, mut timed_iter: F) -> Duration {
         let start = Instant::now();
-        for _ in 0..self.iters {
-            black_box(routine());
+        let mut iters = 0u64;
+        while start.elapsed() < self.warmup || iters == 0 {
+            black_box(timed_iter());
+            iters += 1;
         }
-        self.elapsed = start.elapsed();
+        start.elapsed() / (iters as u32).max(1)
+    }
+
+    /// Measurement pass shared by all `iter*` flavors: `timed_iter` runs the
+    /// routine once and returns the time attributable to it (setup
+    /// excluded).
+    fn measure_with<F: FnMut() -> Duration>(&mut self, mut timed_iter: F) {
+        let pace = self.warm(&mut timed_iter);
+        // Size each sample so the whole run fits the measurement budget.
+        let per_sample = self.measure / self.target_samples as u32;
+        let iters_per_sample = if pace.is_zero() {
+            1
+        } else {
+            (per_sample.as_nanos() / pace.as_nanos().max(1)).clamp(1, u128::from(u32::MAX)) as u32
+        };
+        let mut samples = Vec::with_capacity(self.target_samples);
+        let run_start = Instant::now();
+        for _ in 0..self.target_samples {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                total += timed_iter();
+            }
+            samples.push(total.as_nanos() as f64 / f64::from(iters_per_sample));
+            // A slow routine can blow the budget; keep at least 5 samples
+            // so the outlier pass has something to chew on.
+            if run_start.elapsed() > self.measure * 2 && samples.len() >= 5 {
+                break;
+            }
+        }
+        self.stats = tukey_stats(samples);
+    }
+
+    /// Times `routine` with warmup, adaptive iteration count, and outlier
+    /// rejection.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.measure_with(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
     }
 
     /// Times `routine` with per-batch `setup` excluded from the measurement.
@@ -44,14 +158,12 @@ impl Bencher {
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
-        let mut total = Duration::ZERO;
-        for _ in 0..self.iters {
+        self.measure_with(|| {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            total += start.elapsed();
-        }
-        self.elapsed = total;
+            start.elapsed()
+        });
     }
 
     /// Like `iter_batched` but passes the input by mutable reference.
@@ -60,14 +172,12 @@ impl Bencher {
         S: FnMut() -> I,
         F: FnMut(&mut I) -> O,
     {
-        let mut total = Duration::ZERO;
-        for _ in 0..self.iters {
+        self.measure_with(|| {
             let mut input = setup();
             let start = Instant::now();
             black_box(routine(&mut input));
-            total += start.elapsed();
-        }
-        self.elapsed = total;
+            start.elapsed()
+        });
     }
 }
 
@@ -78,14 +188,16 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 100 }
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+        }
     }
 }
 
 impl Criterion {
-    /// Sets the (ignored) sample size, mirroring the real builder API.
+    /// Sets the target sample count, mirroring the real builder API.
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.sample_size = n;
+        self.sample_size = n.max(2);
         self
     }
 
@@ -95,12 +207,17 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {
-            elapsed: Duration::ZERO,
-            iters: ITERS,
+            warmup: env_ms("GRUB_BENCH_WARMUP_MS", WARMUP_MS),
+            measure: env_ms("GRUB_BENCH_MEASURE_MS", MEASURE_MS),
+            target_samples: self.sample_size,
+            stats: Stats::default(),
         };
         f(&mut b);
-        let per_iter = b.elapsed.checked_div(b.iters).unwrap_or_default();
-        println!("{name:<40} {per_iter:>12.2?}/iter  (stub criterion, {ITERS} iters)");
+        let s = b.stats;
+        println!(
+            "{name:<40} {:>12.2?}/iter ± {:<10.2?} ({} samples, {} outliers)",
+            s.mean, s.stddev, s.samples, s.rejected
+        );
         self
     }
 }
@@ -132,4 +249,46 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tukey_rejects_spikes_and_keeps_bulk() {
+        let mut samples: Vec<f64> = (0..20).map(|i| 100.0 + (i % 3) as f64).collect();
+        samples.push(10_000.0); // one wild outlier
+        let stats = tukey_stats(samples);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.samples, 20);
+        assert!(stats.mean.as_nanos() < 110, "mean {:?}", stats.mean);
+    }
+
+    #[test]
+    fn tukey_handles_tiny_and_constant_inputs() {
+        let s = tukey_stats(vec![42.0]);
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.mean, Duration::from_nanos(42));
+        let s = tukey_stats(vec![7.0; 8]);
+        assert_eq!(s.samples, 8);
+        assert_eq!(s.stddev, Duration::ZERO);
+    }
+
+    #[test]
+    fn bench_function_produces_samples() {
+        std::env::set_var("GRUB_BENCH_WARMUP_MS", "1");
+        std::env::set_var("GRUB_BENCH_MEASURE_MS", "5");
+        let mut seen = 0usize;
+        Criterion::default()
+            .sample_size(10)
+            .bench_function("noop", |b| {
+                b.iter(|| black_box(1 + 1));
+                seen = b.stats.samples + b.stats.rejected;
+            });
+        std::env::remove_var("GRUB_BENCH_WARMUP_MS");
+        std::env::remove_var("GRUB_BENCH_MEASURE_MS");
+        assert_eq!(seen, 10, "all requested samples are collected");
+    }
 }
