@@ -864,8 +864,9 @@ the tuner replays the recent burst window under each candidate K and
 /// Multi-tenant extension (beyond the paper): N feeds with Zipfian tenant
 /// skew share one chain via `grub-engine`; cross-feed epoch batching
 /// amortizes the per-transaction envelope across each shard's same-block
-/// updates. Compares total feed Gas batched vs the unbatched
-/// sum-of-singles baseline.
+/// updates (`batchUpdate`) and deliveries (`batchDeliver`). Compares total
+/// feed Gas across the unbatched sum-of-singles baseline, write-only
+/// batching, and full batching with the read path coalesced too.
 pub fn multifeed_batching() -> String {
     use grub_engine::specs::{demo_policies, zipfian_ratio_specs, DEMO_RATIOS};
     use grub_engine::{EngineConfig, FeedEngine, FeedSpec};
@@ -881,8 +882,14 @@ pub fn multifeed_batching() -> String {
     );
     let _ = writeln!(
         out,
-        "{:<10} {:>7} {:>16} {:>16} {:>9}",
-        "tenants", "shards", "unbatched gas", "batched gas", "saved"
+        "{:<10} {:>7} {:>15} {:>15} {:>15} {:>9} {:>9}",
+        "tenants",
+        "shards",
+        "unbatched gas",
+        "upd-batch gas",
+        "full-batch gas",
+        "upd save",
+        "all save"
     );
     for (tenants, shards, total_ops) in [(4usize, 1usize, 512usize), (8, 2, 1024), (16, 4, 2048)] {
         let unbatched = FeedEngine::run_specs(
@@ -890,21 +897,37 @@ pub fn multifeed_batching() -> String {
             build_specs(tenants, total_ops),
         )
         .expect("unbatched engine run");
-        let batched =
+        let write_only = FeedEngine::run_specs(
+            &EngineConfig::new(shards).without_read_batching(),
+            build_specs(tenants, total_ops),
+        )
+        .expect("write-only engine run");
+        let full =
             FeedEngine::run_specs(&EngineConfig::new(shards), build_specs(tenants, total_ops))
-                .expect("batched engine run");
-        let (u, b) = (unbatched.feed_gas_total(), batched.feed_gas_total());
+                .expect("fully batched engine run");
+        let (u, w, f) = (
+            unbatched.feed_gas_total(),
+            write_only.feed_gas_total(),
+            full.feed_gas_total(),
+        );
+        let saved = |to: u64| 100.0 * u.saturating_sub(to) as f64 / u.max(1) as f64;
         let _ = writeln!(
             out,
-            "{tenants:<10} {shards:>7} {u:>16} {b:>16} {:>8.1}%",
-            100.0 * u.saturating_sub(b) as f64 / u.max(1) as f64
+            "{tenants:<10} {shards:>7} {u:>15} {w:>15} {f:>15} {:>8.1}% {:>8.1}%",
+            saved(w),
+            saved(f)
         );
-        assert!(b < u, "batching must save gas ({tenants} tenants)");
+        assert!(w < u, "update batching must save gas ({tenants} tenants)");
+        assert!(
+            f < w,
+            "read batching must save on top of update batching ({tenants} tenants)"
+        );
     }
     let _ = writeln!(
         out,
-        "\nunbatched = sum of independent single-feed runs on one chain; batched\n\
-         = one update tx per shard per block (envelope amortized across feeds)."
+        "\nunbatched = sum of independent single-feed runs on one chain; upd-batch\n\
+         = one update tx per shard per block; full-batch additionally coalesces\n\
+         each shard's SP deliveries into one batchDeliver tx per round."
     );
     out
 }

@@ -421,7 +421,10 @@ impl Blockchain {
 
 fn gas_since(meter: &GasMeter, before: GasSnapshot) -> u64 {
     let now = meter.snapshot();
-    (now.feed + now.app + now.user) - (before.feed + before.app + before.user)
+    let total = |s: &GasSnapshot| {
+        grub_gas::checked_add_gas(grub_gas::checked_add_gas(s.feed, s.app), s.user)
+    };
+    grub_gas::checked_sub_gas(total(&now), total(&before))
 }
 
 #[cfg(test)]

@@ -176,6 +176,11 @@ impl<'a> Decoder<'a> {
 /// `n` payloads into one transaction trades `n - 1` transaction base costs
 /// for a few words of calldata.
 pub fn encode_sections(sections: &[(Address, Vec<u8>)]) -> Vec<u8> {
+    debug_assert!(
+        sections.len() <= MAX_BATCH_SECTIONS,
+        "batch of {} sections exceeds MAX_BATCH_SECTIONS = {MAX_BATCH_SECTIONS}",
+        sections.len()
+    );
     let mut enc = Encoder::new();
     enc.u64(sections.len() as u64);
     for (target, payload) in sections {
@@ -184,15 +189,41 @@ pub fn encode_sections(sections: &[(Address, Vec<u8>)]) -> Vec<u8> {
     enc.finish()
 }
 
+/// Upper bound on the section count of one batch payload. Byte-bounded
+/// batching keeps real batches around forty sections; the bound exists so a
+/// forged count in a hostile payload is rejected with a typed error up
+/// front instead of driving allocation and iteration until the truncation
+/// check fires.
+pub const MAX_BATCH_SECTIONS: usize = 4096;
+
+/// Framing bytes every section carries at minimum: a 20-byte target address
+/// plus a 4-byte payload length prefix.
+const SECTION_MIN_BYTES: usize = 24;
+
 /// Decodes a batch encoded by [`encode_sections`].
 ///
 /// # Errors
 ///
-/// Returns [`VmError::Decode`] if the payload is malformed or truncated.
+/// Returns [`VmError::Decode`] if the payload is malformed or truncated, or
+/// if the declared section count exceeds [`MAX_BATCH_SECTIONS`] or could not
+/// possibly fit in the remaining bytes.
 pub fn decode_sections(input: &[u8]) -> Result<Vec<(Address, Vec<u8>)>, VmError> {
     let mut dec = Decoder::new(input);
-    let n = dec.u64()? as usize;
-    let mut out = Vec::with_capacity(n.min(1024));
+    let declared = dec.u64()?;
+    if declared > MAX_BATCH_SECTIONS as u64 {
+        return Err(VmError::Decode(format!(
+            "section count {declared} exceeds the {MAX_BATCH_SECTIONS}-section bound"
+        )));
+    }
+    let n = declared as usize;
+    if n.saturating_mul(SECTION_MIN_BYTES) > dec.remaining() {
+        return Err(VmError::Decode(format!(
+            "payload truncated: {n} sections need at least {} bytes, have {}",
+            n * SECTION_MIN_BYTES,
+            dec.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let target = dec.address()?;
         let payload = dec.bytes()?.to_vec();
@@ -263,6 +294,41 @@ mod tests {
         let mut buf = encode_sections(&[(Address::derive("m"), b"p".to_vec())]);
         buf.push(0xAB);
         assert!(matches!(decode_sections(&buf), Err(VmError::Decode(_))));
+    }
+
+    #[test]
+    fn sections_reject_forged_counts() {
+        // A count above the hard bound is rejected before any allocation.
+        let mut enc = Encoder::new();
+        enc.u64(u64::MAX);
+        assert!(matches!(
+            decode_sections(&enc.finish()),
+            Err(VmError::Decode(_))
+        ));
+        // An in-bound count that cannot fit the remaining bytes is rejected
+        // up front with a typed error.
+        let mut enc = Encoder::new();
+        enc.u64(100); // claims 100 sections, provides none
+        assert!(matches!(
+            decode_sections(&enc.finish()),
+            Err(VmError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn sections_reject_truncated_tail() {
+        let buf = encode_sections(&[
+            (Address::derive("m1"), b"abc".to_vec()),
+            (Address::derive("m2"), b"defgh".to_vec()),
+        ]);
+        // Every proper prefix must fail with a typed decode error, never
+        // panic.
+        for cut in 0..buf.len() {
+            assert!(
+                matches!(decode_sections(&buf[..cut]), Err(VmError::Decode(_))),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
     }
 
     #[test]

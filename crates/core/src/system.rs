@@ -183,6 +183,37 @@ impl StagedUpdate {
     }
 }
 
+/// One epoch's staged read phase, produced by [`EpochDriver::stage_reads`]
+/// and consumed by [`EpochDriver::finish_staged_epoch`].
+///
+/// `stage_reads` runs everything up to — but not including — the SP's
+/// `deliver` transactions: the consumer read block is sealed and the
+/// watchdog's deliver payloads are collected instead of mined, so an
+/// external scheduler (the multi-tenant `grub-engine`) can coalesce many
+/// feeds' deliveries into one shard-level `batchDeliver` transaction. The
+/// Gas the feed burned on its own read block is snapshot-differenced here,
+/// keeping per-feed attribution exact; the batched deliver transaction's
+/// Gas is attributed by the scheduler.
+#[derive(Clone, Debug, Default)]
+pub struct StagedReads {
+    /// Encoded `deliver()` inputs for this feed's storage manager, one per
+    /// watchdog delivery (same-key point requests are already coalesced).
+    /// Empty when every read hit an on-chain replica or the epoch had no
+    /// reads.
+    pub delivers: Vec<Vec<u8>>,
+    /// Feed-layer Gas metered across the feed's own staged read work.
+    feed_gas: u64,
+    /// Application-layer Gas metered across the feed's own staged read work.
+    app_gas: u64,
+}
+
+impl StagedReads {
+    /// Total deliver payload bytes staged for batching.
+    pub fn payload_bytes(&self) -> usize {
+        self.delivers.iter().map(Vec::len).sum()
+    }
+}
+
 /// One feed's deployment, driving epochs against a *borrowed* chain.
 ///
 /// All per-feed state lives here; the chain (and its Gas meter) is shared,
@@ -475,6 +506,86 @@ impl EpochDriver {
         Ok(())
     }
 
+    /// Runs the epoch's read phase up to the deliver step: pushes decision
+    /// hints, submits the consumer read transactions, seals their block, and
+    /// returns the watchdog's `deliver()` payloads *unsubmitted* so an
+    /// external scheduler can batch them across feeds (the read-path mirror
+    /// of [`EpochDriver::stage_update`]). The feed's own Gas (consumer block
+    /// plus `gGet` execution) is snapshot-differenced into the result; the
+    /// caller books the epoch with [`EpochDriver::finish_staged_epoch`] once
+    /// the batched delivers have been mined.
+    ///
+    /// Only valid in coalesced-read mode (see
+    /// [`SystemConfig::coalesce_reads`]); live-tempo feeds interleave reads
+    /// and deliveries block by block and cannot defer their delivers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error in live-read mode; propagates store failures and
+    /// protocol-violating transaction failures.
+    pub fn stage_reads(&mut self, chain: &mut Blockchain) -> Result<StagedReads> {
+        if !self.coalesce_reads {
+            return Err(GrubError::Chain(
+                "staged reads require coalesced-read mode (live-tempo feeds \
+                 cannot defer delivers)"
+                    .into(),
+            ));
+        }
+        let before = chain.gas_snapshot();
+        let reads = std::mem::take(&mut self.pending_reads);
+        let scans = std::mem::take(&mut self.pending_scans);
+        for key in &reads {
+            self.push_hint(key);
+        }
+        for tx in self.build_read_txs(&reads) {
+            chain.submit(tx);
+        }
+        for (start, end) in scans {
+            self.submit_scan(chain, &start, &end);
+        }
+        self.seal_block(chain)?;
+        let delivers = self
+            .provider
+            .watchdog(chain, self.manager)?
+            .into_iter()
+            .map(|tx| tx.input)
+            .collect();
+        let (feed, app) = chain.gas_snapshot().since(before);
+        Ok(StagedReads {
+            delivers,
+            feed_gas: feed.amount(),
+            app_gas: app.amount(),
+        })
+    }
+
+    /// Books the epoch whose write path was staged by
+    /// [`EpochDriver::stage_update`] and whose read path was staged by
+    /// [`EpochDriver::stage_reads`]. The report carries the feed's own
+    /// snapshot-differenced Gas; the shard-level `batchUpdate`/`batchDeliver`
+    /// transactions that carried this epoch's payloads are attributed
+    /// separately by the scheduler (they are shared, so their Gas cannot be
+    /// booked per-epoch without a split policy).
+    pub fn finish_staged_epoch(&mut self, update: &StagedUpdate, reads: &StagedReads) {
+        self.reports.push(EpochReport {
+            epoch: self.reports.len(),
+            ops: update.ops,
+            feed_gas: reads.feed_gas,
+            app_gas: reads.app_gas,
+            replications: update.replications,
+            evictions: update.evictions,
+            // Staged delivers are mined by the scheduler's batch
+            // transaction; a rejected batch aborts the run there, so a
+            // booked staged epoch had no failed delivers.
+            failed_delivers: 0,
+        });
+    }
+
+    /// Whether this feed batches an epoch's reads into shared blocks
+    /// (coalesced mode) — the mode required by [`EpochDriver::stage_reads`].
+    pub fn coalesces_reads(&self) -> bool {
+        self.coalesce_reads
+    }
+
     /// Closes the current epoch end to end: stage, submit own update
     /// transactions, run the read phase.
     ///
@@ -620,6 +731,18 @@ impl EpochDriver {
     /// The consumer contract address used for batched reads.
     pub fn consumer(&self) -> Address {
         self.consumer
+    }
+
+    /// The data owner's account address (the authorized `update()` sender —
+    /// external batchers use it to submit a lone update directly when
+    /// routing through a one-section batch would only add framing cost).
+    pub fn data_owner(&self) -> Address {
+        self.owner.address()
+    }
+
+    /// The storage provider's account address (the `deliver()` sender).
+    pub fn provider_address(&self) -> Address {
+        self.provider.address()
     }
 
     /// The data owner, for assertions.
@@ -927,8 +1050,18 @@ pub fn scan_end_key(start: &str, len: usize) -> String {
     if let Some(idx) = digits_at {
         let (prefix, digits) = start.split_at(idx);
         if let Ok(n) = digits.parse::<u64>() {
-            let end = n.saturating_add(len.saturating_sub(1) as u64);
-            return format!("{prefix}{end:0width$}", width = digits.len());
+            // Checked, not saturating: if the advanced suffix overflows u64
+            // or needs more digits than the start key has, the formatted end
+            // would sort *before* the start lexicographically (e.g. advancing
+            // "user999" by 5 gives "user1003" < "user999"), silently
+            // shrinking the scan — fall back to the prefix bound instead.
+            let advanced = n.checked_add((len as u64).saturating_sub(1));
+            if let Some(end) = advanced {
+                let formatted = format!("{end:0width$}", width = digits.len());
+                if formatted.len() == digits.len() {
+                    return format!("{prefix}{formatted}");
+                }
+            }
         }
     }
     // Fallback: cover everything sharing the start key as a prefix.
@@ -951,6 +1084,24 @@ mod tests {
         assert_eq!(scan_end_key("user000000000010", 5), "user000000000014");
         assert_eq!(scan_end_key("user000000000010", 1), "user000000000010");
         assert!(scan_end_key("opaque-key", 5).starts_with("opaque-key"));
+    }
+
+    #[test]
+    fn scan_end_key_never_sorts_before_start() {
+        // A digit suffix that would grow in width (999 + 5 = 1004) must not
+        // produce an end key that sorts before the start; the prefix bound
+        // takes over.
+        let end = scan_end_key("user999", 5);
+        assert!(end.as_str() >= "user999", "end {end:?} sorts before start");
+        assert!(end.starts_with("user999"));
+        // Likewise for a suffix at the top of the u64 range (checked, not
+        // saturating, addition).
+        let start = format!("k{}", u64::MAX);
+        let end = scan_end_key(&start, 2);
+        assert!(end >= start, "end {end:?} sorts before start");
+        assert!(end.starts_with(&start));
+        // Maximum-width suffixes that stay in range still advance exactly.
+        assert_eq!(scan_end_key("user995", 5), "user999");
     }
 
     #[test]

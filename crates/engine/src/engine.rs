@@ -2,9 +2,9 @@
 
 use grub_chain::codec::encode_sections;
 use grub_chain::{Address, Blockchain, ChainConfig, Transaction};
-use grub_core::system::{DriverIdentity, EpochDriver, StagedUpdate, SystemConfig};
+use grub_core::system::{DriverIdentity, EpochDriver, StagedReads, StagedUpdate, SystemConfig};
 use grub_core::{GrubError, Result};
-use grub_gas::Layer;
+use grub_gas::{checked_add_gas, checked_sub_gas, Layer};
 use grub_workload::Trace;
 
 use crate::report::{EngineReport, TenantReport};
@@ -30,23 +30,84 @@ pub struct EngineConfig {
     /// it reproduces N independent single-feed runs on one chain, which is
     /// the baseline the batching savings are measured against.
     pub batching: bool,
+    /// Whether a shard's same-round SP deliveries are likewise coalesced
+    /// into one `batchDeliver` transaction. Only effective with `batching`
+    /// on (the shard router carries both); feeds configured for live-tempo
+    /// reads fall back to their own deliver transactions either way. Batch
+    /// shares are attributed as feed-layer Gas, so a run whose deliver-time
+    /// consumer callbacks burn application-layer Gas is refused with a
+    /// typed error rather than misattributed.
+    pub read_batching: bool,
     /// Chain timing parameters shared by all feeds.
     pub chain: ChainConfig,
 }
 
 impl EngineConfig {
-    /// A batching engine with `shards` shards and default chain timing.
+    /// A fully batching engine (writes and reads) with `shards` shards and
+    /// default chain timing.
     pub fn new(shards: usize) -> Self {
         EngineConfig {
             shards: shards.max(1),
             batching: true,
+            read_batching: true,
             chain: ChainConfig::default(),
         }
     }
 
-    /// Disables cross-feed batching (the sum-of-singles baseline).
+    /// Disables cross-feed batching entirely (the sum-of-singles baseline).
     pub fn unbatched(mut self) -> Self {
         self.batching = false;
+        self.read_batching = false;
+        self
+    }
+
+    /// Keeps update batching but leaves every feed's delivers unbatched —
+    /// the write-only batching mode earlier engine versions shipped, used
+    /// to isolate what read batching saves on top.
+    pub fn without_read_batching(mut self) -> Self {
+        self.read_batching = false;
+        self
+    }
+}
+
+/// A per-tenant feed-layer Gas quota, enforced by the scheduler as a token
+/// bucket with deferral.
+///
+/// Every scheduler round the tenant's balance grows by `gas_per_round`
+/// (capped at `burst`); a feed whose next epoch is estimated to cost more
+/// than its balance is *parked* — it keeps its trace position and all staged
+/// state untouched and is retried next round, by which time the bucket has
+/// refilled. Spending is charged at the epoch's actual metered feed-layer
+/// cost (the tenant's own transactions plus its byte-proportional share of
+/// shard batches) and may drive the balance into debt, parking the feed for
+/// proportionally more rounds. The estimate is the previous epoch's actual
+/// cost, so a tenant's first epoch always runs.
+///
+/// Parking never starves: the balance strictly increases while parked, and
+/// a feed whose epochs cost more than `burst` (so no amount of waiting
+/// would cover them) runs as soon as the bucket is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantBudget {
+    /// Feed-layer Gas granted to the tenant each scheduler round (≥ 1).
+    pub gas_per_round: u64,
+    /// Cap on the accumulated unspent allowance (≥ `gas_per_round`).
+    pub burst: u64,
+}
+
+impl TenantBudget {
+    /// A budget granting `gas` per round with a default burst of four
+    /// rounds' allowance.
+    pub fn per_round(gas: u64) -> Self {
+        let gas = gas.max(1);
+        TenantBudget {
+            gas_per_round: gas,
+            burst: gas.saturating_mul(4),
+        }
+    }
+
+    /// Overrides the burst cap (clamped to at least one round's allowance).
+    pub fn burst(mut self, burst: u64) -> Self {
+        self.burst = burst.max(self.gas_per_round);
         self
     }
 }
@@ -63,16 +124,26 @@ pub struct FeedSpec {
     pub config: SystemConfig,
     /// The tenant's workload.
     pub trace: Trace,
+    /// Optional per-tenant Gas quota ([`TenantBudget`]); `None` schedules
+    /// the feed every round unconditionally.
+    pub budget: Option<TenantBudget>,
 }
 
 impl FeedSpec {
-    /// Builds a feed spec.
+    /// Builds a feed spec without a quota.
     pub fn new(tenant: impl Into<String>, config: SystemConfig, trace: Trace) -> Self {
         FeedSpec {
             tenant: tenant.into(),
             config,
             trace,
+            budget: None,
         }
+    }
+
+    /// Attaches a per-tenant Gas quota.
+    pub fn with_budget(mut self, budget: TenantBudget) -> Self {
+        self.budget = Some(budget);
+        self
     }
 }
 
@@ -91,6 +162,8 @@ struct Shard {
     router: Address,
     update_gas: u64,
     update_txs: usize,
+    deliver_gas: u64,
+    deliver_txs: usize,
 }
 
 struct FeedSlot {
@@ -100,6 +173,15 @@ struct FeedSlot {
     trace: Trace,
     cursor: usize,
     batched_update_gas: u64,
+    batched_deliver_gas: u64,
+    budget: Option<TenantBudget>,
+    /// Quota balance, in feed-layer Gas. Signed: spending is charged at the
+    /// actual metered cost and may run the bucket into debt.
+    balance: i128,
+    /// Actual feed-layer cost of the most recent epoch — the scheduler's
+    /// cost estimate for the next one.
+    last_epoch_cost: Option<u64>,
+    parked_rounds: usize,
 }
 
 impl FeedSlot {
@@ -114,6 +196,65 @@ impl FeedSlot {
             self.cursor += 1;
         }
     }
+
+    /// The feed's cumulative share of shard batch transactions.
+    fn batched_gas(&self) -> u64 {
+        checked_add_gas(self.batched_update_gas, self.batched_deliver_gas)
+    }
+
+    /// Refills the quota bucket for a new round and decides whether the
+    /// feed can afford its next epoch. Feeds without a budget always run.
+    fn refill_and_decide(&mut self) -> bool {
+        let Some(budget) = self.budget else {
+            return true;
+        };
+        let per_round = i128::from(budget.gas_per_round.max(1));
+        let burst = i128::from(budget.burst.max(budget.gas_per_round.max(1)));
+        self.balance = (self.balance + per_round).min(burst);
+        let estimate = i128::from(self.last_epoch_cost.unwrap_or(0));
+        // Park while the estimated cost exceeds the balance — unless the
+        // bucket is already full, in which case waiting cannot help and the
+        // epoch must run (no starvation).
+        if estimate > self.balance && self.balance < burst {
+            self.parked_rounds += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Charges an epoch's actual metered feed-layer cost against the quota
+    /// (debt allowed) and records it as the next round's estimate.
+    fn charge_quota(&mut self, cost: u64) {
+        self.last_epoch_cost = Some(cost);
+        if self.budget.is_some() {
+            self.balance -= i128::from(cost);
+        }
+    }
+}
+
+/// Which router entry point a shard batch goes through, and which accounts
+/// its metered Gas books into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BatchKind {
+    Update,
+    Deliver,
+}
+
+impl BatchKind {
+    fn func(self) -> &'static str {
+        match self {
+            BatchKind::Update => "batchUpdate",
+            BatchKind::Deliver => "batchDeliver",
+        }
+    }
+}
+
+/// One runnable feed's round-local state as it moves through the pipeline:
+/// staged update payloads plus the batch-share baseline for quota charging.
+struct RoundFeed {
+    idx: usize,
+    batched_before: u64,
+    update: StagedUpdate,
 }
 
 /// The sharded multi-tenant feed engine.
@@ -125,6 +266,7 @@ pub struct FeedEngine {
     shards: Vec<Shard>,
     feeds: Vec<FeedSlot>,
     batching: bool,
+    read_batching: bool,
     rounds: usize,
 }
 
@@ -154,6 +296,8 @@ impl FeedEngine {
                     router,
                     update_gas: 0,
                     update_txs: 0,
+                    deliver_gas: 0,
+                    deliver_txs: 0,
                 }
             })
             .collect();
@@ -182,6 +326,11 @@ impl FeedEngine {
                 trace: spec.trace,
                 cursor: 0,
                 batched_update_gas: 0,
+                batched_deliver_gas: 0,
+                budget: spec.budget,
+                balance: 0,
+                last_epoch_cost: None,
+                parked_rounds: 0,
             });
         }
         chain.meter_reset();
@@ -190,6 +339,7 @@ impl FeedEngine {
             shards,
             feeds,
             batching: config.batching,
+            read_batching: config.batching && config.read_batching,
             rounds: 0,
         })
     }
@@ -203,8 +353,9 @@ impl FeedEngine {
         FeedEngine::new(config, specs)?.run()
     }
 
-    /// Drives every feed's trace to completion, one interleaved epoch per
-    /// feed per round, and returns the per-tenant + aggregate report.
+    /// Drives every feed's trace to completion, one epoch per feed per
+    /// round (quota-parked feeds skip rounds), and returns the per-tenant
+    /// + aggregate report.
     ///
     /// # Errors
     ///
@@ -218,87 +369,183 @@ impl FeedEngine {
         Ok(self.into_report())
     }
 
-    /// One scheduler round: every feed with trace remaining ingests and
-    /// closes one epoch. With batching on, the round's update payloads are
-    /// routed per shard before any read phase runs, so all of a shard's
-    /// writes land in one block.
+    /// One scheduler round.
+    ///
+    /// Every feed with trace remaining and quota to spend runs one epoch.
+    /// With batching off each feed runs standalone, one after another (the
+    /// sum-of-singles baseline). With batching on the shards run as a
+    /// software pipeline: while shard `s`'s write block and read phase
+    /// execute on-chain, shard `s+1`'s epochs are already being staged
+    /// off-chain — the staging of one shard overlaps the chain phases of
+    /// the previous one, instead of the old strict stage-everything-then-
+    /// run-everything round-robin. The pipeline is plain sequential code
+    /// over a fixed shard order, so runs stay byte-for-byte deterministic.
     fn run_round(&mut self) -> Result<()> {
-        let live: Vec<usize> = (0..self.feeds.len())
-            .filter(|&i| !self.feeds[i].exhausted())
-            .collect();
+        let mut runnable: Vec<usize> = Vec::new();
+        for idx in 0..self.feeds.len() {
+            if !self.feeds[idx].exhausted() && self.feeds[idx].refill_and_decide() {
+                runnable.push(idx);
+            }
+        }
         if !self.batching {
             // Sum-of-singles baseline: each feed runs its epoch exactly as
             // a standalone GrubSystem would (update txs share the epoch's
             // read block), one feed after another.
-            for &idx in &live {
+            for &idx in &runnable {
                 self.feeds[idx].ingest_epoch();
                 let feed = &mut self.feeds[idx];
                 feed.driver.close_epoch(&mut self.chain)?;
+                let cost = feed.driver.reports().last().map_or(0, |e| e.feed_gas);
+                feed.charge_quota(cost);
             }
             return Ok(());
         }
-        // 1. Ingest + stage every live feed's epoch (off-chain work only).
-        let mut staged: Vec<(usize, StagedUpdate)> = Vec::with_capacity(live.len());
-        for &idx in &live {
-            self.feeds[idx].ingest_epoch();
-            let update = self.feeds[idx].driver.stage_update()?;
-            staged.push((idx, update));
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for &idx in &runnable {
+            by_shard[self.feeds[idx].shard].push(idx);
         }
-        // 2. Coalesce the round's update payloads into one batchUpdate per
-        //    shard (spilling only past the Ctx payload bound), mine them in
-        //    a single block, and attribute the metered Gas back to tenants.
-        //    The chunks are moved out; the read phase below only needs the
-        //    epoch metadata.
-        self.submit_shard_batches(&mut staged)?;
-        // 3. Read phases, one feed at a time so snapshot-differenced Gas
-        //    attribution stays exact.
-        for (idx, update) in &staged {
-            let feed = &mut self.feeds[*idx];
-            feed.driver.run_read_phase(&mut self.chain, update)?;
+        let schedule: Vec<usize> = (0..self.shards.len())
+            .filter(|&s| !by_shard[s].is_empty())
+            .collect();
+        let Some(&first) = schedule.first() else {
+            return Ok(()); // every live feed is parked; quota refills next round
+        };
+        let mut staged_next = self.stage_shard(&by_shard[first])?;
+        for (pos, &shard) in schedule.iter().enumerate() {
+            let mut staged = std::mem::take(&mut staged_next);
+            // The shard's write block: all staged update chunks coalesced
+            // through the router (spilling past the Ctx payload bound).
+            let mut sections: Vec<(usize, Vec<u8>)> = Vec::new();
+            for rf in &mut staged {
+                for chunk in std::mem::take(&mut rf.update.chunks) {
+                    sections.push((rf.idx, chunk));
+                }
+            }
+            self.submit_shard_batch(shard, BatchKind::Update, sections)?;
+            // Pipeline overlap: stage the next shard's epochs (pure
+            // off-chain work) while this shard's write block propagates and
+            // before its read phase begins.
+            if let Some(&next) = schedule.get(pos + 1) {
+                staged_next = self.stage_shard(&by_shard[next])?;
+            }
+            self.run_shard_read_phase(shard, staged)?;
         }
         Ok(())
     }
 
-    /// Groups staged update chunks by shard, submits the batch
-    /// transactions, seals their block, and splits each transaction's
-    /// metered Gas over its sections proportionally to payload bytes.
-    /// Takes the chunks out of `staged`; the epoch metadata stays.
-    fn submit_shard_batches(&mut self, staged: &mut [(usize, StagedUpdate)]) -> Result<()> {
-        // Sections per shard, in scheduler order: (feed index, payload).
-        let mut shard_sections: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); self.shards.len()];
-        for (idx, update) in staged {
-            for chunk in std::mem::take(&mut update.chunks) {
-                shard_sections[self.feeds[*idx].shard].push((*idx, chunk));
-            }
+    /// Ingests and stages one epoch for each of a shard's runnable feeds —
+    /// off-chain work only, which is what lets the scheduler overlap it
+    /// with another shard's on-chain phases.
+    fn stage_shard(&mut self, feed_idxs: &[usize]) -> Result<Vec<RoundFeed>> {
+        let mut staged = Vec::with_capacity(feed_idxs.len());
+        for &idx in feed_idxs {
+            self.feeds[idx].ingest_epoch();
+            let update = self.feeds[idx].driver.stage_update()?;
+            staged.push(RoundFeed {
+                idx,
+                batched_before: self.feeds[idx].batched_gas(),
+                update,
+            });
         }
-        // Submit per-shard batch transactions; remember each transaction's
-        // section composition for attribution.
-        let mut submitted: Vec<(usize, Vec<(usize, usize)>)> = Vec::new(); // (shard, [(feed, bytes)])
-        for (shard_idx, sections) in shard_sections.into_iter().enumerate() {
-            if sections.is_empty() {
-                continue;
-            }
-            let mut batch: Vec<(Address, Vec<u8>)> = Vec::new();
-            let mut parts: Vec<(usize, usize)> = Vec::new();
-            let mut bytes = 0usize;
-            for (feed_idx, payload) in sections {
-                let section_bytes = payload.len() + SECTION_OVERHEAD_BYTES;
-                if bytes + section_bytes > BATCH_CHUNK_BYTES && !batch.is_empty() {
-                    self.submit_batch_tx(shard_idx, std::mem::take(&mut batch));
-                    submitted.push((shard_idx, std::mem::take(&mut parts)));
-                    bytes = 0;
+        Ok(staged)
+    }
+
+    /// Runs one shard's read phase: each feed seals its own consumer read
+    /// block (keeping snapshot-differenced Gas attribution exact), then the
+    /// shard's deliver payloads are coalesced into one `batchDeliver`
+    /// transaction; finally the epochs are booked and quotas charged.
+    /// Live-tempo feeds — and every feed when read batching is off — fall
+    /// back to the classic per-feed read phase with their own deliver
+    /// transactions.
+    fn run_shard_read_phase(&mut self, shard_idx: usize, staged: Vec<RoundFeed>) -> Result<()> {
+        let mut sections: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut booked: Vec<(RoundFeed, StagedReads)> = Vec::new();
+        for rf in staged {
+            let feed = &mut self.feeds[rf.idx];
+            if self.read_batching && feed.driver.coalesces_reads() {
+                let mut reads = feed.driver.stage_reads(&mut self.chain)?;
+                for payload in std::mem::take(&mut reads.delivers) {
+                    sections.push((rf.idx, payload));
                 }
-                bytes += section_bytes;
-                parts.push((feed_idx, payload.len()));
-                batch.push((self.feeds[feed_idx].driver.manager(), payload));
+                booked.push((rf, reads));
+            } else {
+                feed.driver.run_read_phase(&mut self.chain, &rf.update)?;
+                let own = feed.driver.reports().last().map_or(0, |e| e.feed_gas);
+                let share = checked_sub_gas(feed.batched_gas(), rf.batched_before);
+                feed.charge_quota(checked_add_gas(own, share));
             }
-            self.submit_batch_tx(shard_idx, batch);
-            submitted.push((shard_idx, parts));
         }
-        if submitted.is_empty() {
+        self.submit_shard_batch(shard_idx, BatchKind::Deliver, sections)?;
+        for (rf, reads) in booked {
+            let feed = &mut self.feeds[rf.idx];
+            feed.driver.finish_staged_epoch(&rf.update, &reads);
+            let own = feed.driver.reports().last().map_or(0, |e| e.feed_gas);
+            let share = checked_sub_gas(feed.batched_gas(), rf.batched_before);
+            feed.charge_quota(checked_add_gas(own, share));
+        }
+        Ok(())
+    }
+
+    /// Coalesces one shard's same-round sections into as few router
+    /// transactions as the `Ctx` payload bound allows (overflow spills into
+    /// follow-up transactions in the same block), mines that block, and
+    /// splits each transaction's metered Gas over its sections
+    /// proportionally to payload bytes. The residue of the integer division
+    /// goes to the last section, so the per-feed shares always sum exactly
+    /// to the metered shard total.
+    ///
+    /// A planned transaction that would carry exactly one section is sent
+    /// as the feed's own direct call instead (the DO's `update()` / the
+    /// SP's `deliver()`): a batch of one pays the same envelope plus the
+    /// section framing and router forwarding on top, so routing it would
+    /// make sparse rounds *more* expensive than not batching at all.
+    fn submit_shard_batch(
+        &mut self,
+        shard_idx: usize,
+        kind: BatchKind,
+        sections: Vec<(usize, Vec<u8>)>,
+    ) -> Result<()> {
+        if sections.is_empty() {
             return Ok(());
         }
-        // One block carries the whole round's writes.
+        // Chunk the sections into planned transactions, preserving order.
+        type Planned = (Vec<(Address, Vec<u8>)>, Vec<(usize, usize)>);
+        let mut planned: Vec<Planned> = Vec::new(); // (sections, (feed, bytes))
+        let mut batch: Vec<(Address, Vec<u8>)> = Vec::new();
+        let mut parts: Vec<(usize, usize)> = Vec::new();
+        let mut bytes = 0usize;
+        for (feed_idx, payload) in sections {
+            let section_bytes = payload.len() + SECTION_OVERHEAD_BYTES;
+            if bytes + section_bytes > BATCH_CHUNK_BYTES && !batch.is_empty() {
+                planned.push((std::mem::take(&mut batch), std::mem::take(&mut parts)));
+                bytes = 0;
+            }
+            bytes += section_bytes;
+            parts.push((feed_idx, payload.len()));
+            batch.push((self.feeds[feed_idx].driver.manager(), payload));
+        }
+        planned.push((batch, parts));
+        let mut submitted: Vec<Vec<(usize, usize)>> = Vec::with_capacity(planned.len());
+        for (mut batch, parts) in planned {
+            if let [(feed_idx, _)] = parts[..] {
+                // Lone section: the feed's own transaction is strictly
+                // cheaper than a one-section batch.
+                let (manager, payload) = batch.pop().expect("one section");
+                let driver = &self.feeds[feed_idx].driver;
+                let (from, func) = match kind {
+                    BatchKind::Update => (driver.data_owner(), "update"),
+                    BatchKind::Deliver => (driver.provider_address(), "deliver"),
+                };
+                self.chain
+                    .submit(Transaction::new(from, manager, func, payload, Layer::Feed));
+            } else {
+                self.submit_router_tx(shard_idx, kind, batch);
+            }
+            submitted.push(parts);
+        }
+        // One block carries the shard's whole batch, spill transactions
+        // included.
+        let before = self.chain.gas_snapshot();
         let receipts: Vec<(bool, Option<String>, u64)> = {
             let block = self.chain.produce_block();
             block
@@ -307,39 +554,89 @@ impl FeedEngine {
                 .map(|r| (r.success, r.error.clone(), r.gas_used))
                 .collect()
         };
-        for ((shard_idx, parts), (success, error, gas_used)) in submitted.into_iter().zip(receipts)
-        {
+        // Guard the receipt↔transaction pairing: a stray mempool entry
+        // would silently shift (or truncate) the zip below and misattribute
+        // every share after it.
+        if receipts.len() != submitted.len() {
+            return Err(GrubError::Chain(format!(
+                "shard {shard_idx} {} block mined {} receipts for {} transactions",
+                kind.func(),
+                receipts.len(),
+                submitted.len()
+            )));
+        }
+        // The shares booked below are documented — and consumed by every
+        // report — as *feed-layer* Gas, but a receipt's `gas_used` spans all
+        // meter layers. A consumer whose deliver-time callback did metered
+        // application-layer work would silently launder that Gas into the
+        // feed column, so refuse the run instead of misattributing it.
+        let after = self.chain.gas_snapshot();
+        let (_, app_delta) = after.since(before);
+        let user_delta = checked_sub_gas(after.user, before.user);
+        if app_delta.amount() > 0 || user_delta > 0 {
+            return Err(GrubError::Chain(format!(
+                "shard {shard_idx} {} burned non-feed-layer gas ({} app, {user_delta} user); \
+                 batched attribution would book it as feed-layer — disable read batching \
+                 for feeds whose consumer callbacks do metered work",
+                kind.func(),
+                app_delta.amount()
+            )));
+        }
+        for (parts, (success, error, gas_used)) in submitted.into_iter().zip(receipts) {
             if !success {
                 return Err(GrubError::Chain(format!(
-                    "shard {shard_idx} batch update failed: {}",
+                    "shard {shard_idx} {} failed: {}",
+                    kind.func(),
                     error.as_deref().unwrap_or("unknown")
                 )));
             }
-            self.shards[shard_idx].update_gas += gas_used;
-            self.shards[shard_idx].update_txs += 1;
+            let shard = &mut self.shards[shard_idx];
+            match kind {
+                BatchKind::Update => {
+                    shard.update_gas = checked_add_gas(shard.update_gas, gas_used);
+                    shard.update_txs += 1;
+                }
+                BatchKind::Deliver => {
+                    shard.deliver_gas = checked_add_gas(shard.deliver_gas, gas_used);
+                    shard.deliver_txs += 1;
+                }
+            }
             let total_bytes: u64 = parts.iter().map(|(_, b)| *b as u64).sum();
             let mut assigned = 0u64;
             let last = parts.len() - 1;
             for (i, (feed_idx, bytes)) in parts.iter().enumerate() {
                 let share = if i == last {
-                    gas_used - assigned
+                    checked_sub_gas(gas_used, assigned)
                 } else {
                     ((u128::from(gas_used) * *bytes as u128) / u128::from(total_bytes.max(1)))
                         as u64
                 };
-                assigned += share;
-                self.feeds[*feed_idx].batched_update_gas += share;
+                assigned = checked_add_gas(assigned, share);
+                let feed = &mut self.feeds[*feed_idx];
+                match kind {
+                    BatchKind::Update => {
+                        feed.batched_update_gas = checked_add_gas(feed.batched_update_gas, share);
+                    }
+                    BatchKind::Deliver => {
+                        feed.batched_deliver_gas = checked_add_gas(feed.batched_deliver_gas, share);
+                    }
+                }
             }
         }
         Ok(())
     }
 
-    fn submit_batch_tx(&mut self, shard_idx: usize, batch: Vec<(Address, Vec<u8>)>) {
+    fn submit_router_tx(
+        &mut self,
+        shard_idx: usize,
+        kind: BatchKind,
+        batch: Vec<(Address, Vec<u8>)>,
+    ) {
         let shard = &self.shards[shard_idx];
         self.chain.submit(Transaction::new(
             shard.operator,
             shard.router,
-            "batchUpdate",
+            kind.func(),
             encode_sections(&batch),
             Layer::Feed,
         ));
@@ -352,6 +649,7 @@ impl FeedEngine {
 
     fn into_report(self) -> EngineReport {
         let batching = self.batching;
+        let read_batching = self.read_batching;
         let rounds = self.rounds;
         let tenants: Vec<TenantReport> = self
             .feeds
@@ -360,6 +658,8 @@ impl FeedEngine {
                 tenant: feed.tenant,
                 shard: feed.shard,
                 batched_update_gas: feed.batched_update_gas,
+                batched_deliver_gas: feed.batched_deliver_gas,
+                parked_rounds: feed.parked_rounds,
                 run: feed.driver.into_report(),
             })
             .collect();
@@ -367,8 +667,11 @@ impl FeedEngine {
             tenants,
             shard_update_gas: self.shards.iter().map(|s| s.update_gas).collect(),
             shard_update_txs: self.shards.iter().map(|s| s.update_txs).collect(),
+            shard_deliver_gas: self.shards.iter().map(|s| s.deliver_gas).collect(),
+            shard_deliver_txs: self.shards.iter().map(|s| s.deliver_txs).collect(),
             rounds,
             batching,
+            read_batching,
         }
     }
 }
@@ -379,6 +682,7 @@ impl std::fmt::Debug for FeedEngine {
             .field("feeds", &self.feeds.len())
             .field("shards", &self.shards.len())
             .field("batching", &self.batching)
+            .field("read_batching", &self.read_batching)
             .field("rounds", &self.rounds)
             .finish_non_exhaustive()
     }
@@ -453,8 +757,34 @@ mod tests {
         let report = FeedEngine::run_specs(&EngineConfig::new(1), specs).unwrap();
         let attributed: u64 = report.tenants.iter().map(|t| t.batched_update_gas).sum();
         let metered: u64 = report.shard_update_gas.iter().sum();
-        assert_eq!(attributed, metered, "no gas lost to rounding");
+        assert_eq!(attributed, metered, "no update gas lost to rounding");
         assert!(metered > 0, "write-heavy feeds must batch updates");
+        let attributed: u64 = report.tenants.iter().map(|t| t.batched_deliver_gas).sum();
+        let metered: u64 = report.shard_deliver_gas.iter().sum();
+        assert_eq!(attributed, metered, "no deliver gas lost to rounding");
+    }
+
+    #[test]
+    fn read_batching_coalesces_delivers_and_attributes_exactly() {
+        // Read-leaning feeds so every round produces deliveries.
+        let specs = vec![spec("a", 4.0, 8), spec("b", 4.0, 8), spec("c", 4.0, 8)];
+        let report = FeedEngine::run_specs(&EngineConfig::new(1), specs.clone()).unwrap();
+        assert!(
+            report.shard_deliver_txs.iter().sum::<usize>() > 0,
+            "read-heavy feeds must batch delivers"
+        );
+        assert!(report.shard_deliver_gas.iter().sum::<u64>() > 0);
+        assert_eq!(report.failed_delivers(), 0);
+        // Against write-only batching: same work, strictly less total gas.
+        let write_only =
+            FeedEngine::run_specs(&EngineConfig::new(1).without_read_batching(), specs).unwrap();
+        assert_eq!(report.total_ops(), write_only.total_ops());
+        assert!(
+            report.feed_gas_total() < write_only.feed_gas_total(),
+            "read batching {} must undercut write-only batching {}",
+            report.feed_gas_total(),
+            write_only.feed_gas_total()
+        );
     }
 
     #[test]
@@ -462,6 +792,92 @@ mod tests {
         let specs = vec![spec("a", 1.0, 4), spec("b", 1.0, 4)];
         let report = FeedEngine::run_specs(&EngineConfig::new(2).unbatched(), specs).unwrap();
         assert_eq!(report.shard_update_gas.iter().sum::<u64>(), 0);
+        assert_eq!(report.shard_deliver_gas.iter().sum::<u64>(), 0);
         assert!(report.tenants.iter().all(|t| t.batched_update_gas == 0));
+        assert!(report.tenants.iter().all(|t| t.batched_deliver_gas == 0));
+    }
+
+    #[test]
+    fn quota_parks_and_never_starves() {
+        // A tight budget: one epoch of this workload costs well over 2000
+        // gas, so the feed must park between epochs yet still complete.
+        // Small epochs (4 ops) so the trace spans several epochs — the
+        // first epoch always runs (no cost history), parking starts after.
+        let cfg = || SystemConfig::new(PolicyKind::Memoryless { k: 2 }).epoch_ops(4);
+        let specs = vec![
+            FeedSpec::new(
+                "budgeted",
+                cfg(),
+                RatioWorkload::new("budgeted-key", 1.0).generate(12),
+            )
+            .with_budget(TenantBudget::per_round(2_000)),
+            FeedSpec::new(
+                "free",
+                cfg(),
+                RatioWorkload::new("free-key", 1.0).generate(12),
+            ),
+        ];
+        let total_ops: usize = specs.iter().map(|s| s.trace.ops.len()).sum();
+        let report = FeedEngine::run_specs(&EngineConfig::new(1), specs).unwrap();
+        assert_eq!(report.total_ops(), total_ops, "parked feed must complete");
+        let budgeted = &report.tenants[0];
+        assert!(
+            budgeted.parked_rounds > 0,
+            "a tight quota must actually defer epochs"
+        );
+        assert_eq!(report.tenants[1].parked_rounds, 0);
+        // The schedule stretched: more rounds than the unhindered feed's
+        // epoch count.
+        assert!(report.rounds > report.tenants[1].run.epochs.len());
+    }
+
+    #[test]
+    fn spilled_shard_batches_keep_order_and_exact_attribution() {
+        // 14 write-heavy BL2 feeds on ONE shard: BL2 replicates every
+        // record, so each feed's epoch update carries its full 4 KiB value
+        // on-chain. One round's sections (~58 KiB + framing) overflow the
+        // 24 000-byte batch payload bound and must spill into follow-up
+        // transactions in the same block, round after round.
+        let mk_specs = || -> Vec<FeedSpec> {
+            (0..14)
+                .map(|i| {
+                    FeedSpec::new(
+                        format!("bulk-{i:02}"),
+                        SystemConfig::new(PolicyKind::Bl2).epoch_ops(4),
+                        RatioWorkload::new(format!("bulk-{i:02}-key"), 0.0)
+                            .value_len(4096)
+                            .generate(8),
+                    )
+                })
+                .collect()
+        };
+        let report = FeedEngine::run_specs(&EngineConfig::new(1), mk_specs()).unwrap();
+        let rounds = report.rounds;
+        let update_txs = report.shard_update_txs[0];
+        assert!(
+            update_txs > rounds,
+            "{update_txs} update txs over {rounds} rounds — the batch never spilled"
+        );
+        // Attribution survives the split exactly.
+        let attributed: u64 = report.tenants.iter().map(|t| t.batched_update_gas).sum();
+        assert_eq!(attributed, report.shard_update_gas[0]);
+        // Ordering survives: every feed completed every op, nothing was
+        // rejected, and per-feed accounting matches the unbatched baseline's
+        // work (same ops, same epochs).
+        let unbatched =
+            FeedEngine::run_specs(&EngineConfig::new(1).unbatched(), mk_specs()).unwrap();
+        assert_eq!(report.total_ops(), unbatched.total_ops());
+        assert_eq!(report.failed_delivers(), 0);
+        for (b, u) in report.tenants.iter().zip(&unbatched.tenants) {
+            assert_eq!(b.run.total_ops(), u.run.total_ops(), "{}", b.tenant);
+            assert_eq!(
+                b.run.epochs.len(),
+                u.run.epochs.len(),
+                "{}: epoch structure must survive the spill",
+                b.tenant
+            );
+        }
+        // And the whole point: even spilled, batching beats unbatched.
+        assert!(report.feed_gas_total() < unbatched.feed_gas_total());
     }
 }

@@ -13,15 +13,17 @@
 //! # Architecture
 //!
 //! ```text
-//!           FeedEngine (deterministic round-robin scheduler)
-//!   round r:  feed 0 epoch | feed 1 epoch | ... | feed N-1 epoch
+//!           FeedEngine (deterministic pipelined shard scheduler)
+//!   round r:  shard 0 stage → shard 0 write ┐ shard 0 reads ┐
+//!                            shard 1 stage ─┘ shard 1 write ┘ shard 1 reads …
 //!                  │              │                    │
 //!            EpochDriver    EpochDriver          EpochDriver     (grub-core)
 //!             DO + SP        DO + SP              DO + SP
 //!                  │              │                    │
 //!              ┌── shard 0 ──┐       ┌────── shard 1 ──────┐
 //!              │ ShardRouter │       │     ShardRouter     │    (on-chain)
-//!              │  batchUpdate│       │      batchUpdate    │
+//!              │ batchUpdate │       │     batchUpdate     │
+//!              │ batchDeliver│       │     batchDeliver    │
 //!              └─┬─────────┬─┘       └──┬───────────────┬──┘
 //!            manager A  manager B    manager C  ...  manager N
 //!                        one shared Gas-metered Blockchain
@@ -32,11 +34,16 @@
 //!   private policy state, storage provider with private store and Merkle
 //!   tree) and its own namespaced storage-manager + consumer contracts.
 //!   Feeds cannot observe each other's keys, decisions, or replicas.
-//! * **Scheduling** — the engine interleaves feeds in *rounds*: round `r`
-//!   lets every feed with trace left ingest one epoch's worth of operations
-//!   and close that epoch. The order is the (stable) feed declaration
-//!   order, so a run is a deterministic function of its specs; no wall
-//!   clock, threads, or map iteration order is involved.
+//! * **Scheduling** — the engine runs feeds in *rounds*: round `r` lets
+//!   every feed with trace left (and quota to spend, see below) ingest one
+//!   epoch's worth of operations and close that epoch. With batching on,
+//!   the shards run as a software pipeline: while shard `s`'s write block
+//!   and read phase execute on-chain, shard `s+1`'s epochs are staged
+//!   off-chain, so the off-chain work of one shard overlaps the on-chain
+//!   phases of the previous one. The pipeline is plain sequential code over
+//!   a fixed shard order and the stable feed declaration order, so a run
+//!   is a deterministic function of its specs; no wall clock, threads, or
+//!   map iteration order is involved.
 //! * **Sharding** — each tenant is assigned to one of a fixed set of shards
 //!   by FNV-1a hash of its name ([`tenant_shard`]). A shard owns an
 //!   on-chain [`ShardRouter`] contract and a shard-operator account.
@@ -48,26 +55,47 @@
 //!   one): the router forwards each section to the right storage manager as
 //!   an internal call, which pays no envelope. Batching `n` same-block
 //!   updates saves `(n-1)·21000` minus a few words of section framing.
+//! * **Shard-level read batching** — the same amortization on the read
+//!   path: instead of one SP `deliver` transaction per feed per epoch, each
+//!   feed stages its watchdog's deliver payloads
+//!   ([`EpochDriver::stage_reads`](grub_core::system::EpochDriver::stage_reads))
+//!   and the engine coalesces a shard's round into one `batchDeliver`
+//!   transaction. Proof verification, replica installation, and callback
+//!   dispatch run unchanged inside the internal calls. Disable with
+//!   [`EngineConfig::without_read_batching`] to isolate the write-only
+//!   savings; live-tempo feeds fall back to their own deliver transactions
+//!   automatically.
+//! * **Per-tenant Gas quotas** — an optional [`TenantBudget`] per feed
+//!   turns the scheduler into a token bucket with deferral. Knobs:
+//!   `gas_per_round` (feed-layer Gas granted per scheduler round, ≥ 1) and
+//!   `burst` (cap on accumulated unspent allowance, default 4 rounds'
+//!   worth). A feed whose next epoch is estimated (by its previous epoch's
+//!   actual metered cost: own transactions plus byte-proportional batch
+//!   shares) to exceed its balance is *parked* — trace position and staged
+//!   state untouched — and retried next round; spending may run the bucket
+//!   into debt, parking proportionally longer. A full bucket always runs
+//!   (no starvation), and deferral never changes what an epoch computes,
+//!   only when it runs.
 //!
 //! # Invariants
 //!
 //! 1. **Unbatched equivalence** — with batching disabled the engine submits
 //!    exactly the transactions N single-feed `GrubSystem` runs would: total
 //!    feed-layer Gas equals the sum of the N standalone runs (checked in
-//!    `tests/engine.rs`).
-//! 2. **Batching only removes envelopes** — the batched path changes *who
-//!    carries* the update payloads, never their content: replica storage
-//!    writes, digests, and the read path are byte-identical, so batched
-//!    total Gas is strictly lower whenever any shard coalesces ≥ 2 updates
-//!    into one block.
+//!    `tests/engine.rs`), quota deferral included.
+//! 2. **Batching only removes envelopes** — the batched paths change *who
+//!    carries* the update and deliver payloads, never their content:
+//!    replica storage writes, digests, proofs, and callbacks are
+//!    byte-identical, so batched total Gas is strictly lower whenever any
+//!    shard coalesces ≥ 2 updates (or deliveries) into one block.
 //! 3. **Exact attribution** — per-tenant reports are measured by Gas-meter
 //!    snapshots around each feed's own epoch work; a shard's batched update
-//!    Gas is split over its sections proportionally to payload bytes (the
-//!    residue of integer division goes to the last section) and the shares
-//!    sum exactly to the metered shard total, so the aggregate report loses
-//!    nothing to rounding.
+//!    and deliver Gas is split over its sections proportionally to payload
+//!    bytes (the residue of integer division goes to the last section) and
+//!    the shares sum exactly to the metered shard totals — spilled batches
+//!    included — so the aggregate report loses nothing to rounding.
 //! 4. **Determinism** — two runs with identical specs produce byte-identical
-//!    [`EngineReport::render_table`] output.
+//!    [`EngineReport::render_table`] output, quotas and parking included.
 //!
 //! # Example
 //!
@@ -105,6 +133,6 @@ mod report;
 mod router;
 pub mod specs;
 
-pub use engine::{tenant_shard, EngineConfig, FeedEngine, FeedSpec};
+pub use engine::{tenant_shard, EngineConfig, FeedEngine, FeedSpec, TenantBudget};
 pub use report::{EngineReport, TenantReport};
 pub use router::ShardRouter;

@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 
 use grub_core::metrics::RunReport;
+use grub_gas::checked_add_gas;
 use serde::{Deserialize, Serialize};
 
 /// One tenant's share of a multi-tenant run.
@@ -18,13 +19,22 @@ pub struct TenantReport {
     /// The tenant's byte-proportional share of its shard's batched update
     /// transactions (zero when batching is off).
     pub batched_update_gas: u64,
+    /// The tenant's byte-proportional share of its shard's batched deliver
+    /// transactions (zero when read batching is off).
+    pub batched_deliver_gas: u64,
+    /// Scheduler rounds in which the tenant's quota parked its next epoch
+    /// (zero without a [`TenantBudget`](crate::TenantBudget)).
+    pub parked_rounds: usize,
 }
 
 impl TenantReport {
     /// Total feed-layer Gas the tenant is accountable for: its own epochs
-    /// plus its share of the shard batches.
+    /// plus its shares of the shard batches.
     pub fn feed_gas_total(&self) -> u64 {
-        self.run.feed_gas_total() + self.batched_update_gas
+        checked_add_gas(
+            checked_add_gas(self.run.feed_gas_total(), self.batched_update_gas),
+            self.batched_deliver_gas,
+        )
     }
 
     /// Trace operations the tenant ran.
@@ -52,27 +62,40 @@ impl TenantReport {
 pub struct EngineReport {
     /// Per-tenant reports, in declaration order.
     pub tenants: Vec<TenantReport>,
-    /// Metered Gas of each shard's batched update transactions. Tenant
+    /// Metered Gas of each shard's engine-submitted update transactions
+    /// (batches, plus the direct fallback a lone section rides). Tenant
     /// `batched_update_gas` shares sum exactly to these totals.
     pub shard_update_gas: Vec<u64>,
-    /// Number of batched update transactions each shard sent.
+    /// Number of engine-submitted update transactions each shard sent.
     pub shard_update_txs: Vec<usize>,
+    /// Metered Gas of each shard's engine-submitted deliver transactions
+    /// (batches, plus the direct fallback a lone section rides). Tenant
+    /// `batched_deliver_gas` shares sum exactly to these totals.
+    pub shard_deliver_gas: Vec<u64>,
+    /// Number of engine-submitted deliver transactions each shard sent.
+    pub shard_deliver_txs: Vec<usize>,
     /// Scheduler rounds until every trace completed.
     pub rounds: usize,
-    /// Whether cross-feed batching was on.
+    /// Whether cross-feed update batching was on.
     pub batching: bool,
+    /// Whether shard-level read (deliver) batching was on.
+    pub read_batching: bool,
 }
 
 impl EngineReport {
     /// Total feed-layer Gas across all tenants (shard batches included,
     /// exactly once — the per-tenant shares partition them).
     pub fn feed_gas_total(&self) -> u64 {
-        self.tenants.iter().map(TenantReport::feed_gas_total).sum()
+        self.tenants
+            .iter()
+            .fold(0, |acc, t| checked_add_gas(acc, t.feed_gas_total()))
     }
 
     /// Total application-layer Gas across all tenants.
     pub fn app_gas_total(&self) -> u64 {
-        self.tenants.iter().map(|t| t.run.app_gas_total()).sum()
+        self.tenants
+            .iter()
+            .fold(0, |acc, t| checked_add_gas(acc, t.run.app_gas_total()))
     }
 
     /// Total trace operations across all tenants.
@@ -102,13 +125,21 @@ impl EngineReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<14}{:>6}  {:<30}{:>8}{:>14}{:>12}{:>10}",
-            "tenant", "shard", "policy", "ops", "feed gas", "gas/op", "batch gas"
+            "{:<14}{:>6}  {:<30}{:>8}{:>14}{:>12}{:>10}{:>10}{:>8}",
+            "tenant",
+            "shard",
+            "policy",
+            "ops",
+            "feed gas",
+            "gas/op",
+            "upd gas",
+            "dlv gas",
+            "parked"
         );
         for t in &self.tenants {
             let _ = writeln!(
                 out,
-                "{:<14}{:>6}  {:<30}{:>8}{:>14}{:>12.1}{:>10}",
+                "{:<14}{:>6}  {:<30}{:>8}{:>14}{:>12.1}{:>10}{:>10}{:>8}",
                 t.tenant,
                 t.shard,
                 t.run.policy,
@@ -116,27 +147,37 @@ impl EngineReport {
                 t.feed_gas_total(),
                 t.feed_gas_per_op(),
                 t.batched_update_gas,
+                t.batched_deliver_gas,
+                t.parked_rounds,
             );
         }
+        let mode = match (self.batching, self.read_batching) {
+            (true, true) => "batched (upd+dlv)",
+            (true, false) => "batched (upd)",
+            _ => "unbatched",
+        };
         let _ = writeln!(
             out,
-            "{:<14}{:>6}  {:<30}{:>8}{:>14}{:>12.1}{:>10}",
+            "{:<14}{:>6}  {:<30}{:>8}{:>14}{:>12.1}{:>10}{:>10}{:>8}",
             "TOTAL",
             "-",
-            if self.batching {
-                "batched"
-            } else {
-                "unbatched"
-            },
+            mode,
             self.total_ops(),
             self.feed_gas_total(),
             self.feed_gas_per_op(),
             self.shard_update_gas.iter().sum::<u64>(),
+            self.shard_deliver_gas.iter().sum::<u64>(),
+            self.tenants.iter().map(|t| t.parked_rounds).sum::<usize>(),
         );
         let _ = writeln!(
             out,
             "rounds: {}; shard update txs: {:?}; shard update gas: {:?}",
             self.rounds, self.shard_update_txs, self.shard_update_gas
+        );
+        let _ = writeln!(
+            out,
+            "shard deliver txs: {:?}; shard deliver gas: {:?}",
+            self.shard_deliver_txs, self.shard_deliver_gas
         );
         out
     }
@@ -164,6 +205,8 @@ mod tests {
                 }],
             },
             batched_update_gas: batch,
+            batched_deliver_gas: 5,
+            parked_rounds: 0,
         }
     }
 
@@ -173,13 +216,16 @@ mod tests {
             tenants: vec![tenant("a", 100, 40, 2), tenant("b", 50, 60, 2)],
             shard_update_gas: vec![100],
             shard_update_txs: vec![1],
+            shard_deliver_gas: vec![10],
+            shard_deliver_txs: vec![1],
             rounds: 1,
             batching: true,
+            read_batching: true,
         };
-        assert_eq!(report.feed_gas_total(), 100 + 40 + 50 + 60);
+        assert_eq!(report.feed_gas_total(), 100 + 40 + 5 + 50 + 60 + 5);
         assert_eq!(report.app_gas_total(), 14);
         assert_eq!(report.total_ops(), 4);
-        assert_eq!(report.feed_gas_per_op(), 62.5);
+        assert_eq!(report.feed_gas_per_op(), 65.0);
         let table = report.render_table();
         assert!(table.contains("tenant"));
         assert!(table.contains("TOTAL"));

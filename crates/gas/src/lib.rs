@@ -70,23 +70,44 @@ impl Gas {
     }
 }
 
+/// Adds two Gas amounts: loud on overflow in debug builds, saturating in
+/// release. Wrapping would silently *under-charge* (a wrapped counter reads
+/// lower than the true total); saturation keeps any release-mode error
+/// one-sided and conservative. Quota/meter accounting throughout the
+/// workspace goes through this helper.
+pub fn checked_add_gas(a: u64, b: u64) -> u64 {
+    let sum = a.checked_add(b);
+    debug_assert!(sum.is_some(), "gas amount overflow: {a} + {b}");
+    sum.unwrap_or(u64::MAX)
+}
+
+/// Subtracts two Gas amounts: loud on underflow in debug builds, clamping
+/// to zero in release. An underflow here means snapshots were differenced
+/// across a meter reset (or in the wrong order) — a harness bug that must
+/// not masquerade as a huge wrapped charge.
+pub fn checked_sub_gas(a: u64, b: u64) -> u64 {
+    let diff = a.checked_sub(b);
+    debug_assert!(diff.is_some(), "gas amount underflow: {a} - {b}");
+    diff.unwrap_or(0)
+}
+
 impl Add for Gas {
     type Output = Gas;
     fn add(self, rhs: Gas) -> Gas {
-        Gas(self.0 + rhs.0)
+        Gas(checked_add_gas(self.0, rhs.0))
     }
 }
 
 impl AddAssign for Gas {
     fn add_assign(&mut self, rhs: Gas) {
-        self.0 += rhs.0;
+        self.0 = checked_add_gas(self.0, rhs.0);
     }
 }
 
 impl Sub for Gas {
     type Output = Gas;
     fn sub(self, rhs: Gas) -> Gas {
-        Gas(self.0 - rhs.0)
+        Gas(checked_sub_gas(self.0, rhs.0))
     }
 }
 
@@ -322,8 +343,10 @@ impl GasMeter {
 
     /// Records `amount` Gas against a layer and kind.
     pub fn charge(&mut self, layer: Layer, kind: CostKind, amount: u64) {
-        self.by_layer[layer_index(layer)] += amount;
-        self.by_kind[layer_index(layer)][Self::kind_index(kind)] += amount;
+        let li = layer_index(layer);
+        let ki = Self::kind_index(kind);
+        self.by_layer[li] = checked_add_gas(self.by_layer[li], amount);
+        self.by_kind[li][ki] = checked_add_gas(self.by_kind[li][ki], amount);
     }
 
     /// Charges a transaction carrying `payload_bytes` of calldata.
@@ -335,13 +358,15 @@ impl GasMeter {
 
     /// Total Gas across all layers (including user envelopes).
     pub fn total(&self) -> u64 {
-        self.by_layer.iter().sum()
+        self.by_layer
+            .iter()
+            .fold(0, |acc, &layer| checked_add_gas(acc, layer))
     }
 
     /// Total Gas across the feed and application layers — the quantity the
     /// paper reports.
     pub fn reported_total(&self) -> u64 {
-        self.by_layer[0] + self.by_layer[1]
+        checked_add_gas(self.by_layer[0], self.by_layer[1])
     }
 
     /// Gas charged to one layer.
@@ -384,12 +409,15 @@ pub struct GasSnapshot {
 impl GasSnapshot {
     /// Gas burned between `earlier` and `self`, per layer `(feed, app)`.
     pub fn since(&self, earlier: GasSnapshot) -> (Gas, Gas) {
-        (Gas(self.feed - earlier.feed), Gas(self.app - earlier.app))
+        (
+            Gas(checked_sub_gas(self.feed, earlier.feed)),
+            Gas(checked_sub_gas(self.app, earlier.app)),
+        )
     }
 
     /// Total across the feed and application layers (the reported metric).
     pub fn total(&self) -> u64 {
-        self.feed + self.app
+        checked_add_gas(self.feed, self.app)
     }
 }
 
@@ -485,6 +513,30 @@ mod tests {
         let gas = s.storage_insert(words);
         let usd = gas_to_usd(gas, 2.0, 180.0);
         assert!(usd > 200e3, "1 GiB costs ${usd:.0}");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "gas amount overflow")]
+    fn gas_add_overflow_is_loud_in_debug() {
+        let _ = Gas(u64::MAX) + Gas(1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "gas amount underflow")]
+    fn snapshot_differencing_across_reset_is_loud_in_debug() {
+        let mut m = GasMeter::new();
+        m.charge(Layer::Feed, CostKind::Log, 375);
+        let stale = m.snapshot();
+        m.reset();
+        let _ = m.snapshot().since(stale);
+    }
+
+    #[test]
+    fn checked_helpers_pass_through_in_range() {
+        assert_eq!(checked_add_gas(3, 4), 7);
+        assert_eq!(checked_sub_gas(9, 4), 5);
     }
 
     #[test]
