@@ -83,5 +83,10 @@ pub fn registry() -> Vec<Experiment> {
             "Multi-tenant engine (extension): cross-feed epoch batching",
             e::multifeed_batching,
         ),
+        (
+            "parallel",
+            "Multi-tenant engine (extension): parallel shard staging vs sequential pipeline",
+            e::multifeed_parallel,
+        ),
     ]
 }

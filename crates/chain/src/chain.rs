@@ -417,6 +417,156 @@ impl Blockchain {
     pub fn storage(&self, contract: Address) -> Option<&ContractStorage> {
         self.storages.get(&contract)
     }
+
+    /// Canonical digest of the whole mined chain: every block's number and
+    /// time, every receipt (id, success, error, output, Gas), every event,
+    /// and every call record, folded into one SHA-256 in deterministic
+    /// order, plus the meter's per-layer totals.
+    ///
+    /// Two runs whose `chain_digest` agree executed byte-for-byte identical
+    /// transactions with identical results — the equivalence the parallel
+    /// shard executor's deterministic merge is contracted to preserve
+    /// against the sequential pipeline (asserted in `tests/engine.rs`).
+    pub fn chain_digest(&self) -> grub_crypto::Hash32 {
+        let mut h = grub_crypto::Sha256::new();
+        let u64le = |h: &mut grub_crypto::Sha256, v: u64| h.update(&v.to_le_bytes());
+        let bytes = |h: &mut grub_crypto::Sha256, b: &[u8]| {
+            h.update(&(b.len() as u64).to_le_bytes());
+            h.update(b);
+        };
+        u64le(&mut h, self.blocks.len() as u64);
+        for block in &self.blocks {
+            u64le(&mut h, block.number);
+            u64le(&mut h, block.time_ms);
+            u64le(&mut h, block.receipts.len() as u64);
+            for r in &block.receipts {
+                u64le(&mut h, r.tx_id.0);
+                h.update(&[u8::from(r.success)]);
+                bytes(&mut h, r.error.as_deref().unwrap_or("").as_bytes());
+                bytes(&mut h, &r.output);
+                u64le(&mut h, r.gas_used);
+            }
+            u64le(&mut h, block.events.len() as u64);
+            for e in &block.events {
+                bytes(&mut h, e.contract.as_bytes());
+                bytes(&mut h, e.name.as_bytes());
+                bytes(&mut h, &e.data);
+            }
+            u64le(&mut h, block.call_records.len() as u64);
+            for c in &block.call_records {
+                bytes(&mut h, c.to.as_bytes());
+                bytes(&mut h, c.func.as_bytes());
+                bytes(&mut h, &c.input);
+            }
+        }
+        let snap = self.meter.snapshot();
+        u64le(&mut h, snap.feed);
+        u64le(&mut h, snap.app);
+        u64le(&mut h, snap.user);
+        h.finalize()
+    }
+}
+
+/// A commit-ordering gate for multi-lane schedulers: within one round,
+/// lanes (shards) must claim their block-commit slots in strictly
+/// increasing canonical order.
+///
+/// A parallel executor stages lanes concurrently, so staging can *finish*
+/// in any order; the gate is what the merge stage threads its commits
+/// through to turn "finished first" back into "committed in canonical
+/// order". Claims out of order — the bug class where an eager lane would
+/// interleave its blocks into another lane's round and silently fork the
+/// chain layout — are rejected with a typed [`CommitOrderError`] instead of
+/// corrupting the run.
+///
+/// The gate is deliberately chain-agnostic state (it does not borrow the
+/// [`Blockchain`]): the merge loop claims the lane first, then performs
+/// that lane's submits and block seals.
+///
+/// ```
+/// use grub_chain::CommitGate;
+///
+/// let mut gate = CommitGate::new(4);
+/// gate.claim(1).unwrap(); // lanes may be sparse…
+/// gate.claim(3).unwrap(); // …but must increase
+/// assert!(gate.claim(2).is_err());
+/// gate.begin_round();
+/// gate.claim(0).unwrap(); // a new round starts over
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitGate {
+    lanes: usize,
+    last: Option<usize>,
+}
+
+/// A lane claimed its commit slot out of canonical order (or out of range).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitOrderError {
+    /// The lane that tried to commit.
+    pub lane: usize,
+    /// The lane that already holds or passed the slot this round, if any.
+    pub committed: Option<usize>,
+    /// Total number of lanes the gate was opened over.
+    pub lanes: usize,
+}
+
+impl std::fmt::Display for CommitOrderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.committed {
+            Some(last) => write!(
+                f,
+                "lane {} claimed its commit slot out of canonical order \
+                 (lane {} already committed this round, {} lanes total)",
+                self.lane, last, self.lanes
+            ),
+            None => write!(
+                f,
+                "lane {} is out of range ({} lanes total)",
+                self.lane, self.lanes
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommitOrderError {}
+
+impl CommitGate {
+    /// Opens a gate over `lanes` canonical lanes with no slot claimed.
+    pub fn new(lanes: usize) -> Self {
+        CommitGate { lanes, last: None }
+    }
+
+    /// Starts a new round: every lane may claim again, in order.
+    pub fn begin_round(&mut self) {
+        self.last = None;
+    }
+
+    /// Claims the commit slot for `lane`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a lane at or below the round's last claimed lane, and lanes
+    /// outside `0..lanes`.
+    pub fn claim(&mut self, lane: usize) -> Result<(), CommitOrderError> {
+        if lane >= self.lanes {
+            return Err(CommitOrderError {
+                lane,
+                committed: None,
+                lanes: self.lanes,
+            });
+        }
+        if let Some(last) = self.last {
+            if lane <= last {
+                return Err(CommitOrderError {
+                    lane,
+                    committed: Some(last),
+                    lanes: self.lanes,
+                });
+            }
+        }
+        self.last = Some(lane);
+        Ok(())
+    }
 }
 
 fn gas_since(meter: &GasMeter, before: GasSnapshot) -> u64 {
@@ -688,5 +838,49 @@ mod tests {
         let before = chain.meter().total();
         let _ = chain.static_call(user, widget, "get", &[]);
         assert_eq!(chain.meter().total(), before);
+    }
+
+    #[test]
+    fn chain_digest_tracks_execution_not_time_of_call() {
+        let run = || {
+            let (mut chain, widget, user) = setup();
+            let mut enc = Encoder::new();
+            enc.u64(11);
+            chain.submit(Transaction::new(
+                user,
+                widget,
+                "set",
+                enc.finish(),
+                Layer::User,
+            ));
+            chain.produce_block();
+            chain
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.chain_digest(), b.chain_digest(), "same run, same digest");
+        // Any divergence — even an extra empty block — changes the digest.
+        let mut c = run();
+        c.produce_block();
+        assert_ne!(a.chain_digest(), c.chain_digest());
+        // Reading the digest is pure.
+        assert_eq!(a.chain_digest(), a.chain_digest());
+    }
+
+    #[test]
+    fn commit_gate_enforces_canonical_lane_order() {
+        let mut gate = CommitGate::new(3);
+        gate.claim(0).unwrap();
+        gate.claim(2).unwrap();
+        let err = gate.claim(1).unwrap_err();
+        assert_eq!(err.committed, Some(2));
+        assert!(err.to_string().contains("canonical order"));
+        // Same lane twice is likewise an ordering violation.
+        assert!(gate.claim(2).is_err());
+        // Out-of-range lanes are rejected outright.
+        assert!(gate.claim(3).is_err());
+        // A fresh round resets the order.
+        gate.begin_round();
+        gate.claim(1).unwrap();
     }
 }

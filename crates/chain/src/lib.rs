@@ -61,6 +61,8 @@ pub mod network;
 pub mod storage;
 mod types;
 
-pub use chain::{Block, Blockchain, ChainConfig, Event, Receipt, Transaction};
+pub use chain::{
+    Block, Blockchain, ChainConfig, CommitGate, CommitOrderError, Event, Receipt, Transaction,
+};
 pub use contract::{CallContext, Contract, VmError};
 pub use types::{Address, TxId};

@@ -9,17 +9,25 @@
 //! transactions in the following block. Gas is read off the chain's meter
 //! per epoch and attributed to feed and application layers.
 //!
-//! The machinery comes in two layers:
+//! The machinery comes in three layers:
 //!
-//! * [`EpochDriver`] — one feed's full deployment (DO, SP, storage-manager
-//!   and consumer contracts) *without* a chain of its own: every method
-//!   borrows a [`Blockchain`], so any number of drivers can share one chain.
-//!   The epoch is split into [`EpochDriver::stage_update`] /
-//!   [`EpochDriver::submit_update`] / [`EpochDriver::run_read_phase`] so
-//!   external schedulers (the multi-tenant `grub-engine`) can reroute the
-//!   staged `update()` payloads — e.g. coalescing many feeds' epochs into
-//!   one batched transaction per shard — while reusing the read path
-//!   verbatim;
+//! * [`EpochStage`] — the `Send`-safe off-chain half of one feed: the DO,
+//!   the SP, and the open epoch's buffered operations. Trace ingestion
+//!   ([`EpochStage::push_op`]) and epoch closing
+//!   ([`EpochStage::stage_update`]) never borrow the chain, so a parallel
+//!   scheduler can move them to worker threads;
+//! * [`EpochDriver`] — one feed's full deployment (an `EpochStage` plus
+//!   storage-manager and consumer contracts) *without* a chain of its own:
+//!   every chain-facing method borrows a [`Blockchain`], so any number of
+//!   drivers can share one chain. The epoch decomposes into the staged
+//!   lifecycles documented on [`EpochDriver`] —
+//!   [`EpochDriver::stage_update`] / [`EpochDriver::submit_update`] /
+//!   [`EpochDriver::run_read_phase`] for the write path, and
+//!   [`EpochDriver::stage_reads`] / [`EpochDriver::finish_staged_epoch`]
+//!   for the read path — so external schedulers (the multi-tenant
+//!   `grub-engine`) can reroute both the staged `update()` payloads and the
+//!   watchdog's `deliver()` payloads through shard-level batch
+//!   transactions;
 //! * [`GrubSystem`] — the classic single-feed harness: owns one chain and
 //!   one driver and exposes the one-call `run_trace` entry points.
 
@@ -117,8 +125,9 @@ impl SystemConfig {
 
 /// Builds the consumer transactions for an epoch's pending read keys —
 /// harnesses override this to route reads through application contracts
-/// (e.g. SCoinIssuer's `issue`/`redeem`, §4.1).
-pub type ReadTxBuilder = Box<dyn Fn(&[String]) -> Vec<Transaction>>;
+/// (e.g. SCoinIssuer's `issue`/`redeem`, §4.1). `Send` so a driver carrying
+/// a custom builder can still cross threads with its engine.
+pub type ReadTxBuilder = Box<dyn Fn(&[String]) -> Vec<Transaction> + Send>;
 
 /// On-chain identity of one feed deployment: how its contract and account
 /// addresses are derived, and who besides the DO may call `update()`.
@@ -214,6 +223,130 @@ impl StagedReads {
     }
 }
 
+/// The `Send`-safe off-chain half of one feed deployment: the data owner
+/// (policy state machine + hash mirror), the storage provider (store +
+/// Merkle tree), and the open epoch's staged operations.
+///
+/// Everything a feed does *between* chain interactions lives here — trace
+/// ingestion ([`EpochStage::push_op`]: policy decisions, write staging) and
+/// epoch closing ([`EpochStage::stage_update`]: mirror mutation, SP sync
+/// with Merkle-tree recomputation, `update()` section encoding). None of it
+/// borrows the [`Blockchain`], which is what lets a parallel scheduler
+/// (the `grub-engine` `ParallelExecutor`) move a shard's stages to a worker
+/// thread while the chain stays on the merge thread; the compile-time
+/// `Send` assertion is in this module's tests.
+///
+/// The chain-facing half — read transactions, block sealing, watchdog
+/// delivery, Gas booking — stays on [`EpochDriver`], which owns an
+/// `EpochStage` and hands it out via [`EpochDriver::stage_mut`].
+pub struct EpochStage {
+    owner: DataOwner,
+    provider: StorageProvider,
+    epoch_ops: usize,
+    coalesce_reads: bool,
+    pending_reads: Vec<String>,
+    pending_scans: Vec<(String, String)>,
+    ops_in_epoch: usize,
+}
+
+impl EpochStage {
+    /// Stages a trace operation into the current epoch without chain
+    /// interaction; the caller closes the epoch when
+    /// [`EpochStage::epoch_is_full`] (or at end of trace).
+    pub fn push_op(&mut self, op: &Op) {
+        match op {
+            Op::Write { key, value } => {
+                self.owner.observe_write(key, value.materialize());
+            }
+            Op::Read { key } => {
+                // In batched mode the whole epoch's reads share a block, so
+                // the monitor legitimately sees them all before the SP
+                // delivers; in live mode each read is observed at its own
+                // block (see EpochDriver::run_read_phase).
+                if self.coalesce_reads {
+                    self.owner.observe_read(key);
+                }
+                self.pending_reads.push(key.clone());
+            }
+            Op::Scan { start_key, len } => {
+                if self.coalesce_reads {
+                    self.owner.observe_read(start_key);
+                }
+                self.pending_scans
+                    .push((start_key.clone(), scan_end_key(start_key, *len)));
+            }
+        }
+        self.ops_in_epoch += 1;
+    }
+
+    /// Whether the current epoch has reached its operation budget.
+    pub fn epoch_is_full(&self) -> bool {
+        self.ops_in_epoch >= self.epoch_ops
+    }
+
+    /// Operations staged in the still-open epoch.
+    pub fn pending_ops(&self) -> usize {
+        self.ops_in_epoch
+    }
+
+    /// Ingests trace operations starting at `*cursor` until the epoch is
+    /// full or the trace ends, advancing the cursor — the one ingestion
+    /// loop every scheduler mode shares, so sequential and parallel staging
+    /// cannot drift apart.
+    pub fn ingest(&mut self, trace: &Trace, cursor: &mut usize) {
+        while *cursor < trace.ops.len() && !self.epoch_is_full() {
+            self.push_op(&trace.ops[*cursor]);
+            *cursor += 1;
+        }
+    }
+
+    /// Closes the epoch's write path off-chain: flushes the DO, syncs the
+    /// SP, and returns the encoded `update()` payload chunks for the caller
+    /// to submit (directly, or batched through a shard router).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures.
+    pub fn stage_update(&mut self) -> Result<StagedUpdate> {
+        let ops = std::mem::replace(&mut self.ops_in_epoch, 0);
+        // The DO's epoch update (gPuts write path). Oversized epochs are
+        // split across payload chunks: Ctx(X) is defined for X < 1000 words
+        // and every chunk carries the same final digest.
+        let flush = self.owner.flush_epoch();
+        self.provider.apply_sync(&flush.sp_sync)?;
+        let chunks = if flush.dirty {
+            encode_update_chunked(&flush)
+        } else {
+            Vec::new()
+        };
+        Ok(StagedUpdate {
+            chunks,
+            ops,
+            replications: flush.replications,
+            evictions: flush.evictions,
+        })
+    }
+
+    /// Pushes the DO's current decision for `key` to the SP and records a
+    /// hinted replica when a deliver-time installation is expected.
+    fn push_hint(&mut self, key: &str) {
+        let want = self.owner.desired_state(key);
+        self.provider.set_decision_hint(key, want);
+        if want == ReplState::Replicated && self.owner.state_of(key) == ReplState::NotReplicated {
+            self.owner.note_hinted_replica(key);
+        }
+    }
+}
+
+impl std::fmt::Debug for EpochStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochStage")
+            .field("policy", &self.owner.policy_name())
+            .field("pending_ops", &self.ops_in_epoch)
+            .finish_non_exhaustive()
+    }
+}
+
 /// One feed's deployment, driving epochs against a *borrowed* chain.
 ///
 /// All per-feed state lives here; the chain (and its Gas meter) is shared,
@@ -221,19 +354,32 @@ impl StagedReads {
 /// blockchain. Per-epoch Gas is attributed by snapshot-differencing around
 /// this feed's own read phase, so attribution stays exact as long as a
 /// scheduler completes one driver's epoch work before starting the next.
+///
+/// # Epoch lifecycles
+///
+/// The classic single-feed lifecycle is one call,
+/// [`EpochDriver::close_epoch`]. External schedulers decompose it into two
+/// staged lifecycles so payloads can be rerouted through shard batches:
+///
+/// * **Staged update (write path)** — [`EpochDriver::stage_update`] closes
+///   the epoch off-chain (policy flush, SP sync, section encoding) and
+///   returns the `update()` chunks; the caller either submits them as this
+///   feed's own transactions ([`EpochDriver::submit_update`]) or coalesces
+///   them into a shard `batchUpdate`. The off-chain half lives on
+///   [`EpochStage`] and may run on a worker thread.
+/// * **Staged reads (read path)** — [`EpochDriver::stage_reads`] runs the
+///   consumer read block and collects the watchdog's `deliver()` payloads
+///   *unsubmitted* for shard-level `batchDeliver` coalescing; the epoch is
+///   then booked with [`EpochDriver::finish_staged_epoch`] once the batch
+///   has been mined. Only valid in coalesced-read mode — live-tempo feeds
+///   interleave reads and deliveries block by block and cannot defer.
 pub struct EpochDriver {
-    owner: DataOwner,
-    provider: StorageProvider,
+    stage: EpochStage,
     manager: Address,
     consumer: Address,
-    epoch_ops: usize,
     reads_per_tx: usize,
-    pending_reads: Vec<String>,
-    pending_scans: Vec<(String, String)>,
     reports: Vec<EpochReport>,
-    ops_in_epoch: usize,
     read_tx_builder: Option<ReadTxBuilder>,
-    coalesce_reads: bool,
 }
 
 impl EpochDriver {
@@ -335,22 +481,32 @@ impl EpochDriver {
             submit_checked(chain, do_addr, manager, "update", input)?;
         }
         Ok(EpochDriver {
-            owner,
-            provider,
+            stage: EpochStage {
+                owner,
+                provider,
+                // Clamped even though the builder clamps too: the field is
+                // pub, and a zero here would make external epoch-granular
+                // schedulers spin on empty epochs without ever consuming the
+                // trace.
+                epoch_ops: config.epoch_ops.max(1),
+                coalesce_reads: config.coalesce_reads,
+                pending_reads: Vec::new(),
+                pending_scans: Vec::new(),
+                ops_in_epoch: 0,
+            },
             manager,
             consumer,
-            // Clamped even though the builder clamps too: the field is pub,
-            // and a zero here would make external epoch-granular schedulers
-            // spin on empty epochs without ever consuming the trace.
-            epoch_ops: config.epoch_ops.max(1),
             reads_per_tx: config.reads_per_tx.max(1),
-            pending_reads: Vec::new(),
-            pending_scans: Vec::new(),
             reports: Vec::new(),
-            ops_in_epoch: 0,
             read_tx_builder: None,
-            coalesce_reads: config.coalesce_reads,
         })
+    }
+
+    /// The feed's `Send`-safe off-chain staging half — what a parallel
+    /// scheduler moves to a worker thread while the chain-facing half stays
+    /// behind. See [`EpochStage`].
+    pub fn stage_mut(&mut self) -> &mut EpochStage {
+        &mut self.stage
     }
 
     /// Replaces the default `batchRead` driver: the builder receives each
@@ -362,68 +518,32 @@ impl EpochDriver {
 
     /// Stages a trace operation into the current epoch without chain
     /// interaction; the caller closes the epoch when
-    /// [`EpochDriver::epoch_is_full`] (or at end of trace).
+    /// [`EpochDriver::epoch_is_full`] (or at end of trace). Delegates to
+    /// [`EpochStage::push_op`].
     pub fn push_op(&mut self, op: &Op) {
-        match op {
-            Op::Write { key, value } => {
-                self.owner.observe_write(key, value.materialize());
-            }
-            Op::Read { key } => {
-                // In batched mode the whole epoch's reads share a block, so
-                // the monitor legitimately sees them all before the SP
-                // delivers; in live mode each read is observed at its own
-                // block (see run_read_phase).
-                if self.coalesce_reads {
-                    self.owner.observe_read(key);
-                }
-                self.pending_reads.push(key.clone());
-            }
-            Op::Scan { start_key, len } => {
-                if self.coalesce_reads {
-                    self.owner.observe_read(start_key);
-                }
-                self.pending_scans
-                    .push((start_key.clone(), scan_end_key(start_key, *len)));
-            }
-        }
-        self.ops_in_epoch += 1;
+        self.stage.push_op(op);
     }
 
     /// Whether the current epoch has reached its operation budget.
     pub fn epoch_is_full(&self) -> bool {
-        self.ops_in_epoch >= self.epoch_ops
+        self.stage.epoch_is_full()
     }
 
     /// Operations staged in the still-open epoch.
     pub fn pending_ops(&self) -> usize {
-        self.ops_in_epoch
+        self.stage.pending_ops()
     }
 
     /// Closes the epoch's write path off-chain: flushes the DO, syncs the
     /// SP, and returns the encoded `update()` payload chunks for the caller
-    /// to submit (directly, or batched through a shard router).
+    /// to submit (directly, or batched through a shard router). Delegates to
+    /// [`EpochStage::stage_update`].
     ///
     /// # Errors
     ///
     /// Propagates store failures.
     pub fn stage_update(&mut self) -> Result<StagedUpdate> {
-        let ops = std::mem::replace(&mut self.ops_in_epoch, 0);
-        // The DO's epoch update (gPuts write path). Oversized epochs are
-        // split across payload chunks: Ctx(X) is defined for X < 1000 words
-        // and every chunk carries the same final digest.
-        let flush = self.owner.flush_epoch();
-        self.provider.apply_sync(&flush.sp_sync)?;
-        let chunks = if flush.dirty {
-            encode_update_chunked(&flush)
-        } else {
-            Vec::new()
-        };
-        Ok(StagedUpdate {
-            chunks,
-            ops,
-            replications: flush.replications,
-            evictions: flush.evictions,
-        })
+        self.stage.stage_update()
     }
 
     /// Submits the staged update chunks as this feed's own transactions
@@ -432,7 +552,7 @@ impl EpochDriver {
     pub fn submit_update(&self, chain: &mut Blockchain, staged: &StagedUpdate) {
         for input in &staged.chunks {
             let tx = Transaction::new(
-                self.owner.address(),
+                self.stage.owner.address(),
                 self.manager,
                 "update",
                 input.clone(),
@@ -453,15 +573,15 @@ impl EpochDriver {
     /// failures.
     pub fn run_read_phase(&mut self, chain: &mut Blockchain, staged: &StagedUpdate) -> Result<()> {
         let before = chain.gas_snapshot();
-        let reads = std::mem::take(&mut self.pending_reads);
-        let scans = std::mem::take(&mut self.pending_scans);
+        let reads = std::mem::take(&mut self.stage.pending_reads);
+        let scans = std::mem::take(&mut self.stage.pending_scans);
         let mut failed_delivers = 0usize;
-        if self.coalesce_reads {
+        if self.stage.coalesce_reads {
             // Consumer read transactions batched into shared blocks (§5.1
             // methodology), then the SP watchdog answers outstanding
             // requests.
             for key in &reads {
-                self.push_hint(key);
+                self.stage.push_hint(key);
             }
             for tx in self.build_read_txs(&reads) {
                 chain.submit(tx);
@@ -477,8 +597,8 @@ impl EpochDriver {
                 // Live tempo: the monitor observes this read when its block
                 // lands, and the SP learns the (possibly flipped) decision
                 // before delivering.
-                self.owner.observe_read(&key);
-                self.push_hint(&key);
+                self.stage.owner.observe_read(&key);
+                self.stage.push_hint(&key);
                 for tx in self.build_read_txs(std::slice::from_ref(&key)) {
                     chain.submit(tx);
                 }
@@ -486,7 +606,7 @@ impl EpochDriver {
                 failed_delivers += self.run_watchdog(chain)?;
             }
             for (start, end) in scans {
-                self.owner.observe_read(&start);
+                self.stage.owner.observe_read(&start);
                 self.submit_scan(chain, &start, &end);
                 self.seal_block(chain)?;
                 failed_delivers += self.run_watchdog(chain)?;
@@ -524,7 +644,7 @@ impl EpochDriver {
     /// Returns an error in live-read mode; propagates store failures and
     /// protocol-violating transaction failures.
     pub fn stage_reads(&mut self, chain: &mut Blockchain) -> Result<StagedReads> {
-        if !self.coalesce_reads {
+        if !self.stage.coalesce_reads {
             return Err(GrubError::Chain(
                 "staged reads require coalesced-read mode (live-tempo feeds \
                  cannot defer delivers)"
@@ -532,10 +652,10 @@ impl EpochDriver {
             ));
         }
         let before = chain.gas_snapshot();
-        let reads = std::mem::take(&mut self.pending_reads);
-        let scans = std::mem::take(&mut self.pending_scans);
+        let reads = std::mem::take(&mut self.stage.pending_reads);
+        let scans = std::mem::take(&mut self.stage.pending_scans);
         for key in &reads {
-            self.push_hint(key);
+            self.stage.push_hint(key);
         }
         for tx in self.build_read_txs(&reads) {
             chain.submit(tx);
@@ -545,6 +665,7 @@ impl EpochDriver {
         }
         self.seal_block(chain)?;
         let delivers = self
+            .stage
             .provider
             .watchdog(chain, self.manager)?
             .into_iter()
@@ -583,7 +704,7 @@ impl EpochDriver {
     /// Whether this feed batches an epoch's reads into shared blocks
     /// (coalesced mode) — the mode required by [`EpochDriver::stage_reads`].
     pub fn coalesces_reads(&self) -> bool {
-        self.coalesce_reads
+        self.stage.coalesce_reads
     }
 
     /// Closes the current epoch end to end: stage, submit own update
@@ -633,20 +754,10 @@ impl EpochDriver {
     /// Propagates store failures and protocol-violating transaction
     /// failures.
     pub fn finish(&mut self, chain: &mut Blockchain) -> Result<()> {
-        if self.ops_in_epoch > 0 {
+        if self.stage.pending_ops() > 0 {
             self.close_epoch(chain)?;
         }
         Ok(())
-    }
-
-    /// Pushes the DO's current decision for `key` to the SP and records a
-    /// hinted replica when a deliver-time installation is expected.
-    fn push_hint(&mut self, key: &str) {
-        let want = self.owner.desired_state(key);
-        self.provider.set_decision_hint(key, want);
-        if want == ReplState::Replicated && self.owner.state_of(key) == ReplState::NotReplicated {
-            self.owner.note_hinted_replica(key);
-        }
     }
 
     fn build_read_txs(&self, reads: &[String]) -> Vec<Transaction> {
@@ -707,7 +818,7 @@ impl EpochDriver {
     /// Runs the SP watchdog and mines its deliveries, returning how many
     /// the contract rejected.
     fn run_watchdog(&mut self, chain: &mut Blockchain) -> Result<usize> {
-        let delivers = self.provider.watchdog(chain, self.manager)?;
+        let delivers = self.stage.provider.watchdog(chain, self.manager)?;
         if delivers.is_empty() {
             return Ok(0);
         }
@@ -720,7 +831,7 @@ impl EpochDriver {
 
     /// Puts the SP into an adversarial mode (security experiments).
     pub fn set_adversary(&mut self, mode: AdversaryMode) {
-        self.provider.set_mode(mode);
+        self.stage.provider.set_mode(mode);
     }
 
     /// The storage-manager contract address.
@@ -737,28 +848,28 @@ impl EpochDriver {
     /// external batchers use it to submit a lone update directly when
     /// routing through a one-section batch would only add framing cost).
     pub fn data_owner(&self) -> Address {
-        self.owner.address()
+        self.stage.owner.address()
     }
 
     /// The storage provider's account address (the `deliver()` sender).
     pub fn provider_address(&self) -> Address {
-        self.provider.address()
+        self.stage.provider.address()
     }
 
     /// The data owner, for assertions.
     pub fn owner(&self) -> &DataOwner {
-        &self.owner
+        &self.stage.owner
     }
 
     /// Mutable DO access (used by application harnesses that interleave
     /// their own monitoring).
     pub fn owner_mut(&mut self) -> &mut DataOwner {
-        &mut self.owner
+        &mut self.stage.owner
     }
 
     /// The storage provider, for assertions.
     pub fn provider(&self) -> &StorageProvider {
-        &self.provider
+        &self.stage.provider
     }
 
     /// Epoch reports accumulated so far.
@@ -769,7 +880,7 @@ impl EpochDriver {
     /// Finishes the driver and returns its run report.
     pub fn into_report(self) -> RunReport {
         RunReport {
-            policy: self.owner.policy_name(),
+            policy: self.stage.owner.policy_name(),
             epochs: self.reports,
         }
     }
@@ -778,7 +889,7 @@ impl EpochDriver {
 impl std::fmt::Debug for EpochDriver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EpochDriver")
-            .field("policy", &self.owner.policy_name())
+            .field("policy", &self.stage.owner.policy_name())
             .field("manager", &self.manager)
             .field("epochs", &self.reports.len())
             .finish_non_exhaustive()
@@ -1077,6 +1188,18 @@ mod tests {
 
     fn config(policy: PolicyKind) -> SystemConfig {
         SystemConfig::new(policy)
+    }
+
+    #[test]
+    fn staging_half_is_send() {
+        // The parallel engine moves a feed's EpochStage (and, when a custom
+        // read-tx builder is installed, the whole driver) across threads;
+        // losing Send here would break it at a distance.
+        fn assert_send<T: Send>() {}
+        assert_send::<EpochStage>();
+        assert_send::<EpochDriver>();
+        assert_send::<StagedUpdate>();
+        assert_send::<StagedReads>();
     }
 
     #[test]

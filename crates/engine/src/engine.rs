@@ -1,12 +1,13 @@
 //! The multi-tenant engine: deployment, scheduling, sharded batching.
 
 use grub_chain::codec::encode_sections;
-use grub_chain::{Address, Blockchain, ChainConfig, Transaction};
+use grub_chain::{Address, Blockchain, ChainConfig, CommitGate, Transaction};
 use grub_core::system::{DriverIdentity, EpochDriver, StagedReads, StagedUpdate, SystemConfig};
 use grub_core::{GrubError, Result};
 use grub_gas::{checked_add_gas, checked_sub_gas, Layer};
 use grub_workload::Trace;
 
+use crate::executor::{ParallelExecutor, StageTask};
 use crate::report::{EngineReport, TenantReport};
 use crate::router::ShardRouter;
 
@@ -20,11 +21,35 @@ const BATCH_CHUNK_BYTES: usize = grub_core::system::UPDATE_CHUNK_BYTES;
 /// address plus a 4-byte length prefix (see `encode_sections`).
 const SECTION_OVERHEAD_BYTES: usize = 24;
 
+/// How a round's shard epochs are staged.
+///
+/// Both modes produce byte-for-byte identical chains, reports, and Gas
+/// accounting on the same specs (asserted in `tests/engine.rs`): staging is
+/// purely off-chain, and the parallel merge commits shard blocks in the
+/// same canonical shard order the sequential pipeline uses, enforced by a
+/// [`CommitGate`]. The only difference is wall-clock: with ≥ 2 shards,
+/// parallel staging overlaps the shards' policy/Merkle/encoding work on
+/// worker threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The pipelined single-thread scheduler: shard `s+1` stages off-chain
+    /// between shard `s`'s write block and read phase.
+    #[default]
+    Sequential,
+    /// One staging worker thread per shard ([`ParallelExecutor`]), then a
+    /// deterministic merge in canonical shard order.
+    Parallel,
+}
+
 /// Engine-wide configuration.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Number of shards feeds are hashed across (≥ 1).
     pub shards: usize,
+    /// How shard epochs are staged: the sequential pipeline or the parallel
+    /// executor with deterministic merge. Defaults to
+    /// [`ExecMode::Sequential`].
+    pub exec: ExecMode,
     /// Whether same-block updates of a shard's feeds are coalesced into one
     /// `batchUpdate` transaction (the engine's reason to exist); disabling
     /// it reproduces N independent single-feed runs on one chain, which is
@@ -48,6 +73,7 @@ impl EngineConfig {
     pub fn new(shards: usize) -> Self {
         EngineConfig {
             shards: shards.max(1),
+            exec: ExecMode::Sequential,
             batching: true,
             read_batching: true,
             chain: ChainConfig::default(),
@@ -68,6 +94,74 @@ impl EngineConfig {
         self.read_batching = false;
         self
     }
+
+    /// Stages shard epochs on worker threads ([`ExecMode::Parallel`]); the
+    /// deterministic merge keeps the chain byte-identical to the sequential
+    /// pipeline's.
+    pub fn parallel(mut self) -> Self {
+        self.exec = ExecMode::Parallel;
+        self
+    }
+}
+
+/// Priority tier of a tenant's Gas quota ([`TenantBudget::tier`]) — the
+/// engine's quota classes.
+///
+/// Tiers order tenants within a scheduler round two ways:
+///
+/// * **Refill rate** — higher tiers refill faster: per round, `High` earns
+///   4 × `gas_per_round`, `Standard` 1 ×, and `Low` 1 × every *other*
+///   round.
+/// * **Drain order** — within a round, higher tiers run first: their
+///   epochs stage first and their sections occupy the front of the shard's
+///   batch, so on a spill the high tier rides the first transaction of the
+///   block. The ordering is stable, so same-tier feeds keep declaration
+///   order and runs stay deterministic.
+///
+/// Every tier carries a *starvation bound* K
+/// ([`QuotaTier::starvation_bound`]): a feed is parked at most K − 1
+/// consecutive rounds, after which it is force-run regardless of balance
+/// (driving its bucket into debt if needed). Adversarial high-tier
+/// pressure can therefore delay a low-tier feed, but never beyond K rounds
+/// per epoch — asserted in `tests/engine.rs`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QuotaTier {
+    /// Background tier: half-rate refill, drains last, K = 8.
+    Low,
+    /// The default tier: 1 × refill, K = 4.
+    #[default]
+    Standard,
+    /// Latency-sensitive tier: 4 × refill, drains first, K = 2.
+    High,
+}
+
+impl QuotaTier {
+    /// Feed-layer Gas added to the tier's bucket at scheduler round
+    /// `round`, given the budget's base `gas_per_round`.
+    pub fn refill(self, round: usize, gas_per_round: u64) -> u64 {
+        match self {
+            QuotaTier::High => gas_per_round.saturating_mul(4),
+            QuotaTier::Standard => gas_per_round,
+            // Half rate, deterministically: earns only on even rounds.
+            QuotaTier::Low => {
+                if round.is_multiple_of(2) {
+                    gas_per_round
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// The starvation bound K: a feed of this tier runs at least once every
+    /// K scheduler rounds, no matter how deep its quota debt is.
+    pub fn starvation_bound(self) -> usize {
+        match self {
+            QuotaTier::High => 2,
+            QuotaTier::Standard => 4,
+            QuotaTier::Low => 8,
+        }
+    }
 }
 
 /// A per-tenant feed-layer Gas quota, enforced by the scheduler as a token
@@ -83,31 +177,45 @@ impl EngineConfig {
 /// proportionally more rounds. The estimate is the previous epoch's actual
 /// cost, so a tenant's first epoch always runs.
 ///
-/// Parking never starves: the balance strictly increases while parked, and
-/// a feed whose epochs cost more than `burst` (so no amount of waiting
-/// would cover them) runs as soon as the bucket is full.
+/// Parking never starves, twice over: the balance strictly increases while
+/// parked, a feed whose epochs cost more than `burst` (so no amount of
+/// waiting would cover them) runs as soon as the bucket is full — and the
+/// quota class's starvation bound ([`QuotaTier::starvation_bound`])
+/// force-runs any feed parked K − 1 consecutive rounds regardless of
+/// balance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TenantBudget {
-    /// Feed-layer Gas granted to the tenant each scheduler round (≥ 1).
+    /// Feed-layer Gas granted to the tenant each scheduler round (≥ 1),
+    /// before the tier's refill scaling.
     pub gas_per_round: u64,
     /// Cap on the accumulated unspent allowance (≥ `gas_per_round`).
     pub burst: u64,
+    /// The quota class: refill scaling, drain priority, and starvation
+    /// bound. Defaults to [`QuotaTier::Standard`].
+    pub tier: QuotaTier,
 }
 
 impl TenantBudget {
     /// A budget granting `gas` per round with a default burst of four
-    /// rounds' allowance.
+    /// rounds' allowance, in the [`QuotaTier::Standard`] class.
     pub fn per_round(gas: u64) -> Self {
         let gas = gas.max(1);
         TenantBudget {
             gas_per_round: gas,
             burst: gas.saturating_mul(4),
+            tier: QuotaTier::Standard,
         }
     }
 
     /// Overrides the burst cap (clamped to at least one round's allowance).
     pub fn burst(mut self, burst: u64) -> Self {
         self.burst = burst.max(self.gas_per_round);
+        self
+    }
+
+    /// Assigns the quota class ([`QuotaTier`]).
+    pub fn tier(mut self, tier: QuotaTier) -> Self {
+        self.tier = tier;
         self
     }
 }
@@ -147,6 +255,15 @@ impl FeedSpec {
     }
 }
 
+/// Claims a shard's commit slot on the round's [`CommitGate`], mapping an
+/// ordering violation into an engine error (it would mean the scheduler is
+/// about to interleave shard blocks out of canonical order — a determinism
+/// bug, not a recoverable condition).
+fn claim_lane(gate: &mut CommitGate, lane: usize) -> Result<()> {
+    gate.claim(lane)
+        .map_err(|e| GrubError::Chain(e.to_string()))
+}
+
 /// Deterministic tenant→shard assignment: FNV-1a over the tenant name.
 pub fn tenant_shard(tenant: &str, shards: usize) -> usize {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -182,6 +299,12 @@ struct FeedSlot {
     /// cost estimate for the next one.
     last_epoch_cost: Option<u64>,
     parked_rounds: usize,
+    /// Consecutive rounds parked since the feed last ran — what the tier's
+    /// starvation bound caps.
+    parked_streak: usize,
+    /// Longest park streak observed, surfaced in the tenant report so tests
+    /// can assert the starvation bound held.
+    max_parked_streak: usize,
 }
 
 impl FeedSlot {
@@ -189,12 +312,13 @@ impl FeedSlot {
         self.cursor >= self.trace.ops.len()
     }
 
-    /// Stages the next epoch's worth of trace operations into the driver.
+    /// Stages the next epoch's worth of trace operations into the driver —
+    /// the same [`EpochStage::ingest`](grub_core::system::EpochStage::ingest)
+    /// loop the parallel staging tasks run.
     fn ingest_epoch(&mut self) {
-        while !self.exhausted() && !self.driver.epoch_is_full() {
-            self.driver.push_op(&self.trace.ops[self.cursor]);
-            self.cursor += 1;
-        }
+        self.driver
+            .stage_mut()
+            .ingest(&self.trace, &mut self.cursor);
     }
 
     /// The feed's cumulative share of shard batch transactions.
@@ -202,23 +326,36 @@ impl FeedSlot {
         checked_add_gas(self.batched_update_gas, self.batched_deliver_gas)
     }
 
-    /// Refills the quota bucket for a new round and decides whether the
+    /// The feed's quota class (Standard when it has no budget at all).
+    fn tier(&self) -> QuotaTier {
+        self.budget.map_or(QuotaTier::Standard, |b| b.tier)
+    }
+
+    /// Refills the quota bucket for round `round` and decides whether the
     /// feed can afford its next epoch. Feeds without a budget always run.
-    fn refill_and_decide(&mut self) -> bool {
+    fn refill_and_decide(&mut self, round: usize) -> bool {
         let Some(budget) = self.budget else {
             return true;
         };
-        let per_round = i128::from(budget.gas_per_round.max(1));
-        let burst = i128::from(budget.burst.max(budget.gas_per_round.max(1)));
-        self.balance = (self.balance + per_round).min(burst);
+        let per_round = budget.gas_per_round.max(1);
+        let burst = i128::from(budget.burst.max(per_round));
+        let refill = i128::from(budget.tier.refill(round, per_round));
+        self.balance = (self.balance + refill).min(burst);
         let estimate = i128::from(self.last_epoch_cost.unwrap_or(0));
         // Park while the estimated cost exceeds the balance — unless the
-        // bucket is already full, in which case waiting cannot help and the
-        // epoch must run (no starvation).
-        if estimate > self.balance && self.balance < burst {
+        // bucket is already full (waiting cannot help) or the tier's
+        // starvation bound is due (a feed parked K−1 consecutive rounds
+        // must run on the Kth, debt or not).
+        if estimate > self.balance
+            && self.balance < burst
+            && self.parked_streak + 1 < budget.tier.starvation_bound()
+        {
             self.parked_rounds += 1;
+            self.parked_streak += 1;
+            self.max_parked_streak = self.max_parked_streak.max(self.parked_streak);
             return false;
         }
+        self.parked_streak = 0;
         true
     }
 
@@ -267,6 +404,7 @@ pub struct FeedEngine {
     feeds: Vec<FeedSlot>,
     batching: bool,
     read_batching: bool,
+    exec: ExecMode,
     rounds: usize,
 }
 
@@ -331,6 +469,8 @@ impl FeedEngine {
                 balance: 0,
                 last_epoch_cost: None,
                 parked_rounds: 0,
+                parked_streak: 0,
+                max_parked_streak: 0,
             });
         }
         chain.meter_reset();
@@ -340,6 +480,7 @@ impl FeedEngine {
             feeds,
             batching: config.batching,
             read_batching: config.batching && config.read_batching,
+            exec: config.exec,
             rounds: 0,
         })
     }
@@ -361,44 +502,54 @@ impl FeedEngine {
     ///
     /// Propagates store failures and protocol-violating transaction
     /// failures.
-    pub fn run(mut self) -> Result<EngineReport> {
+    pub fn run(self) -> Result<EngineReport> {
+        self.run_with_chain().map(|(report, _)| report)
+    }
+
+    /// Like [`FeedEngine::run`], additionally handing back the final chain
+    /// so callers can compare runs byte for byte
+    /// ([`Blockchain::chain_digest`]) — the parallel-vs-sequential
+    /// determinism contract is asserted this way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and protocol-violating transaction
+    /// failures.
+    pub fn run_with_chain(mut self) -> Result<(EngineReport, Blockchain)> {
         while self.feeds.iter().any(|f| !f.exhausted()) {
             self.run_round()?;
             self.rounds += 1;
         }
-        Ok(self.into_report())
+        let chain = std::mem::take(&mut self.chain);
+        Ok((self.into_report(), chain))
     }
 
     /// One scheduler round.
     ///
-    /// Every feed with trace remaining and quota to spend runs one epoch.
-    /// With batching off each feed runs standalone, one after another (the
-    /// sum-of-singles baseline). With batching on the shards run as a
-    /// software pipeline: while shard `s`'s write block and read phase
-    /// execute on-chain, shard `s+1`'s epochs are already being staged
-    /// off-chain — the staging of one shard overlaps the chain phases of
-    /// the previous one, instead of the old strict stage-everything-then-
-    /// run-everything round-robin. The pipeline is plain sequential code
-    /// over a fixed shard order, so runs stay byte-for-byte deterministic.
+    /// Every feed with trace remaining and quota to spend runs one epoch,
+    /// higher quota tiers first. With batching off each feed runs
+    /// standalone, one after another (the sum-of-singles baseline). With
+    /// batching on the shards run either as the sequential software
+    /// pipeline or through the parallel executor with a deterministic
+    /// merge — see [`ExecMode`]. All four paths produce byte-identical
+    /// chains on the same specs.
     fn run_round(&mut self) -> Result<()> {
+        let round = self.rounds;
         let mut runnable: Vec<usize> = Vec::new();
         for idx in 0..self.feeds.len() {
-            if !self.feeds[idx].exhausted() && self.feeds[idx].refill_and_decide() {
+            if !self.feeds[idx].exhausted() && self.feeds[idx].refill_and_decide(round) {
                 runnable.push(idx);
             }
         }
+        // Priority drain order: higher tiers run (and batch) first within
+        // the round. The sort is stable, so same-tier feeds keep their
+        // declaration order and the schedule stays deterministic.
+        runnable.sort_by_key(|&idx| std::cmp::Reverse(self.feeds[idx].tier()));
         if !self.batching {
-            // Sum-of-singles baseline: each feed runs its epoch exactly as
-            // a standalone GrubSystem would (update txs share the epoch's
-            // read block), one feed after another.
-            for &idx in &runnable {
-                self.feeds[idx].ingest_epoch();
-                let feed = &mut self.feeds[idx];
-                feed.driver.close_epoch(&mut self.chain)?;
-                let cost = feed.driver.reports().last().map_or(0, |e| e.feed_gas);
-                feed.charge_quota(cost);
-            }
-            return Ok(());
+            return match self.exec {
+                ExecMode::Sequential => self.run_round_unbatched(&runnable),
+                ExecMode::Parallel => self.run_round_unbatched_parallel(&runnable),
+            };
         }
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for &idx in &runnable {
@@ -407,30 +558,191 @@ impl FeedEngine {
         let schedule: Vec<usize> = (0..self.shards.len())
             .filter(|&s| !by_shard[s].is_empty())
             .collect();
-        let Some(&first) = schedule.first() else {
+        if schedule.is_empty() {
             return Ok(()); // every live feed is parked; quota refills next round
-        };
-        let mut staged_next = self.stage_shard(&by_shard[first])?;
-        for (pos, &shard) in schedule.iter().enumerate() {
-            let mut staged = std::mem::take(&mut staged_next);
-            // The shard's write block: all staged update chunks coalesced
-            // through the router (spilling past the Ctx payload bound).
-            let mut sections: Vec<(usize, Vec<u8>)> = Vec::new();
-            for rf in &mut staged {
-                for chunk in std::mem::take(&mut rf.update.chunks) {
-                    sections.push((rf.idx, chunk));
-                }
-            }
-            self.submit_shard_batch(shard, BatchKind::Update, sections)?;
-            // Pipeline overlap: stage the next shard's epochs (pure
-            // off-chain work) while this shard's write block propagates and
-            // before its read phase begins.
-            if let Some(&next) = schedule.get(pos + 1) {
-                staged_next = self.stage_shard(&by_shard[next])?;
-            }
-            self.run_shard_read_phase(shard, staged)?;
+        }
+        match self.exec {
+            ExecMode::Sequential => self.run_round_pipelined(&by_shard, &schedule),
+            ExecMode::Parallel => self.run_round_parallel(&by_shard, &schedule),
+        }
+    }
+
+    /// Sum-of-singles baseline: each feed runs its epoch exactly as a
+    /// standalone GrubSystem would (update txs share the epoch's read
+    /// block), one feed after another.
+    fn run_round_unbatched(&mut self, runnable: &[usize]) -> Result<()> {
+        for &idx in runnable {
+            self.feeds[idx].ingest_epoch();
+            let feed = &mut self.feeds[idx];
+            feed.driver.close_epoch(&mut self.chain)?;
+            let cost = feed.driver.reports().last().map_or(0, |e| e.feed_gas);
+            feed.charge_quota(cost);
         }
         Ok(())
+    }
+
+    /// The unbatched baseline under the parallel executor: staging (which
+    /// is purely off-chain and touches only the feed's own state) fans out
+    /// to one worker per shard, then the chain phases drain in the exact
+    /// feed order the sequential baseline uses — so the chain, and every
+    /// per-tenant number, is byte-identical to
+    /// [`FeedEngine::run_round_unbatched`].
+    fn run_round_unbatched_parallel(&mut self, runnable: &[usize]) -> Result<()> {
+        let staged = self.stage_parallel(runnable)?;
+        for (idx, update) in staged {
+            let feed = &mut self.feeds[idx];
+            feed.driver.submit_update(&mut self.chain, &update);
+            feed.driver.run_read_phase(&mut self.chain, &update)?;
+            let cost = feed.driver.reports().last().map_or(0, |e| e.feed_gas);
+            feed.charge_quota(cost);
+        }
+        Ok(())
+    }
+
+    /// The sequential software pipeline: while shard `s`'s write block and
+    /// read phase execute on-chain, shard `s+1`'s epochs are already being
+    /// staged off-chain — the staging of one shard overlaps the chain
+    /// phases of the previous one. The pipeline is plain sequential code
+    /// over the canonical shard order (enforced by the [`CommitGate`], the
+    /// same contract the parallel merge runs under), so runs stay
+    /// byte-for-byte deterministic.
+    fn run_round_pipelined(&mut self, by_shard: &[Vec<usize>], schedule: &[usize]) -> Result<()> {
+        let mut gate = CommitGate::new(self.shards.len());
+        let mut staged_next = self.stage_shard(&by_shard[schedule[0]])?;
+        for (pos, &shard) in schedule.iter().enumerate() {
+            let staged = std::mem::take(&mut staged_next);
+            claim_lane(&mut gate, shard)?;
+            self.commit_shard(shard, staged, |engine| {
+                // Pipeline overlap: stage the next shard's epochs (pure
+                // off-chain work) while this shard's write block propagates
+                // and before its read phase begins.
+                if let Some(&next) = schedule.get(pos + 1) {
+                    staged_next = engine.stage_shard(&by_shard[next])?;
+                }
+                Ok(())
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The parallel round: every scheduled shard's staging runs on its own
+    /// worker thread ([`ParallelExecutor`]), then the merge commits each
+    /// shard's write block and read phase in canonical shard order under
+    /// the [`CommitGate`]. Staging never touches the chain, so the block
+    /// sequence — and therefore [`Blockchain::chain_digest`] — is identical
+    /// to the sequential pipeline's on the same specs.
+    fn run_round_parallel(&mut self, by_shard: &[Vec<usize>], schedule: &[usize]) -> Result<()> {
+        let order: Vec<usize> = schedule
+            .iter()
+            .flat_map(|&s| by_shard[s].iter().copied())
+            .collect();
+        let staged = self.stage_parallel(&order)?;
+        let mut staged = staged.into_iter();
+        let mut gate = CommitGate::new(self.shards.len());
+        for &shard in schedule {
+            claim_lane(&mut gate, shard)?;
+            let round_feeds: Vec<RoundFeed> = by_shard[shard]
+                .iter()
+                .map(|_| {
+                    let (idx, update) = staged.next().expect("one staged epoch per feed");
+                    RoundFeed {
+                        idx,
+                        batched_before: self.feeds[idx].batched_gas(),
+                        update,
+                    }
+                })
+                .collect();
+            self.commit_shard(shard, round_feeds, |_| Ok(()))?;
+        }
+        Ok(())
+    }
+
+    /// Commits one shard's round: the write block (all staged update chunks
+    /// coalesced through the router, spilling past the Ctx payload bound),
+    /// a caller-supplied overlap step, then the shard's read phase.
+    fn commit_shard(
+        &mut self,
+        shard: usize,
+        mut staged: Vec<RoundFeed>,
+        overlap: impl FnOnce(&mut Self) -> Result<()>,
+    ) -> Result<()> {
+        let mut sections: Vec<(usize, Vec<u8>)> = Vec::new();
+        for rf in &mut staged {
+            for chunk in std::mem::take(&mut rf.update.chunks) {
+                sections.push((rf.idx, chunk));
+            }
+        }
+        self.submit_shard_batch(shard, BatchKind::Update, sections)?;
+        overlap(self)?;
+        self.run_shard_read_phase(shard, staged)
+    }
+
+    /// Stages one epoch for each feed in `order` — grouped into one worker
+    /// lane per shard, results flattened back into `order` — via the
+    /// [`ParallelExecutor`]. Pure off-chain work; the chain stays on the
+    /// calling thread.
+    fn stage_parallel(&mut self, order: &[usize]) -> Result<Vec<(usize, StagedUpdate)>> {
+        let mut lane_of_shard = vec![None; self.shards.len()];
+        let mut lanes_order: Vec<Vec<usize>> = Vec::new();
+        for &idx in order {
+            let shard = self.feeds[idx].shard;
+            let lane = *lane_of_shard[shard].get_or_insert_with(|| {
+                lanes_order.push(Vec::new());
+                lanes_order.len() - 1
+            });
+            lanes_order[lane].push(idx);
+        }
+        let mut staging = vec![false; self.feeds.len()];
+        for &idx in order {
+            staging[idx] = true;
+        }
+        let mut tasks: Vec<Option<StageTask<'_>>> = self
+            .feeds
+            .iter_mut()
+            .enumerate()
+            .map(|(idx, slot)| {
+                // Field-wise split: the task borrows only the Send-safe
+                // staging half and the trace cursor, disjointly per feed.
+                staging[idx].then(|| {
+                    let FeedSlot {
+                        driver,
+                        trace,
+                        cursor,
+                        ..
+                    } = slot;
+                    StageTask {
+                        feed: idx,
+                        stage: driver.stage_mut(),
+                        trace,
+                        cursor,
+                    }
+                })
+            })
+            .collect();
+        let lanes: Vec<Vec<StageTask<'_>>> = lanes_order
+            .iter()
+            .map(|lane| {
+                lane.iter()
+                    .map(|&idx| tasks[idx].take().expect("staging task built above"))
+                    .collect()
+            })
+            .collect();
+        let mut staged_by_lane = Vec::with_capacity(lanes.len());
+        for lane_result in ParallelExecutor::stage_round(lanes) {
+            staged_by_lane.push(lane_result?);
+        }
+        // Flatten back into the caller's order: lane l's results are in
+        // lane order, and `order` interleaves lanes deterministically.
+        let mut cursors = vec![0usize; staged_by_lane.len()];
+        let mut out = Vec::with_capacity(order.len());
+        for &idx in order {
+            let lane = lane_of_shard[self.feeds[idx].shard].expect("lane assigned");
+            let (feed, update) = std::mem::take(&mut staged_by_lane[lane][cursors[lane]]);
+            cursors[lane] += 1;
+            debug_assert_eq!(feed, idx, "lane results must align with the order");
+            out.push((idx, update));
+        }
+        Ok(out)
     }
 
     /// Ingests and stages one epoch for each of a shard's runnable feeds —
@@ -660,6 +972,7 @@ impl FeedEngine {
                 batched_update_gas: feed.batched_update_gas,
                 batched_deliver_gas: feed.batched_deliver_gas,
                 parked_rounds: feed.parked_rounds,
+                max_parked_streak: feed.max_parked_streak,
                 run: feed.driver.into_report(),
             })
             .collect();
@@ -829,6 +1142,59 @@ mod tests {
         // The schedule stretched: more rounds than the unhindered feed's
         // epoch count.
         assert!(report.rounds > report.tenants[1].run.epochs.len());
+    }
+
+    #[test]
+    fn quota_tiers_refill_and_bound_as_documented() {
+        assert_eq!(QuotaTier::High.refill(0, 10), 40);
+        assert_eq!(QuotaTier::High.refill(1, 10), 40);
+        assert_eq!(QuotaTier::Standard.refill(7, 10), 10);
+        assert_eq!(QuotaTier::Low.refill(0, 10), 10, "low earns on even rounds");
+        assert_eq!(QuotaTier::Low.refill(1, 10), 0, "and skips odd rounds");
+        assert!(QuotaTier::High.starvation_bound() < QuotaTier::Standard.starvation_bound());
+        assert!(QuotaTier::Standard.starvation_bound() < QuotaTier::Low.starvation_bound());
+        // The Ord derive is the drain order: higher tier sorts later, so
+        // Reverse puts it first in the schedule.
+        assert!(QuotaTier::Low < QuotaTier::Standard && QuotaTier::Standard < QuotaTier::High);
+        assert_eq!(TenantBudget::per_round(5).tier, QuotaTier::Standard);
+    }
+
+    #[test]
+    fn higher_tier_sections_lead_the_shard_batch() {
+        // One shard, two write-leaning feeds; the feed declared *second*
+        // carries the High tier, so tier — not declaration order — must put
+        // its update section first in every shard batch.
+        let budget = |tier| TenantBudget::per_round(1_000_000).tier(tier);
+        let specs = vec![
+            spec("aaa", 0.5, 8).with_budget(budget(QuotaTier::Low)),
+            spec("bbb", 0.5, 8).with_budget(budget(QuotaTier::High)),
+        ];
+        let (_, chain) = FeedEngine::new(&EngineConfig::new(1), specs)
+            .unwrap()
+            .run_with_chain()
+            .unwrap();
+        let mgr_low = Address::derive("grub-storage-manager/tenant/aaa");
+        let mgr_high = Address::derive("grub-storage-manager/tenant/bbb");
+        let mut saw_batched_round = false;
+        for block in chain.blocks() {
+            let records = &block.call_records;
+            if !records.iter().any(|c| c.func == "batchUpdate") {
+                continue;
+            }
+            let pos = |mgr| {
+                records
+                    .iter()
+                    .position(|c| c.to == mgr && c.func == "update")
+            };
+            if let (Some(high), Some(low)) = (pos(mgr_high), pos(mgr_low)) {
+                saw_batched_round = true;
+                assert!(
+                    high < low,
+                    "high tier must drain first within the batch ({high} vs {low})"
+                );
+            }
+        }
+        assert!(saw_batched_round, "the feeds must actually share a batch");
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Parallel shard staging: the worker-thread fan-out behind
+//! [`ExecMode::Parallel`](crate::ExecMode).
+//!
+//! A scheduler round's off-chain work — trace ingestion through the policy,
+//! DO mirror flush, SP sync with Merkle-tree recomputation, `update()`
+//! section encoding — never touches the shared
+//! [`Blockchain`](grub_chain::Blockchain), so shards can stage it
+//! concurrently. [`ParallelExecutor::stage_round`] runs each shard's
+//! staging on its own scoped worker thread (the feeds' `Send`-safe
+//! [`EpochStage`] halves move to the workers; the chain never does) and
+//! returns the results *in lane order*, not completion order. The engine's
+//! merge stage then commits each shard's blocks in canonical shard order
+//! under a [`CommitGate`](grub_chain::CommitGate), which is what makes the
+//! resulting chain byte-for-byte identical to the sequential pipeline's.
+
+use grub_core::system::{EpochStage, StagedUpdate};
+use grub_core::Result;
+use grub_workload::Trace;
+
+/// One feed's staging slice: disjoint `&mut` borrows of the feed's
+/// `Send`-safe staging half plus its trace position. Building a round's
+/// tasks splits every runnable [`FeedSlot`](crate::FeedEngine) field-wise,
+/// so the borrow checker proves the lanes are disjoint — no locks, no
+/// unsafe.
+pub(crate) struct StageTask<'a> {
+    /// Index of the feed in the engine's declaration-ordered slot table.
+    pub(crate) feed: usize,
+    pub(crate) stage: &'a mut EpochStage,
+    pub(crate) trace: &'a Trace,
+    pub(crate) cursor: &'a mut usize,
+}
+
+impl StageTask<'_> {
+    /// Ingests one epoch's worth of trace operations and closes the
+    /// epoch's write path off-chain — the exact work the sequential
+    /// pipeline's staging step performs (same [`EpochStage::ingest`]
+    /// loop), on whichever thread the task was moved to.
+    fn ingest_and_stage(&mut self) -> Result<StagedUpdate> {
+        self.stage.ingest(self.trace, self.cursor);
+        self.stage.stage_update()
+    }
+}
+
+/// Fans a round's shard staging out to scoped worker threads and collects
+/// the per-shard results in deterministic lane order.
+///
+/// The executor is intentionally stateless: determinism comes from *where
+/// results go* (lane-indexed), never from *when workers finish*. Worker
+/// panics propagate to the caller; worker errors abort the round exactly
+/// where the sequential pipeline would.
+#[derive(Debug)]
+pub struct ParallelExecutor;
+
+impl ParallelExecutor {
+    /// Stages every lane's feeds concurrently — one worker thread per lane,
+    /// each processing its feeds in the given (priority drain) order — and
+    /// returns one result per lane, in input order.
+    pub(crate) fn stage_round(
+        lanes: Vec<Vec<StageTask<'_>>>,
+    ) -> Vec<Result<Vec<(usize, StagedUpdate)>>> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = lanes
+                .into_iter()
+                .map(|mut lane| {
+                    scope.spawn(move || {
+                        lane.iter_mut()
+                            .map(|task| Ok((task.feed, task.ingest_and_stage()?)))
+                            .collect::<Result<Vec<_>>>()
+                    })
+                })
+                .collect();
+            // Joining in spawn order is what pins the output to lane order;
+            // a worker that finished early simply waits here.
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard staging worker panicked"))
+                .collect()
+        })
+    }
+}

@@ -13,20 +13,25 @@
 //! # Architecture
 //!
 //! ```text
-//!           FeedEngine (deterministic pipelined shard scheduler)
-//!   round r:  shard 0 stage → shard 0 write ┐ shard 0 reads ┐
-//!                            shard 1 stage ─┘ shard 1 write ┘ shard 1 reads …
-//!                  │              │                    │
-//!            EpochDriver    EpochDriver          EpochDriver     (grub-core)
-//!             DO + SP        DO + SP              DO + SP
-//!                  │              │                    │
-//!              ┌── shard 0 ──┐       ┌────── shard 1 ──────┐
-//!              │ ShardRouter │       │     ShardRouter     │    (on-chain)
-//!              │ batchUpdate │       │     batchUpdate     │
-//!              │ batchDeliver│       │     batchDeliver    │
-//!              └─┬─────────┬─┘       └──┬───────────────┬──┘
-//!            manager A  manager B    manager C  ...  manager N
-//!                        one shared Gas-metered Blockchain
+//!               FeedEngine (deterministic shard scheduler, two ExecModes)
+//!
+//!   STAGE (off-chain, Send-safe EpochStage halves)
+//!     Sequential: shard s+1 stages while shard s's blocks execute (pipeline)
+//!     Parallel:   one ParallelExecutor worker thread per shard
+//!        worker 0: [feed a ingest→flush→encode] [feed b …]      (shard 0)
+//!        worker 1: [feed c ingest→flush→encode] [feed d …]      (shard 1)
+//!                     │ staged update/deliver sections, lane-ordered
+//!   MERGE (single thread, canonical shard order, CommitGate-enforced)
+//!        shard 0 write block → shard 0 read phase →
+//!                      shard 1 write block → shard 1 read phase → …
+//!                     │
+//!   COMMIT (on-chain)      ┌── shard 0 ──┐       ┌── shard 1 ───┐
+//!                          │ ShardRouter │       │ ShardRouter  │
+//!                          │ batchUpdate │       │ batchUpdate  │
+//!                          │ batchDeliver│       │ batchDeliver │
+//!                          └─┬─────────┬─┘       └─┬──────────┬─┘
+//!                        manager A  manager B   manager C … manager N
+//!                           one shared Gas-metered Blockchain
 //! ```
 //!
 //! * **Tenancy** — every feed is a full, independent GRuB deployment: its
@@ -36,14 +41,23 @@
 //!   Feeds cannot observe each other's keys, decisions, or replicas.
 //! * **Scheduling** — the engine runs feeds in *rounds*: round `r` lets
 //!   every feed with trace left (and quota to spend, see below) ingest one
-//!   epoch's worth of operations and close that epoch. With batching on,
-//!   the shards run as a software pipeline: while shard `s`'s write block
-//!   and read phase execute on-chain, shard `s+1`'s epochs are staged
-//!   off-chain, so the off-chain work of one shard overlaps the on-chain
-//!   phases of the previous one. The pipeline is plain sequential code over
-//!   a fixed shard order and the stable feed declaration order, so a run
-//!   is a deterministic function of its specs; no wall clock, threads, or
-//!   map iteration order is involved.
+//!   epoch's worth of operations and close that epoch, higher quota tiers
+//!   first. Two execution modes ([`ExecMode`]) schedule the shards:
+//!   [`ExecMode::Sequential`] is the software pipeline — while shard `s`'s
+//!   write block and read phase execute on-chain, shard `s+1`'s epochs are
+//!   staged off-chain — and [`ExecMode::Parallel`]
+//!   ([`EngineConfig::parallel`]) fans each shard's staging out to its own
+//!   worker thread ([`ParallelExecutor`]) before a single-threaded merge
+//!   commits shard blocks in canonical shard order.
+//! * **Determinism contract** — a run is a deterministic function of its
+//!   specs in *both* modes, and the modes are interchangeable: staging
+//!   never touches the chain, results are consumed in lane order rather
+//!   than completion order, and the merge claims shard commit slots through
+//!   a [`CommitGate`](grub_chain::CommitGate) in the same canonical order
+//!   the pipeline uses — so the mined chain is byte-for-byte identical
+//!   (equal [`Blockchain::chain_digest`](grub_chain::Blockchain::chain_digest))
+//!   across modes, quotas and parking included. No wall clock, thread
+//!   timing, or map iteration order ever reaches the schedule.
 //! * **Sharding** — each tenant is assigned to one of a fixed set of shards
 //!   by FNV-1a hash of its name ([`tenant_shard`]). A shard owns an
 //!   on-chain [`ShardRouter`] contract and a shard-operator account.
@@ -67,15 +81,24 @@
 //!   automatically.
 //! * **Per-tenant Gas quotas** — an optional [`TenantBudget`] per feed
 //!   turns the scheduler into a token bucket with deferral. Knobs:
-//!   `gas_per_round` (feed-layer Gas granted per scheduler round, ≥ 1) and
+//!   `gas_per_round` (feed-layer Gas granted per scheduler round, ≥ 1),
 //!   `burst` (cap on accumulated unspent allowance, default 4 rounds'
-//!   worth). A feed whose next epoch is estimated (by its previous epoch's
-//!   actual metered cost: own transactions plus byte-proportional batch
-//!   shares) to exceed its balance is *parked* — trace position and staged
-//!   state untouched — and retried next round; spending may run the bucket
-//!   into debt, parking proportionally longer. A full bucket always runs
-//!   (no starvation), and deferral never changes what an epoch computes,
-//!   only when it runs.
+//!   worth), and `tier` (the quota class, default
+//!   [`QuotaTier::Standard`]). A feed whose next epoch is estimated (by its
+//!   previous epoch's actual metered cost: own transactions plus
+//!   byte-proportional batch shares) to exceed its balance is *parked* —
+//!   trace position and staged state untouched — and retried next round;
+//!   spending may run the bucket into debt, parking proportionally longer.
+//!   A full bucket always runs, and deferral never changes what an epoch
+//!   computes, only when it runs.
+//! * **Priority tiers** — [`QuotaTier`] classes the quota three ways:
+//!   `High` refills 4 × `gas_per_round` per round, `Standard` 1 ×, `Low`
+//!   1 × every other round; within a round higher tiers run first and
+//!   their sections lead the shard batch (on a spill the high tier rides
+//!   the first transaction); and each tier carries a starvation bound K
+//!   (High 2, Standard 4, Low 8) — a feed parked K − 1 consecutive rounds
+//!   is force-run on the Kth regardless of balance, so adversarial
+//!   high-tier pressure can delay a low-tier epoch by at most K rounds.
 //!
 //! # Invariants
 //!
@@ -95,7 +118,10 @@
 //!    the shares sum exactly to the metered shard totals — spilled batches
 //!    included — so the aggregate report loses nothing to rounding.
 //! 4. **Determinism** — two runs with identical specs produce byte-identical
-//!    [`EngineReport::render_table`] output, quotas and parking included.
+//!    [`EngineReport::render_table`] output *and* equal chain digests,
+//!    quotas and parking included — even when one run staged its shards on
+//!    worker threads ([`ExecMode::Parallel`]) and the other used the
+//!    sequential pipeline.
 //!
 //! # Example
 //!
@@ -129,10 +155,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod executor;
 mod report;
 mod router;
 pub mod specs;
 
-pub use engine::{tenant_shard, EngineConfig, FeedEngine, FeedSpec, TenantBudget};
+pub use engine::{
+    tenant_shard, EngineConfig, ExecMode, FeedEngine, FeedSpec, QuotaTier, TenantBudget,
+};
+pub use executor::ParallelExecutor;
 pub use report::{EngineReport, TenantReport};
 pub use router::ShardRouter;

@@ -25,6 +25,10 @@ pub struct TenantReport {
     /// Scheduler rounds in which the tenant's quota parked its next epoch
     /// (zero without a [`TenantBudget`](crate::TenantBudget)).
     pub parked_rounds: usize,
+    /// Longest run of *consecutive* parked rounds — by the quota class's
+    /// starvation bound, always strictly below
+    /// [`QuotaTier::starvation_bound`](crate::QuotaTier::starvation_bound).
+    pub max_parked_streak: usize,
 }
 
 impl TenantReport {
@@ -207,6 +211,7 @@ mod tests {
             batched_update_gas: batch,
             batched_deliver_gas: 5,
             parked_rounds: 0,
+            max_parked_streak: 0,
         }
     }
 

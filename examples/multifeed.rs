@@ -12,10 +12,18 @@
 //! read batching strictly undercuts write-only batching, which strictly
 //! undercuts no batching.
 //!
+//! With `GRUB_PARALLEL=1` every run stages its shards on worker threads
+//! (the parallel executor with deterministic merge) instead of the
+//! sequential pipeline; all tables, Gas totals, and assertions are
+//! contractually identical either way — the full-batching run double-checks
+//! that by comparing its chain digest against a sequential rerun.
+//!
 //! ```sh
 //! cargo run --release --example multifeed
 //! # CI smoke run (scaled-down traces):
 //! GRUB_SMOKE=1 cargo run --release --example multifeed
+//! # Parallel shard staging (same output, multi-threaded staging):
+//! GRUB_PARALLEL=1 cargo run --release --example multifeed
 //! ```
 
 use grub::engine::specs::{demo_policies, zipfian_ratio_specs};
@@ -30,31 +38,52 @@ fn build_specs(total_ops: usize) -> Vec<FeedSpec> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::var("GRUB_SMOKE").is_ok();
+    let parallel = std::env::var("GRUB_PARALLEL").is_ok();
     let total_ops = if smoke { 256 } else { 2048 };
     let shards = 2;
+    let config = |base: EngineConfig| if parallel { base.parallel() } else { base };
 
     println!(
-        "8 tenants, zipfian activity skew, {total_ops} total ops, {shards} shards{}",
-        if smoke { " (smoke)" } else { "" }
+        "8 tenants, zipfian activity skew, {total_ops} total ops, {shards} shards{}{}",
+        if smoke { " (smoke)" } else { "" },
+        if parallel { " (parallel staging)" } else { "" },
     );
 
     let unbatched = FeedEngine::run_specs(
-        &EngineConfig::new(shards).unbatched(),
+        &config(EngineConfig::new(shards).unbatched()),
         build_specs(total_ops),
     )?;
     println!("\n== batching OFF (sum-of-singles baseline) ==");
     print!("{}", unbatched.render_table());
 
     let write_only = FeedEngine::run_specs(
-        &EngineConfig::new(shards).without_read_batching(),
+        &config(EngineConfig::new(shards).without_read_batching()),
         build_specs(total_ops),
     )?;
     println!("\n== update batching ON, read batching OFF ==");
     print!("{}", write_only.render_table());
 
-    let full = FeedEngine::run_specs(&EngineConfig::new(shards), build_specs(total_ops))?;
+    let (full, full_chain) =
+        FeedEngine::new(&config(EngineConfig::new(shards)), build_specs(total_ops))?
+            .run_with_chain()?;
     println!("\n== full batching (updates + delivers per shard) ==");
     print!("{}", full.render_table());
+
+    if parallel {
+        // The determinism contract, end to end: the parallel merge's chain
+        // is byte-for-byte the sequential pipeline's.
+        let (_, seq_chain) = FeedEngine::new(&EngineConfig::new(shards), build_specs(total_ops))?
+            .run_with_chain()?;
+        assert_eq!(
+            full_chain.chain_digest(),
+            seq_chain.chain_digest(),
+            "parallel staging must reproduce the sequential chain exactly"
+        );
+        println!(
+            "\nparallel == sequential chain digest: {}",
+            full_chain.chain_digest().to_hex()
+        );
+    }
 
     let (u, w, f) = (
         unbatched.feed_gas_total(),

@@ -26,7 +26,7 @@ use grub::chain::{Address, Blockchain, Transaction};
 use grub::core::policy::PolicyKind;
 use grub::core::system::{GrubSystem, SystemConfig};
 use grub::engine::specs::{demo_policies, zipfian_ratio_specs, DEMO_RATIOS};
-use grub::engine::{EngineConfig, FeedEngine, FeedSpec, ShardRouter, TenantBudget};
+use grub::engine::{EngineConfig, FeedEngine, FeedSpec, QuotaTier, ShardRouter, TenantBudget};
 use grub::gas::Layer;
 use grub::workload::ratio::RatioWorkload;
 use grub::workload::ycsb;
@@ -283,6 +283,220 @@ fn malformed_batch_deliver_payloads_rejected_without_panic() {
             err.contains("decode"),
             "rejection must be a typed decode error, got: {err}"
         );
+    }
+}
+
+/// The parallel executor's determinism contract on the 8-feed mixed-skew
+/// acceptance trace: staging shards on worker threads and merging in
+/// canonical shard order must produce a chain — every block, receipt,
+/// event, call record, and Gas total — *byte-for-byte identical* to the
+/// sequential pipeline's, in every batching mode.
+#[test]
+fn parallel_staging_chain_is_byte_identical_to_sequential() {
+    let build_specs = || zipfian_ratio_specs(8, 640, DEMO_RATIOS, &demo_policies());
+    let run = |config: &EngineConfig| {
+        FeedEngine::new(config, build_specs())
+            .expect("engine builds")
+            .run_with_chain()
+            .expect("engine runs")
+    };
+    for (label, seq_cfg, par_cfg) in [
+        (
+            "full batching",
+            EngineConfig::new(2),
+            EngineConfig::new(2).parallel(),
+        ),
+        (
+            "write-only batching",
+            EngineConfig::new(2).without_read_batching(),
+            EngineConfig::new(2).without_read_batching().parallel(),
+        ),
+        (
+            "unbatched",
+            EngineConfig::new(2).unbatched(),
+            EngineConfig::new(2).unbatched().parallel(),
+        ),
+    ] {
+        let (seq_report, seq_chain) = run(&seq_cfg);
+        let (par_report, par_chain) = run(&par_cfg);
+        assert_eq!(
+            seq_chain.chain_digest(),
+            par_chain.chain_digest(),
+            "{label}: parallel merge must reproduce the sequential chain exactly"
+        );
+        assert_eq!(
+            seq_report.render_table(),
+            par_report.render_table(),
+            "{label}: per-tenant accounting must match byte for byte"
+        );
+        assert_eq!(seq_chain.height(), par_chain.height());
+    }
+}
+
+/// Determinism under spill pressure: BL2 feeds with 8 KiB values overflow
+/// the shard batch payload bound every round, so each shard's write block
+/// carries multiple transactions. The parallel merge must reproduce the
+/// spill layout — transaction order, receipt pairing, byte-proportional
+/// attribution — exactly.
+#[test]
+fn parallel_merge_reproduces_spill_rounds_byte_identically() {
+    let build_specs = || -> Vec<FeedSpec> {
+        (0..8)
+            .map(|i| {
+                FeedSpec::new(
+                    format!("bulk-{i:02}"),
+                    SystemConfig::new(PolicyKind::Bl2).epoch_ops(4),
+                    RatioWorkload::new(format!("bulk-{i:02}-key"), 0.0)
+                        .value_len(8192)
+                        .generate(6),
+                )
+            })
+            .collect()
+    };
+    let run = |config: &EngineConfig| {
+        FeedEngine::new(config, build_specs())
+            .expect("engine builds")
+            .run_with_chain()
+            .expect("engine runs")
+    };
+    let (seq_report, seq_chain) = run(&EngineConfig::new(2));
+    let (par_report, par_chain) = run(&EngineConfig::new(2).parallel());
+    // The workload actually spills: some shard sent more write transactions
+    // than it had rounds to send them in.
+    assert!(
+        seq_report
+            .shard_update_txs
+            .iter()
+            .any(|&txs| txs > seq_report.rounds),
+        "8 KiB BL2 sections must overflow the batch payload bound \
+         (update txs {:?} over {} rounds)",
+        seq_report.shard_update_txs,
+        seq_report.rounds
+    );
+    assert_eq!(
+        seq_chain.chain_digest(),
+        par_chain.chain_digest(),
+        "spilled multi-tx rounds must merge byte-identically"
+    );
+    assert_eq!(seq_report.render_table(), par_report.render_table());
+    // Attribution still sums exactly after the parallel merge.
+    let attributed: u64 = par_report
+        .tenants
+        .iter()
+        .map(|t| t.batched_update_gas)
+        .sum();
+    assert_eq!(attributed, par_report.shard_update_gas.iter().sum::<u64>());
+}
+
+/// The starvation bound under adversarial high-tier pressure: three
+/// high-tier feeds refill 4× per round and drain first, while one low-tier
+/// feed's bucket (1 Gas on even rounds, bottomless burst so a full bucket
+/// never rescues it) can never afford an epoch. Only the tier's K-round
+/// bound makes it run — and it must, every ≤ K rounds, to completion.
+#[test]
+fn high_tier_pressure_cannot_starve_low_tier() {
+    let build_specs = || -> Vec<FeedSpec> {
+        let mut specs: Vec<FeedSpec> = (0..3)
+            .map(|i| {
+                FeedSpec::new(
+                    format!("vip-{i}"),
+                    SystemConfig::new(PolicyKind::Memoryless { k: 2 }).epoch_ops(4),
+                    RatioWorkload::new(format!("vip-{i}-key"), 1.0).generate(24),
+                )
+                .with_budget(TenantBudget::per_round(1_000_000).tier(QuotaTier::High))
+            })
+            .collect();
+        specs.push(
+            FeedSpec::new(
+                "steerage",
+                SystemConfig::new(PolicyKind::Memoryless { k: 2 }).epoch_ops(4),
+                RatioWorkload::new("steerage-key", 1.0).generate(24),
+            )
+            .with_budget(
+                TenantBudget::per_round(1)
+                    .burst(u64::MAX / 4)
+                    .tier(QuotaTier::Low),
+            ),
+        );
+        specs
+    };
+    let total_ops: usize = build_specs().iter().map(|s| s.trace.ops.len()).sum();
+    let report = FeedEngine::run_specs(&EngineConfig::new(1), build_specs()).expect("tiered run");
+    assert_eq!(
+        report.total_ops(),
+        total_ops,
+        "the low-tier feed must complete its trace"
+    );
+    let low = report
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "steerage")
+        .expect("low-tier tenant");
+    assert!(
+        low.parked_rounds > 0,
+        "the pressure must actually park the low-tier feed"
+    );
+    assert!(
+        low.max_parked_streak < QuotaTier::Low.starvation_bound(),
+        "park streak {} must stay below the starvation bound {}",
+        low.max_parked_streak,
+        QuotaTier::Low.starvation_bound()
+    );
+    // The high tiers were never throttled that hard.
+    for t in report.tenants.iter().filter(|t| t.tenant != "steerage") {
+        assert!(
+            t.max_parked_streak < QuotaTier::High.starvation_bound(),
+            "{}: high tier streak {} exceeds its bound",
+            t.tenant,
+            t.max_parked_streak
+        );
+    }
+    // Determinism survives tiers: a rerun renders byte-identically.
+    let again = FeedEngine::run_specs(&EngineConfig::new(1), build_specs()).expect("tiered rerun");
+    assert_eq!(report.render_table(), again.render_table());
+}
+
+/// Tiers change *when* epochs run, never what they compute: an unbatched
+/// engine whose tenants carry mixed-tier quotas still meters exactly the
+/// sum of N standalone single-feed runs, tenant by tenant.
+#[test]
+fn tiered_unbatched_run_still_equals_sum_of_singles() {
+    let build_specs = || -> Vec<FeedSpec> {
+        let mut specs = mixed_specs();
+        specs[0] = specs[0]
+            .clone()
+            .with_budget(TenantBudget::per_round(40_000).tier(QuotaTier::High));
+        specs[1] = specs[1]
+            .clone()
+            .with_budget(TenantBudget::per_round(60_000).tier(QuotaTier::Standard));
+        specs[2] = specs[2]
+            .clone()
+            .with_budget(TenantBudget::per_round(25_000).tier(QuotaTier::Low));
+        specs
+    };
+    let singles: Vec<u64> = build_specs()
+        .iter()
+        .map(|s| {
+            GrubSystem::run_trace(&s.trace, &s.config)
+                .expect("single-feed run")
+                .feed_gas_total()
+        })
+        .collect();
+    for config in [
+        EngineConfig::new(2).unbatched(),
+        EngineConfig::new(2).unbatched().parallel(),
+    ] {
+        let report = FeedEngine::run_specs(&config, build_specs()).expect("tiered unbatched run");
+        for (tenant, single) in report.tenants.iter().zip(&singles) {
+            assert_eq!(
+                tenant.feed_gas_total(),
+                *single,
+                "{}: tiered deferral must not change the tenant's gas",
+                tenant.tenant
+            );
+        }
+        assert_eq!(report.feed_gas_total(), singles.iter().sum::<u64>());
+        assert_eq!(report.failed_delivers(), 0);
     }
 }
 
