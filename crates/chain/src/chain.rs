@@ -10,7 +10,8 @@ use crate::storage::ContractStorage;
 use crate::types::{Address, TxId};
 
 /// Chain timing parameters (paper §3.4): block period `B`, finality depth
-/// `F`, and transaction propagation delay `Pt`.
+/// `F`, and transaction propagation delay `Pt` — plus the simulator's
+/// block-retention window for streamed-scale runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ChainConfig {
     /// Average block production period, milliseconds (Ethereum: 10–19 s).
@@ -19,6 +20,17 @@ pub struct ChainConfig {
     pub finality_depth: u64,
     /// Worst-case transaction propagation delay to all nodes, milliseconds.
     pub propagation_ms: u64,
+    /// How many mined block bodies to keep resident: `None` (the default)
+    /// keeps the whole chain, `Some(n)` drops the oldest bodies past `n` —
+    /// what lets a million-op streamed run execute at bounded memory.
+    /// Chain state (storage, Gas meter, height) and the running
+    /// [`Blockchain::chain_digest`] are unaffected; only the replayable
+    /// block *bodies* (receipts, events, call records) age out, so
+    /// off-chain monitors polling [`Blockchain::events_since`] /
+    /// [`Blockchain::calls_since`] must keep their cursors within the
+    /// window (every per-epoch watchdog does — cursors advance each
+    /// epoch, and an epoch spans a handful of blocks).
+    pub retain_blocks: Option<usize>,
 }
 
 impl Default for ChainConfig {
@@ -27,6 +39,7 @@ impl Default for ChainConfig {
             block_period_ms: 13_000,
             finality_depth: 250,
             propagation_ms: 500,
+            retain_blocks: None,
         }
     }
 }
@@ -124,7 +137,16 @@ pub struct Blockchain {
     storages: HashMap<Address, ContractStorage>,
     meter: GasMeter,
     mempool: Vec<(TxId, Transaction)>,
+    /// Retained block bodies — the full chain by default, a sliding window
+    /// under [`ChainConfig::retain_blocks`].
     blocks: Vec<Block>,
+    /// Blocks mined over the chain's lifetime (the absolute height —
+    /// `blocks.len()` only until pruning starts).
+    mined: u64,
+    /// Running fold of every sealed block (see
+    /// [`Blockchain::chain_digest`]), so the digest survives pruning and
+    /// stays O(1) to read.
+    digest_acc: grub_crypto::Hash32,
     next_tx_id: u64,
     now_ms: u64,
 }
@@ -150,6 +172,8 @@ impl Blockchain {
             meter: GasMeter::new(),
             mempool: Vec::new(),
             blocks: Vec::new(),
+            mined: 0,
+            digest_acc: grub_crypto::Sha256::new().finalize(),
             next_tx_id: 0,
             now_ms: 0,
         }
@@ -191,9 +215,14 @@ impl Blockchain {
 
     /// Advances time by the block period and mines all queued transactions
     /// into a new block, returning it.
+    ///
+    /// The sealed block is folded into the chain's running digest before it
+    /// is retained, and — under [`ChainConfig::retain_blocks`] — the oldest
+    /// bodies past the window are dropped.
     pub fn produce_block(&mut self) -> &Block {
         self.now_ms += self.config.block_period_ms;
-        let number = self.blocks.len() as u64 + 1;
+        self.mined += 1;
+        let number = self.mined;
         let pending = std::mem::take(&mut self.mempool);
         let mut receipts = Vec::with_capacity(pending.len());
         let mut events = Vec::new();
@@ -202,13 +231,21 @@ impl Blockchain {
             let receipt = self.execute(tx_id, tx, number, &mut events, &mut call_records);
             receipts.push(receipt);
         }
-        self.blocks.push(Block {
+        let block = Block {
             number,
             time_ms: self.now_ms,
             receipts,
             events,
             call_records,
-        });
+        };
+        self.digest_acc = fold_block_digest(&self.digest_acc, &block);
+        self.blocks.push(block);
+        if let Some(retain) = self.config.retain_blocks {
+            let retain = retain.max(1);
+            if self.blocks.len() > retain {
+                self.blocks.drain(..self.blocks.len() - retain);
+            }
+        }
         self.blocks.last().expect("just pushed")
     }
 
@@ -336,7 +373,7 @@ impl Blockchain {
             caller: from,
             this: to,
             origin: from,
-            block_number: self.blocks.len() as u64,
+            block_number: self.mined,
             now_ms: self.now_ms,
             layer: deployed.layer,
             depth: 0,
@@ -344,14 +381,15 @@ impl Blockchain {
         deployed.code.call(&mut ctx, func, input)
     }
 
-    /// All mined blocks.
+    /// The retained block bodies — all mined blocks unless
+    /// [`ChainConfig::retain_blocks`] trimmed the oldest.
     pub fn blocks(&self) -> &[Block] {
         &self.blocks
     }
 
-    /// Current block height.
+    /// Current block height (absolute: pruning never rewinds it).
     pub fn height(&self) -> u64 {
-        self.blocks.len() as u64
+        self.mined
     }
 
     /// Simulated current time in milliseconds.
@@ -364,11 +402,33 @@ impl Blockchain {
         self.height().saturating_sub(self.config.finality_depth)
     }
 
+    /// Guards the documented precondition of the `_since` queries under
+    /// [`ChainConfig::retain_blocks`]: every block in `(from_block, ..]`
+    /// must still be retained, or the query would silently omit pruned
+    /// history. Debug-only, like the workspace's Gas-arithmetic guards —
+    /// the production schedulers advance their cursors every epoch, far
+    /// inside any sane window.
+    fn assert_cursor_in_window(&self, from_block: u64) {
+        debug_assert!(
+            from_block >= self.mined
+                || self
+                    .blocks
+                    .first()
+                    .is_none_or(|b| b.number <= from_block + 1),
+            "query cursor {from_block} predates the oldest retained block \
+             {:?} (height {}): retain_blocks pruned history this poll still \
+             needs — widen the window or poll more often",
+            self.blocks.first().map(|b| b.number),
+            self.mined,
+        );
+    }
+
     /// Events matching `contract` and `name` in blocks `(from_block, ..]`.
     ///
     /// This is what off-chain watchdogs (the SP daemon, the DO monitor) poll,
     /// standing in for Ethereum's `eth_getLogs`.
     pub fn events_since(&self, from_block: u64, contract: Address, name: &str) -> Vec<&Event> {
+        self.assert_cursor_in_window(from_block);
         self.blocks
             .iter()
             .filter(|b| b.number > from_block)
@@ -379,6 +439,7 @@ impl Blockchain {
 
     /// All events in blocks `(from_block, ..]`, for trace federation.
     pub fn all_events_since(&self, from_block: u64) -> Vec<&Event> {
+        self.assert_cursor_in_window(from_block);
         self.blocks
             .iter()
             .filter(|b| b.number > from_block)
@@ -389,6 +450,7 @@ impl Blockchain {
     /// Contract invocations of contract `to` in blocks `(from_block, ..]` —
     /// the monitor's view of the call history (paper §3.2).
     pub fn calls_since(&self, from_block: u64, to: Address) -> Vec<&CallRecord> {
+        self.assert_cursor_in_window(from_block);
         self.blocks
             .iter()
             .filter(|b| b.number > from_block)
@@ -420,51 +482,64 @@ impl Blockchain {
 
     /// Canonical digest of the whole mined chain: every block's number and
     /// time, every receipt (id, success, error, output, Gas), every event,
-    /// and every call record, folded into one SHA-256 in deterministic
-    /// order, plus the meter's per-layer totals.
+    /// and every call record, folded block by block into a running SHA-256
+    /// chain as blocks are sealed, finalized here with the block count and
+    /// the meter's per-layer totals.
     ///
     /// Two runs whose `chain_digest` agree executed byte-for-byte identical
     /// transactions with identical results — the equivalence the parallel
     /// shard executor's deterministic merge is contracted to preserve
     /// against the sequential pipeline (asserted in `tests/engine.rs`).
+    /// Because the fold is incremental, the digest is O(1) to read at any
+    /// height and survives [`ChainConfig::retain_blocks`] pruning: it
+    /// always covers *every* block ever mined, retained or not.
     pub fn chain_digest(&self) -> grub_crypto::Hash32 {
         let mut h = grub_crypto::Sha256::new();
-        let u64le = |h: &mut grub_crypto::Sha256, v: u64| h.update(&v.to_le_bytes());
-        let bytes = |h: &mut grub_crypto::Sha256, b: &[u8]| {
-            h.update(&(b.len() as u64).to_le_bytes());
-            h.update(b);
-        };
-        u64le(&mut h, self.blocks.len() as u64);
-        for block in &self.blocks {
-            u64le(&mut h, block.number);
-            u64le(&mut h, block.time_ms);
-            u64le(&mut h, block.receipts.len() as u64);
-            for r in &block.receipts {
-                u64le(&mut h, r.tx_id.0);
-                h.update(&[u8::from(r.success)]);
-                bytes(&mut h, r.error.as_deref().unwrap_or("").as_bytes());
-                bytes(&mut h, &r.output);
-                u64le(&mut h, r.gas_used);
-            }
-            u64le(&mut h, block.events.len() as u64);
-            for e in &block.events {
-                bytes(&mut h, e.contract.as_bytes());
-                bytes(&mut h, e.name.as_bytes());
-                bytes(&mut h, &e.data);
-            }
-            u64le(&mut h, block.call_records.len() as u64);
-            for c in &block.call_records {
-                bytes(&mut h, c.to.as_bytes());
-                bytes(&mut h, c.func.as_bytes());
-                bytes(&mut h, &c.input);
-            }
-        }
+        h.update(self.digest_acc.as_bytes());
+        h.update(&self.mined.to_le_bytes());
         let snap = self.meter.snapshot();
-        u64le(&mut h, snap.feed);
-        u64le(&mut h, snap.app);
-        u64le(&mut h, snap.user);
+        h.update(&snap.feed.to_le_bytes());
+        h.update(&snap.app.to_le_bytes());
+        h.update(&snap.user.to_le_bytes());
         h.finalize()
     }
+}
+
+/// One step of the incremental chain digest: `acc' = SHA-256(acc ‖
+/// canonical(block))`, the same per-block encoding the monolithic digest
+/// used (number, time, receipts, events, call records, all
+/// length-prefixed).
+fn fold_block_digest(acc: &grub_crypto::Hash32, block: &Block) -> grub_crypto::Hash32 {
+    let mut h = grub_crypto::Sha256::new();
+    let u64le = |h: &mut grub_crypto::Sha256, v: u64| h.update(&v.to_le_bytes());
+    let bytes = |h: &mut grub_crypto::Sha256, b: &[u8]| {
+        h.update(&(b.len() as u64).to_le_bytes());
+        h.update(b);
+    };
+    h.update(acc.as_bytes());
+    u64le(&mut h, block.number);
+    u64le(&mut h, block.time_ms);
+    u64le(&mut h, block.receipts.len() as u64);
+    for r in &block.receipts {
+        u64le(&mut h, r.tx_id.0);
+        h.update(&[u8::from(r.success)]);
+        bytes(&mut h, r.error.as_deref().unwrap_or("").as_bytes());
+        bytes(&mut h, &r.output);
+        u64le(&mut h, r.gas_used);
+    }
+    u64le(&mut h, block.events.len() as u64);
+    for e in &block.events {
+        bytes(&mut h, e.contract.as_bytes());
+        bytes(&mut h, e.name.as_bytes());
+        bytes(&mut h, &e.data);
+    }
+    u64le(&mut h, block.call_records.len() as u64);
+    for c in &block.call_records {
+        bytes(&mut h, c.to.as_bytes());
+        bytes(&mut h, c.func.as_bytes());
+        bytes(&mut h, &c.input);
+    }
+    h.finalize()
 }
 
 /// A commit-ordering gate for multi-lane schedulers: within one round,
@@ -818,6 +893,7 @@ mod tests {
             block_period_ms: 1000,
             finality_depth: 3,
             propagation_ms: 100,
+            ..ChainConfig::default()
         });
         for _ in 0..5 {
             chain.produce_block();
@@ -865,6 +941,59 @@ mod tests {
         assert_ne!(a.chain_digest(), c.chain_digest());
         // Reading the digest is pure.
         assert_eq!(a.chain_digest(), a.chain_digest());
+    }
+
+    #[test]
+    fn pruned_chain_keeps_absolute_height_and_full_digest() {
+        let run = |retain: Option<usize>| {
+            let mut chain = Blockchain::with_config(ChainConfig {
+                retain_blocks: retain,
+                ..ChainConfig::default()
+            });
+            let widget = Address::derive("widget");
+            chain.deploy(widget, Rc::new(Widget), Layer::Application);
+            let user = Address::derive("user");
+            for v in 0..20u64 {
+                let mut enc = Encoder::new();
+                enc.u64(v);
+                chain.submit(Transaction::new(
+                    user,
+                    widget,
+                    "set",
+                    enc.finish(),
+                    Layer::User,
+                ));
+                chain.produce_block();
+            }
+            chain
+        };
+        let full = run(None);
+        let pruned = run(Some(4));
+        // Only the oldest bodies aged out; the ledger itself is unchanged.
+        assert_eq!(full.blocks().len(), 20);
+        assert_eq!(pruned.blocks().len(), 4);
+        assert_eq!(pruned.height(), 20, "pruning never rewinds the height");
+        assert_eq!(pruned.blocks()[0].number, 17);
+        assert_eq!(
+            full.chain_digest(),
+            pruned.chain_digest(),
+            "the running digest covers every mined block, retained or not"
+        );
+        // Retained-window queries still work by absolute block number.
+        assert_eq!(
+            pruned
+                .events_since(16, Address::derive("widget"), "ValueSet")
+                .len(),
+            4
+        );
+        // State (and static calls against it) is untouched by pruning.
+        let out = pruned.static_call(
+            Address::derive("user"),
+            Address::derive("widget"),
+            "get",
+            &[],
+        );
+        assert_eq!(Decoder::new(&out.unwrap()).u64().unwrap(), 19);
     }
 
     #[test]

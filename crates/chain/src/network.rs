@@ -46,7 +46,8 @@ pub struct ModelBlock {
 /// use grub_chain::network::NetworkSim;
 /// use grub_chain::ChainConfig;
 ///
-/// let config = ChainConfig { block_period_ms: 1000, finality_depth: 3, propagation_ms: 400 };
+/// let config = ChainConfig { block_period_ms: 1000, finality_depth: 3, propagation_ms: 400,
+///     ..ChainConfig::default() };
 /// let mut net = NetworkSim::new(4, config, 7);
 /// net.submit(0, 100, "putA");
 /// net.run_until(10_000);
@@ -233,6 +234,7 @@ mod tests {
             block_period_ms: 1_000,
             finality_depth: 5,
             propagation_ms: 400,
+            ..ChainConfig::default()
         }
     }
 

@@ -70,6 +70,7 @@ mod tests {
                 block_period_ms: 13_000,
                 finality_depth: 250,
                 propagation_ms: 500,
+                ..ChainConfig::default()
             },
         )
     }

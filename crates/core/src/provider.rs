@@ -276,6 +276,18 @@ impl StorageProvider {
         // NR-prefixed storage keys over [start, end] inclusive.
         let mut lo = vec![ReplState::NotReplicated.as_byte()];
         lo.extend_from_slice(start);
+        if start == end {
+            // Point request (the watchdog's hot path): a keyed get instead
+            // of a range scan — the scan materializes every table's entries,
+            // which is O(store) per deliver and quadratic over a streamed
+            // run's lifetime.
+            return Ok(self
+                .db
+                .get(&lo)?
+                .map(|v| (start.to_vec(), v))
+                .into_iter()
+                .collect());
+        }
         let mut hi = vec![ReplState::NotReplicated.as_byte()];
         hi.extend_from_slice(end);
         hi.push(0); // inclusive upper bound under an exclusive-scan API

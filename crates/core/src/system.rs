@@ -1,5 +1,8 @@
 //! The system harness: wires chain + DO + SP + consumer contracts and
-//! drives workload traces epoch by epoch (paper Figure 4a, §5 methodology).
+//! drives workloads epoch by epoch (paper Figure 4a, §5 methodology) —
+//! either from a materialized [`Trace`] or, at O(1) trace-side memory,
+//! pulled lazily from any [`OpSource`] (the ingestion layer's streaming
+//! contract; see `grub_workload::source`).
 //!
 //! Epoch mechanics follow the paper's experiments: trace operations are
 //! processed in order; reads are submitted as consumer transactions (batched
@@ -37,7 +40,7 @@ use grub_chain::codec::Encoder;
 use grub_chain::{Address, Blockchain, ChainConfig, Transaction};
 use grub_gas::Layer;
 use grub_merkle::ReplState;
-use grub_workload::{Op, Trace};
+use grub_workload::{Op, OpSource, Trace};
 
 use crate::contract::{NullConsumer, OnChainTrace, StorageManager};
 use crate::metrics::{EpochReport, RunReport};
@@ -289,14 +292,16 @@ impl EpochStage {
         self.ops_in_epoch
     }
 
-    /// Ingests trace operations starting at `*cursor` until the epoch is
-    /// full or the trace ends, advancing the cursor — the one ingestion
-    /// loop every scheduler mode shares, so sequential and parallel staging
-    /// cannot drift apart.
-    pub fn ingest(&mut self, trace: &Trace, cursor: &mut usize) {
-        while *cursor < trace.ops.len() && !self.epoch_is_full() {
-            self.push_op(&trace.ops[*cursor]);
-            *cursor += 1;
+    /// Pulls operations from `source` until the epoch is full or the
+    /// stream ends — the one ingestion loop every scheduler mode shares, so
+    /// sequential and parallel staging cannot drift apart. The source
+    /// advances exactly as far as the epoch consumed: a scheduler that
+    /// parks this feed next round simply doesn't pull, and the stream
+    /// position is the only cursor.
+    pub fn ingest(&mut self, source: &mut dyn OpSource) {
+        while !self.epoch_is_full() {
+            let Some(op) = source.next_op() else { break };
+            self.push_op(&op);
         }
     }
 
@@ -747,6 +752,26 @@ impl EpochDriver {
         self.finish(chain)
     }
 
+    /// Drives an operation stream to exhaustion, closing epochs as they
+    /// fill and the trailing partial epoch at the end — the streaming
+    /// mirror of [`EpochDriver::drive`], at O(1) trace-side memory: only
+    /// the open epoch's staged operations are ever resident.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and protocol-violating transaction
+    /// failures.
+    pub fn drive_source(
+        &mut self,
+        chain: &mut Blockchain,
+        source: &mut dyn OpSource,
+    ) -> Result<()> {
+        while let Some(op) = source.next_op() {
+            self.feed_op(chain, &op)?;
+        }
+        self.finish(chain)
+    }
+
     /// Closes a trailing partial epoch, if any operations are staged.
     ///
     /// # Errors
@@ -969,6 +994,19 @@ impl GrubSystem {
         Ok(system.into_report())
     }
 
+    /// One-call convenience for a streamed workload: build the system and
+    /// pull the source to exhaustion, never materializing the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and protocol-violating transaction
+    /// failures.
+    pub fn run_source(source: &mut dyn OpSource, config: &SystemConfig) -> Result<RunReport> {
+        let mut system = GrubSystem::new(config)?;
+        system.drive_source(source)?;
+        Ok(system.into_report())
+    }
+
     /// Like [`GrubSystem::run_trace`] with an explicit policy (offline
     /// optimal).
     ///
@@ -994,6 +1032,17 @@ impl GrubSystem {
     /// failures.
     pub fn drive(&mut self, trace: &Trace) -> Result<()> {
         self.driver.drive(&mut self.chain, trace)
+    }
+
+    /// Drives an operation stream to exhaustion (the streaming mirror of
+    /// [`GrubSystem::drive`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures and protocol-violating transaction
+    /// failures.
+    pub fn drive_source(&mut self, source: &mut dyn OpSource) -> Result<()> {
+        self.driver.drive_source(&mut self.chain, source)
     }
 
     /// Feeds a single trace operation, closing an epoch when due.
@@ -1370,6 +1419,27 @@ mod tests {
         let report = system.into_report();
         assert_eq!(report.failed_delivers(), 0);
         assert!(report.feed_gas_total() > 0);
+    }
+
+    #[test]
+    fn source_driven_run_is_byte_identical_to_trace_driven() {
+        // The ingestion refactor's ground truth at the single-feed layer:
+        // pulling the ops from a stream must mine the same chain — block
+        // for block, receipt for receipt — as replaying the materialized
+        // vector, partial trailing epoch included.
+        let workload = RatioWorkload::new("k", 2.0).seed(3);
+        let cfg = config(PolicyKind::Memoryless { k: 2 });
+        let mut from_trace = GrubSystem::new(&cfg).unwrap();
+        from_trace.drive(&workload.generate(11)).unwrap();
+        let mut from_source = GrubSystem::new(&cfg).unwrap();
+        from_source.drive_source(&mut workload.source(11)).unwrap();
+        assert_eq!(
+            from_trace.chain().chain_digest(),
+            from_source.chain().chain_digest()
+        );
+        let (a, b) = (from_trace.into_report(), from_source.into_report());
+        assert_eq!(a.feed_gas_total(), b.feed_gas_total());
+        assert_eq!(a.epochs.len(), b.epochs.len());
     }
 
     #[test]

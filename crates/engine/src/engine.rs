@@ -5,7 +5,7 @@ use grub_chain::{Address, Blockchain, ChainConfig, CommitGate, Transaction};
 use grub_core::system::{DriverIdentity, EpochDriver, StagedReads, StagedUpdate, SystemConfig};
 use grub_core::{GrubError, Result};
 use grub_gas::{checked_add_gas, checked_sub_gas, Layer};
-use grub_workload::Trace;
+use grub_workload::{OpSource, PeekableSource, Trace};
 
 use crate::executor::{ParallelExecutor, StageTask};
 use crate::report::{EngineReport, TenantReport};
@@ -221,7 +221,7 @@ impl TenantBudget {
 }
 
 /// One tenant's feed: a name, a full single-feed configuration, and the
-/// workload trace the engine will drive through it.
+/// workload *stream* the engine will pull through it.
 #[derive(Clone, Debug)]
 pub struct FeedSpec {
     /// Unique tenant name; determines the shard and the on-chain address
@@ -230,20 +230,33 @@ pub struct FeedSpec {
     /// The feed's own policy/epoch/preload configuration. (`chain` timing
     /// inside it is ignored — the engine's chain is shared.)
     pub config: SystemConfig,
-    /// The tenant's workload.
-    pub trace: Trace,
+    /// The tenant's workload, pulled one epoch per scheduler round. A
+    /// materialized [`Trace`] rides along as a
+    /// [`TraceSource`](grub_workload::TraceSource); generator sources
+    /// stream at O(1) trace-side memory.
+    pub source: Box<dyn OpSource>,
     /// Optional per-tenant Gas quota ([`TenantBudget`]); `None` schedules
     /// the feed every round unconditionally.
     pub budget: Option<TenantBudget>,
 }
 
 impl FeedSpec {
-    /// Builds a feed spec without a quota.
+    /// Builds a feed spec from a materialized trace (back-compat: the trace
+    /// is replayed as a stream).
     pub fn new(tenant: impl Into<String>, config: SystemConfig, trace: Trace) -> Self {
+        Self::from_source(tenant, config, Box::new(trace.into_source()))
+    }
+
+    /// Builds a feed spec from a streaming operation source.
+    pub fn from_source(
+        tenant: impl Into<String>,
+        config: SystemConfig,
+        source: Box<dyn OpSource>,
+    ) -> Self {
         FeedSpec {
             tenant: tenant.into(),
             config,
-            trace,
+            source,
             budget: None,
         }
     }
@@ -252,6 +265,14 @@ impl FeedSpec {
     pub fn with_budget(mut self, budget: TenantBudget) -> Self {
         self.budget = Some(budget);
         self
+    }
+
+    /// Materializes the spec's stream from its current position (cloning
+    /// the source, which stays untouched) — for tests and reports that
+    /// need op counts up front.
+    pub fn materialized(&self) -> Trace {
+        let mut fork = self.source.clone_box();
+        Trace::from_source(&mut fork)
     }
 }
 
@@ -287,8 +308,9 @@ struct FeedSlot {
     tenant: String,
     shard: usize,
     driver: EpochDriver,
-    trace: Trace,
-    cursor: usize,
+    /// The tenant's op stream with a one-op lookahead, so the scheduler's
+    /// exhaustion test never consumes an operation.
+    source: PeekableSource,
     batched_update_gas: u64,
     batched_deliver_gas: u64,
     budget: Option<TenantBudget>,
@@ -309,16 +331,16 @@ struct FeedSlot {
 
 impl FeedSlot {
     fn exhausted(&self) -> bool {
-        self.cursor >= self.trace.ops.len()
+        self.source.is_exhausted()
     }
 
-    /// Stages the next epoch's worth of trace operations into the driver —
-    /// the same [`EpochStage::ingest`](grub_core::system::EpochStage::ingest)
-    /// loop the parallel staging tasks run.
+    /// Pulls the next epoch's worth of operations from the stream into the
+    /// driver — the same
+    /// [`EpochStage::ingest`](grub_core::system::EpochStage::ingest) loop
+    /// the parallel staging tasks run. A parked feed is simply not pulled,
+    /// so its stream position never moves.
     fn ingest_epoch(&mut self) {
-        self.driver
-            .stage_mut()
-            .ingest(&self.trace, &mut self.cursor);
+        self.driver.stage_mut().ingest(&mut self.source);
     }
 
     /// The feed's cumulative share of shard batch transactions.
@@ -461,8 +483,7 @@ impl FeedEngine {
                 tenant: spec.tenant,
                 shard,
                 driver,
-                trace: spec.trace,
-                cursor: 0,
+                source: PeekableSource::new(spec.source),
                 batched_update_gas: 0,
                 batched_deliver_gas: 0,
                 budget: spec.budget,
@@ -702,19 +723,14 @@ impl FeedEngine {
             .enumerate()
             .map(|(idx, slot)| {
                 // Field-wise split: the task borrows only the Send-safe
-                // staging half and the trace cursor, disjointly per feed.
+                // staging half and the feed's own stream, disjointly per
+                // feed.
                 staging[idx].then(|| {
-                    let FeedSlot {
-                        driver,
-                        trace,
-                        cursor,
-                        ..
-                    } = slot;
+                    let FeedSlot { driver, source, .. } = slot;
                     StageTask {
                         feed: idx,
                         stage: driver.stage_mut(),
-                        trace,
-                        cursor,
+                        source,
                     }
                 })
             })
@@ -1057,7 +1073,7 @@ mod tests {
         let report = FeedEngine::run_specs(&EngineConfig::new(2), specs.clone()).unwrap();
         assert_eq!(report.tenants.len(), 3);
         for (tenant, s) in report.tenants.iter().zip(&specs) {
-            assert_eq!(tenant.run.total_ops(), s.trace.ops.len());
+            assert_eq!(tenant.run.total_ops(), s.materialized().ops.len());
             assert_eq!(tenant.run.failed_delivers(), 0);
         }
         assert!(report.rounds > 0);
@@ -1130,7 +1146,7 @@ mod tests {
                 RatioWorkload::new("free-key", 1.0).generate(12),
             ),
         ];
-        let total_ops: usize = specs.iter().map(|s| s.trace.ops.len()).sum();
+        let total_ops: usize = specs.iter().map(|s| s.materialized().ops.len()).sum();
         let report = FeedEngine::run_specs(&EngineConfig::new(1), specs).unwrap();
         assert_eq!(report.total_ops(), total_ops, "parked feed must complete");
         let budgeted = &report.tenants[0];

@@ -15,28 +15,29 @@
 
 use grub_core::system::{EpochStage, StagedUpdate};
 use grub_core::Result;
-use grub_workload::Trace;
+use grub_workload::PeekableSource;
 
 /// One feed's staging slice: disjoint `&mut` borrows of the feed's
-/// `Send`-safe staging half plus its trace position. Building a round's
-/// tasks splits every runnable [`FeedSlot`](crate::FeedEngine) field-wise,
-/// so the borrow checker proves the lanes are disjoint — no locks, no
-/// unsafe.
+/// `Send`-safe staging half plus its op stream. Building a round's tasks
+/// splits every runnable [`FeedSlot`](crate::FeedEngine) field-wise, so
+/// the borrow checker proves the lanes are disjoint — no locks, no unsafe.
+/// (Sources are `Send` by the `OpSource` contract, so a feed's stream
+/// travels to the worker with its staging half.)
 pub(crate) struct StageTask<'a> {
     /// Index of the feed in the engine's declaration-ordered slot table.
     pub(crate) feed: usize,
     pub(crate) stage: &'a mut EpochStage,
-    pub(crate) trace: &'a Trace,
-    pub(crate) cursor: &'a mut usize,
+    pub(crate) source: &'a mut PeekableSource,
 }
 
 impl StageTask<'_> {
-    /// Ingests one epoch's worth of trace operations and closes the
-    /// epoch's write path off-chain — the exact work the sequential
-    /// pipeline's staging step performs (same [`EpochStage::ingest`]
-    /// loop), on whichever thread the task was moved to.
+    /// Pulls one epoch's worth of operations from the feed's stream and
+    /// closes the epoch's write path off-chain — the exact work the
+    /// sequential pipeline's staging step performs (same
+    /// [`EpochStage::ingest`] loop), on whichever thread the task was
+    /// moved to.
     fn ingest_and_stage(&mut self) -> Result<StagedUpdate> {
-        self.stage.ingest(self.trace, self.cursor);
+        self.stage.ingest(self.source);
         self.stage.stage_update()
     }
 }

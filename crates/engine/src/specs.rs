@@ -6,6 +6,7 @@ use grub_core::policy::PolicyKind;
 use grub_core::system::SystemConfig;
 use grub_workload::multiplex::Multiplex;
 use grub_workload::ratio::RatioWorkload;
+use grub_workload::OpSource;
 
 use crate::FeedSpec;
 
@@ -29,7 +30,9 @@ pub fn demo_policies() -> Vec<PolicyKind> {
 /// Builds a Zipfian-skewed fleet of ratio-workload feeds: `total_ops` is
 /// apportioned over `tenants` tenants by [`Multiplex`] with θ = 0.99
 /// (tenant 0 hottest), and tenant `i` runs a [`RatioWorkload`] with
-/// `ratios[i % len]` under `policies[i % len]`.
+/// `ratios[i % len]` under `policies[i % len]`. Each feed carries a
+/// *streaming* source — the engine pulls it one epoch per round, never
+/// materializing the trace.
 ///
 /// # Panics
 ///
@@ -46,7 +49,7 @@ pub fn zipfian_ratio_specs(
     );
     Multiplex::new(tenants, total_ops)
         .zipfian(0.99)
-        .generate(|tenant, ops| {
+        .sources(|tenant, ops| {
             let ratio = ratios[tenant % ratios.len()];
             // Ops per write/read cycle of the ratio shape (see
             // RatioWorkload::cycle_shape): 0 → write-only.
@@ -57,17 +60,19 @@ pub fn zipfian_ratio_specs(
             } else {
                 (1.0 / ratio).round() as usize + 1
             };
-            RatioWorkload::new(format!("feed-{tenant}"), ratio)
-                .seed(tenant as u64 + 1)
-                .generate((ops / per_cycle).max(1))
+            Box::new(
+                RatioWorkload::new(format!("feed-{tenant}"), ratio)
+                    .seed(tenant as u64 + 1)
+                    .source((ops / per_cycle).max(1)),
+            ) as Box<dyn OpSource>
         })
         .into_iter()
         .enumerate()
-        .map(|(i, (tenant, trace))| {
-            FeedSpec::new(
+        .map(|(i, (tenant, source))| {
+            FeedSpec::from_source(
                 tenant,
                 SystemConfig::new(policies[i % policies.len()].clone()),
-                trace,
+                source,
             )
         })
         .collect()
@@ -81,16 +86,17 @@ mod tests {
     fn builder_handles_every_ratio_class_including_write_only() {
         let specs = zipfian_ratio_specs(6, 300, &[0.0, 0.25, 1.0, 16.0], &demo_policies());
         assert_eq!(specs.len(), 6);
+        let traces: Vec<_> = specs.iter().map(|s| s.materialized()).collect();
         // Tenant 0 uses ratio 0.0 (write-only) without dividing by zero.
-        assert_eq!(specs[0].trace.read_count(), 0);
-        assert!(specs[0].trace.write_count() > 0);
+        assert_eq!(traces[0].read_count(), 0);
+        assert!(traces[0].write_count() > 0);
         // Zipfian skew: the hot tenant out-traffics the tail.
-        assert!(specs[0].trace.ops.len() >= specs[5].trace.ops.len());
+        assert!(traces[0].ops.len() >= traces[5].ops.len());
         // Deterministic.
         let again = zipfian_ratio_specs(6, 300, &[0.0, 0.25, 1.0, 16.0], &demo_policies());
         for (a, b) in specs.iter().zip(&again) {
             assert_eq!(a.tenant, b.tenant);
-            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.materialized(), b.materialized());
         }
     }
 }

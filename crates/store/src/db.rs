@@ -267,6 +267,12 @@ impl Db {
             }
         };
         for table in self.l1.iter().chain(self.l0.iter()) {
+            // Skip tables whose key span cannot intersect the scan range.
+            if start.map(|s| table.reader.largest() < s).unwrap_or(false)
+                || end.map(|e| table.reader.smallest() >= e).unwrap_or(false)
+            {
+                continue;
+            }
             for TableEntry { key, seq, value } in table.reader.iter_all()? {
                 offer(&key, seq, value);
             }

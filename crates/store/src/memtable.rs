@@ -36,8 +36,10 @@ impl Memtable {
         self.approx_bytes += key.len() + value.as_ref().map(|v| v.len()).unwrap_or(0) + 24;
         self.entries += 1;
         let versions = self.map.entry(key).or_default();
-        // Writes arrive in increasing seq order; keep newest first.
-        versions.insert(0, Version { seq, value });
+        // Writes arrive in increasing seq order; append (O(1)) and read
+        // newest-to-oldest by reverse iteration — front-inserting here made
+        // every write to a hot key shift its whole version history.
+        versions.push(Version { seq, value });
     }
 
     /// Latest visible version of `key` at or below `seq_limit`.
@@ -48,6 +50,7 @@ impl Memtable {
         let versions = self.map.get(key)?;
         versions
             .iter()
+            .rev()
             .find(|v| v.seq <= seq_limit)
             .map(|v| v.value.as_ref())
     }
@@ -72,7 +75,7 @@ impl Memtable {
     pub fn iter_all(&self) -> impl Iterator<Item = (&Vec<u8>, &Version)> {
         self.map
             .iter()
-            .flat_map(|(k, versions)| versions.iter().map(move |v| (k, v)))
+            .flat_map(|(k, versions)| versions.iter().rev().map(move |v| (k, v)))
     }
 
     /// Keys in `[start, end)` visible at `seq_limit`, skipping tombstones.
@@ -89,6 +92,7 @@ impl Memtable {
             .filter_map(|(k, versions)| {
                 versions
                     .iter()
+                    .rev()
                     .find(|v| v.seq <= seq_limit)
                     .map(|v| (k.clone(), v.value.clone()))
             })

@@ -14,10 +14,13 @@
 //! Keys are append-only (`blk%08d`) — unlike the oracle trace, writes never
 //! overwrite existing records.
 
+use std::collections::VecDeque;
+
 use rand::distributions::{Distribution, WeightedIndex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::source::OpSource;
 use crate::{Op, Trace, ValueSpec};
 
 /// Paper Table 6: `(reads-after-write, weight out of 10 000)`.
@@ -101,43 +104,119 @@ impl BtcRelayTrace {
         format!("blk{h:08}")
     }
 
-    /// Samples the trace.
+    /// Samples the trace (materialized view of [`BtcRelayTrace::source`]).
     pub fn generate(&self) -> Trace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        Trace::from_source(&mut self.source())
+    }
+
+    /// Streams the trace lazily. The pending-burst schedule is a ring
+    /// buffer of `read_delay_blocks + 1` slots — bursts are due exactly
+    /// `read_delay_blocks` after their sampled block — so resident state is
+    /// O(delay), independent of `blocks`.
+    pub fn source(&self) -> BtcRelaySource {
         let weights: Vec<u32> = TABLE6_DISTRIBUTION.iter().map(|&(_, w)| w).collect();
-        let index = WeightedIndex::new(&weights).expect("static weights are valid");
-        // pending_reads[h] = number of 6-block read bursts ending at height h.
-        let mut pending: Vec<usize> = vec![0; self.blocks + self.read_delay_blocks + 1];
-        let mut ops = Vec::new();
-        for h in 0..self.blocks {
-            ops.push(Op::Write {
-                key: Self::block_key(h),
-                value: ValueSpec::new(self.header_len, self.seed ^ h as u64),
+        BtcRelaySource {
+            params: self.clone(),
+            rng: StdRng::seed_from_u64(self.seed),
+            index: WeightedIndex::new(&weights).expect("static weights are valid"),
+            pending: VecDeque::from(vec![0; self.read_delay_blocks + 1]),
+            height: 0,
+            reads_left: 0,
+            run_len: 0,
+            oldest: 0,
+        }
+    }
+}
+
+/// The streaming form of [`BtcRelayTrace`]: per block, one header write,
+/// then the read bursts due at that height — with the burst schedule kept
+/// in an O(delay) ring buffer instead of an O(blocks) vector.
+#[derive(Clone, Debug)]
+pub struct BtcRelaySource {
+    params: BtcRelayTrace,
+    rng: StdRng,
+    index: WeightedIndex,
+    /// `pending[d]` = bursts due `d` blocks from the current height; slot 0
+    /// is popped as each block's write is emitted.
+    pending: VecDeque<usize>,
+    /// Blocks whose writes have been emitted.
+    height: usize,
+    /// Reads still to emit for the just-written block's due bursts.
+    reads_left: usize,
+    /// Heights per burst at the current block (≤ [`SPV_CONFIRMATIONS`],
+    /// shorter near genesis).
+    run_len: usize,
+    /// First height of the current block's burst run.
+    oldest: usize,
+}
+
+impl OpSource for BtcRelaySource {
+    fn next_op(&mut self) -> Option<Op> {
+        if self.reads_left > 0 {
+            // Bursts at one height all read the same oldest..=newest run,
+            // so a single countdown cycling through the run suffices.
+            let total_before = self.reads_left;
+            self.reads_left -= 1;
+            let pos_in_run = (total_before - 1) % self.run_len;
+            // Reads emit oldest-first within each burst.
+            let offset = self.run_len - 1 - pos_in_run;
+            return Some(Op::Read {
+                key: BtcRelayTrace::block_key(self.oldest + offset),
             });
-            // Sample how many bursts will target this block, scaled by any
-            // intensity boost covering it.
-            let mut bursts = TABLE6_DISTRIBUTION[index.sample(&mut rng)].0 as f64;
-            for (range, mult) in &self.read_intensity {
-                if range.contains(&h) {
-                    bursts *= mult;
-                }
-            }
-            let bursts = bursts.floor() as usize
-                + usize::from(rng.gen_bool((bursts.fract()).clamp(0.0, 1.0)));
-            let due = (h + self.read_delay_blocks).min(pending.len() - 1);
-            pending[due] += bursts;
-            // Emit the read bursts that are due now.
-            for _ in 0..pending[h] {
-                let newest = h;
-                let oldest = newest.saturating_sub(SPV_CONFIRMATIONS - 1);
-                for height in oldest..=newest {
-                    ops.push(Op::Read {
-                        key: Self::block_key(height),
-                    });
-                }
+        }
+        if self.height >= self.params.blocks {
+            return None;
+        }
+        let h = self.height;
+        self.height += 1;
+        let op = Op::Write {
+            key: BtcRelayTrace::block_key(h),
+            value: ValueSpec::new(self.params.header_len, self.params.seed ^ h as u64),
+        };
+        // Sample how many bursts will target this block, scaled by any
+        // intensity boost covering it.
+        let mut bursts = TABLE6_DISTRIBUTION[self.index.sample(&mut self.rng)].0 as f64;
+        for (range, mult) in &self.params.read_intensity {
+            if range.contains(&h) {
+                bursts *= mult;
             }
         }
-        Trace { ops }
+        let bursts = bursts.floor() as usize
+            + usize::from(self.rng.gen_bool((bursts.fract()).clamp(0.0, 1.0)));
+        // Schedule at the delay offset, then pop the bursts due *now* —
+        // with delay 0 that slot is the one just incremented, matching the
+        // materialized schedule's same-block emission.
+        *self
+            .pending
+            .get_mut(self.params.read_delay_blocks)
+            .expect("ring holds delay+1 slots") += bursts;
+        let due = self.pending.pop_front().expect("ring is never empty");
+        self.pending.push_back(0);
+        let newest = h;
+        self.oldest = newest.saturating_sub(SPV_CONFIRMATIONS - 1);
+        self.run_len = newest - self.oldest + 1;
+        self.reads_left = due * self.run_len;
+        Some(op)
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        // Header writes are deterministic; burst counts are sampled, so no
+        // upper bound.
+        let writes_left = self.params.blocks - self.height.min(self.params.blocks);
+        (writes_left + self.reads_left, None)
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.params.seed);
+        self.pending = VecDeque::from(vec![0; self.params.read_delay_blocks + 1]);
+        self.height = 0;
+        self.reads_left = 0;
+        self.run_len = 0;
+        self.oldest = 0;
+    }
+
+    fn clone_box(&self) -> Box<dyn OpSource> {
+        Box::new(self.clone())
     }
 }
 
@@ -150,6 +229,34 @@ mod tests {
         assert_eq!(
             BtcRelayTrace::new().generate(),
             BtcRelayTrace::new().generate()
+        );
+    }
+
+    #[test]
+    fn source_matches_generate_and_replays() {
+        let builder = BtcRelayTrace::new()
+            .blocks(800)
+            .read_delay_blocks(24)
+            .boost_reads(300..600, 4.0)
+            .seed(21);
+        let mut source = builder.source();
+        let streamed = Trace::from_source(&mut source);
+        assert_eq!(streamed, builder.generate());
+        source.reset();
+        assert_eq!(Trace::from_source(&mut source), streamed, "replay");
+        // The ring buffer stays O(delay) no matter the block count.
+        assert_eq!(builder.source().pending.len(), 25);
+    }
+
+    #[test]
+    fn zero_delay_reads_land_in_their_own_block() {
+        let builder = BtcRelayTrace::new()
+            .blocks(400)
+            .read_delay_blocks(0)
+            .seed(3);
+        assert_eq!(
+            Trace::from_source(&mut builder.source()),
+            builder.generate()
         );
     }
 

@@ -19,6 +19,14 @@
 //! from any trace; [`multiplex`] splits a global op budget over N tenants
 //! (uniform or Zipfian activity skew) for multi-feed engine runs.
 //!
+//! Ingestion is pull-based: every generator streams its operations through
+//! the [`source::OpSource`] trait (seeded, deterministic, `Send`,
+//! replayable — see the [`source`] module docs for the contract), and the
+//! materialized [`Trace`] is a thin [`Trace::from_source`] /
+//! [`Trace::into_source`] adapter kept for back-compat and for offline
+//! algorithms. [`tempo`] reshapes a stream's read-arrival timing (bursty
+//! vs uniform) without changing its content.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,8 +45,12 @@ pub mod btcrelay;
 pub mod multiplex;
 pub mod oracle;
 pub mod ratio;
+pub mod source;
 pub mod stats;
+pub mod tempo;
 pub mod ycsb;
+
+pub use source::{OpSource, PeekableSource, TraceSource};
 
 use serde::{Deserialize, Serialize};
 

@@ -6,8 +6,12 @@
 //! long tail idles. [`Multiplex`] models that by allocating a total op
 //! budget over tenants — deterministically, by largest-remainder
 //! apportionment over the skew weights, so the same parameters always
-//! produce the same split — and then materializing one trace per tenant
-//! through a caller-supplied generator.
+//! produce the same split — and then handing each tenant's budget to a
+//! caller-supplied generator: [`Multiplex::generate`] materializes one
+//! trace per tenant, [`Multiplex::sources`] builds one streaming
+//! [`OpSource`] per tenant, and [`Multiplex::interleaved`] lazily merges
+//! the per-tenant sources into a single arrival stream by skew-weighted
+//! sampling ([`InterleaveSource`]).
 //!
 //! # Examples
 //!
@@ -23,7 +27,11 @@
 //! assert!(feeds[0].1.ops.len() > feeds[3].1.ops.len());
 //! ```
 
-use crate::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::source::OpSource;
+use crate::{Op, Trace};
 
 /// How the global op budget is distributed over tenants.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -77,23 +85,29 @@ impl Multiplex {
         format!("tenant-{i:02}")
     }
 
-    /// The per-tenant op budget: sums exactly to `total_ops`, allocated by
-    /// largest-remainder apportionment over the skew weights (ties broken
-    /// toward lower-indexed, i.e. hotter, tenants).
-    pub fn ops_per_tenant(&self) -> Vec<usize> {
-        let weights: Vec<f64> = match self.skew {
+    /// The tenants' skew weights: tenant `i`'s share of the total is
+    /// `weight(i) / Σ weight` (before integer apportionment).
+    pub fn weights(&self) -> Vec<f64> {
+        match self.skew {
             TenantSkew::Uniform => vec![1.0; self.tenants],
             TenantSkew::Zipfian { theta } => (0..self.tenants)
                 .map(|i| 1.0 / ((i + 1) as f64).powf(theta))
                 .collect(),
-        };
+        }
+    }
+
+    /// The per-tenant op budget: sums **exactly** to `total_ops`, allocated
+    /// by largest-remainder apportionment over the skew weights (ties
+    /// broken toward lower-indexed, i.e. hotter, tenants).
+    pub fn ops_per_tenant(&self) -> Vec<usize> {
+        let weights = self.weights();
         let total_weight: f64 = weights.iter().sum();
         let quotas: Vec<f64> = weights
             .iter()
             .map(|w| self.total_ops as f64 * w / total_weight)
             .collect();
         let mut out: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
-        let assigned: usize = out.iter().sum();
+        let mut assigned: usize = out.iter().sum();
         // Distribute the remainder by descending fractional part; sort is
         // stable, so equal fractions favor hotter tenants deterministically.
         let mut order: Vec<usize> = (0..self.tenants).collect();
@@ -102,9 +116,27 @@ impl Multiplex {
             let fb = quotas[b] - quotas[b].floor();
             fb.partial_cmp(&fa).expect("finite fractions")
         });
-        for &i in order.iter().take(self.total_ops - assigned) {
-            out[i] += 1;
+        // In exact arithmetic the remainder is < tenants, but extreme
+        // skews push the float quotas far enough that the floors can
+        // undershoot by more than one op per tenant — cycle the order so
+        // the budgets still sum exactly instead of silently dropping ops.
+        let mut top_up = order.iter().cycle();
+        while assigned < self.total_ops {
+            out[*top_up.next().expect("at least one tenant")] += 1;
+            assigned += 1;
         }
+        // The floors could only overshoot through float error (a quota
+        // rounding *up* past its exact value); trim coldest-first so an
+        // overshoot can never starve the hot tenants.
+        let mut trim = order.iter().rev().cycle();
+        while assigned > self.total_ops {
+            let &i = trim.next().expect("at least one tenant");
+            if out[i] > 0 {
+                out[i] -= 1;
+                assigned -= 1;
+            }
+        }
+        debug_assert_eq!(out.iter().sum::<usize>(), self.total_ops);
         out
     }
 
@@ -121,6 +153,154 @@ impl Multiplex {
             .enumerate()
             .map(|(i, ops)| (Self::tenant_name(i), generator(i, ops)))
             .collect()
+    }
+
+    /// The streaming counterpart of [`Multiplex::generate`]: one boxed
+    /// [`OpSource`] per tenant, budgets apportioned identically.
+    pub fn sources<F>(&self, mut generator: F) -> Vec<(String, Box<dyn OpSource>)>
+    where
+        F: FnMut(usize, usize) -> Box<dyn OpSource>,
+    {
+        self.ops_per_tenant()
+            .into_iter()
+            .enumerate()
+            .map(|(i, ops)| (Self::tenant_name(i), generator(i, ops)))
+            .collect()
+    }
+
+    /// Lazily merges the per-tenant sources into one arrival stream: each
+    /// pull samples the emitting tenant proportionally to the skew weights
+    /// (seeded, deterministic), so hot tenants' operations arrive more
+    /// often — the multi-tenant arrival process the round-robin vector API
+    /// could not express. Exhausted tenants drop out of the draw until
+    /// every source runs dry.
+    pub fn interleaved<F>(&self, seed: u64, generator: F) -> InterleaveSource
+    where
+        F: FnMut(usize, usize) -> Box<dyn OpSource>,
+    {
+        InterleaveSource::new(self.sources(generator), self.weights(), seed)
+    }
+}
+
+/// A lazy skew-weighted merge of per-tenant [`OpSource`]s
+/// (built by [`Multiplex::interleaved`]).
+///
+/// Each pull draws the emitting tenant from a cumulative-weight table
+/// (CDF) built **once** per alive-set — not by re-summing the harmonic
+/// weights on every draw — then binary-searches it. A lane is retired the
+/// moment its lookahead empties, so every RNG draw lands on a live lane
+/// and the table is rebuilt only when the alive set shrinks. Resident
+/// state is the lanes plus the CDF: O(tenants), independent of stream
+/// length.
+#[derive(Clone, Debug)]
+pub struct InterleaveSource {
+    lanes: Vec<(String, crate::PeekableSource)>,
+    weights: Vec<f64>,
+    seed: u64,
+    rng: StdRng,
+    /// `(cumulative weight, lane index)` over the alive lanes only.
+    cdf: Vec<(f64, usize)>,
+    total_weight: f64,
+}
+
+impl InterleaveSource {
+    /// Merges `lanes` with per-lane draw `weights` under a seeded RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane and weight counts differ or any weight is not a
+    /// finite positive number — a zero-weight lane could never be drawn,
+    /// so its operations would be silently lost while
+    /// [`OpSource::remaining_hint`] still counted them.
+    pub fn new(lanes: Vec<(String, Box<dyn OpSource>)>, weights: Vec<f64>, seed: u64) -> Self {
+        assert_eq!(lanes.len(), weights.len(), "one weight per lane");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be finite and > 0"
+        );
+        let mut source = InterleaveSource {
+            lanes: lanes
+                .into_iter()
+                .map(|(name, src)| (name, crate::PeekableSource::new(src)))
+                .collect(),
+            weights,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            cdf: Vec::new(),
+            total_weight: 0.0,
+        };
+        source.rebuild_cdf();
+        source
+    }
+
+    /// Rebuilds the cumulative table over the lanes with operations left —
+    /// called at construction, on reset, and whenever a lane runs dry.
+    fn rebuild_cdf(&mut self) {
+        self.cdf.clear();
+        self.total_weight = 0.0;
+        for (i, &w) in self.weights.iter().enumerate() {
+            if !self.lanes[i].1.is_exhausted() {
+                self.total_weight += w;
+                self.cdf.push((self.total_weight, i));
+            }
+        }
+    }
+
+    /// Like [`OpSource::next_op`], additionally reporting which tenant lane
+    /// emitted the operation.
+    pub fn next_tenant_op(&mut self) -> Option<(usize, Op)> {
+        if self.cdf.is_empty() {
+            return None;
+        }
+        let needle: f64 = self.rng.gen::<f64>() * self.total_weight;
+        let at = self
+            .cdf
+            .partition_point(|&(cum, _)| cum <= needle)
+            .min(self.cdf.len() - 1);
+        let lane = self.cdf[at].1;
+        let op = self.lanes[lane].1.next_op().expect("CDF holds live lanes");
+        if self.lanes[lane].1.is_exhausted() {
+            self.rebuild_cdf();
+        }
+        Some((lane, op))
+    }
+
+    /// The tenant name for a lane index returned by
+    /// [`InterleaveSource::next_tenant_op`].
+    pub fn tenant_name(&self, lane: usize) -> &str {
+        &self.lanes[lane].0
+    }
+}
+
+impl OpSource for InterleaveSource {
+    fn next_op(&mut self) -> Option<Op> {
+        self.next_tenant_op().map(|(_, op)| op)
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        let mut lo = 0usize;
+        let mut hi = Some(0usize);
+        for (_, lane) in &self.lanes {
+            let (l, h) = lane.remaining_hint();
+            lo += l;
+            hi = match (hi, h) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            };
+        }
+        (lo, hi)
+    }
+
+    fn reset(&mut self) {
+        for (_, lane) in &mut self.lanes {
+            lane.reset();
+        }
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.rebuild_cdf();
+    }
+
+    fn clone_box(&self) -> Box<dyn OpSource> {
+        Box::new(self.clone())
     }
 }
 
@@ -181,5 +361,117 @@ mod tests {
     #[should_panic(expected = "at least one tenant")]
     fn zero_tenants_rejected() {
         Multiplex::new(0, 10);
+    }
+
+    #[test]
+    fn budgets_sum_exactly_under_adversarial_tenant_counts() {
+        // Wide sweeps of tenant count, total, and skew — including tenants
+        // far exceeding the budget, single-op totals, zero totals, and
+        // extreme thetas whose float quotas are pure rounding noise.
+        for tenants in [1, 2, 3, 7, 64, 97, 1000, 4096] {
+            for total in [0usize, 1, 2, 7, 100, 12_345] {
+                for theta in [0.0, 0.5, 0.99, 1.2, 4.0, 12.0] {
+                    let split = Multiplex::new(tenants, total)
+                        .zipfian(theta)
+                        .ops_per_tenant();
+                    assert_eq!(split.len(), tenants);
+                    assert_eq!(
+                        split.iter().sum::<usize>(),
+                        total,
+                        "{tenants} tenants, {total} ops, theta {theta}"
+                    );
+                }
+                let uniform = Multiplex::new(tenants, total).ops_per_tenant();
+                assert_eq!(uniform.iter().sum::<usize>(), total);
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_merges_all_budgets_and_replays() {
+        let m = Multiplex::new(4, 400).zipfian(0.99);
+        let budgets = m.ops_per_tenant();
+        let mk = |tenant: usize, ops: usize| -> Box<dyn crate::OpSource> {
+            Box::new(
+                RatioWorkload::new(format!("key-{tenant}"), 1.0)
+                    .seed(tenant as u64)
+                    .source(ops / 2),
+            )
+        };
+        let mut merged = m.interleaved(42, mk);
+        let stream = crate::Trace::from_source(&mut merged);
+        // Every tenant's full budget arrives, nothing more.
+        let expected: usize = budgets.iter().map(|b| (b / 2) * 2).sum();
+        assert_eq!(stream.ops.len(), expected);
+        // Replay after reset is byte-identical.
+        merged.reset();
+        assert_eq!(crate::Trace::from_source(&mut merged), stream);
+        // Hot tenants lead: the first chunk of arrivals skews to tenant 0.
+        let hot_early = stream.ops[..40]
+            .iter()
+            .filter(|o| o.key() == "key-0")
+            .count();
+        assert!(
+            hot_early > 10,
+            "tenant 0 must dominate early arrivals, got {hot_early}/40"
+        );
+    }
+
+    #[test]
+    fn interleave_cdf_matches_per_draw_weight_recomputation() {
+        // The optimization contract: precomputing the cumulative weights
+        // once per alive-set must emit the *identical* tenant sequence a
+        // naive implementation gets by re-deriving the harmonic weights on
+        // every draw.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let tenants = 6;
+        let theta = 0.99f64;
+        let m = Multiplex::new(tenants, 600).zipfian(theta);
+        let budgets = m.ops_per_tenant();
+        let mk = |tenant: usize, ops: usize| -> Box<dyn crate::OpSource> {
+            Box::new(
+                RatioWorkload::new(format!("key-{tenant}"), 0.0)
+                    .seed(tenant as u64)
+                    .source(ops),
+            )
+        };
+        let mut fast = m.interleaved(7, mk);
+        let mut fast_lanes = Vec::new();
+        while let Some((lane, _)) = fast.next_tenant_op() {
+            fast_lanes.push(lane);
+        }
+
+        // Naive reference: recompute weights and their running sum on every
+        // draw over the currently-alive tenants.
+        let mut remaining: Vec<usize> = budgets.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut naive_lanes = Vec::new();
+        loop {
+            let weights: Vec<(usize, f64)> = (0..tenants)
+                .filter(|&i| remaining[i] > 0)
+                .map(|i| (i, 1.0 / ((i + 1) as f64).powf(theta)))
+                .collect();
+            let total: f64 = weights.iter().map(|&(_, w)| w).sum();
+            if total <= 0.0 {
+                break;
+            }
+            let needle = rng.gen::<f64>() * total;
+            let mut cum = 0.0;
+            let mut chosen = weights.last().expect("non-empty").0;
+            for &(i, w) in &weights {
+                cum += w;
+                if needle < cum {
+                    chosen = i;
+                    break;
+                }
+            }
+            remaining[chosen] -= 1;
+            naive_lanes.push(chosen);
+        }
+        assert_eq!(
+            fast_lanes, naive_lanes,
+            "precomputed CDF must not change the drawn tenant sequence"
+        );
     }
 }

@@ -15,6 +15,7 @@ use rand::distributions::{Distribution, WeightedIndex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::source::OpSource;
 use crate::{Op, Trace, ValueSpec};
 
 /// Paper Table 1: `(reads-after-write, per-mille weight)`.
@@ -101,32 +102,23 @@ impl OracleTrace {
         }
     }
 
-    /// Samples the trace.
+    /// Samples the trace (materialized view of [`OracleTrace::source`]).
     pub fn generate(&self) -> Trace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        Trace::from_source(&mut self.source())
+    }
+
+    /// Streams the trace lazily: resident state is the RNG, the Table 1
+    /// sampler, and three counters — independent of `writes`.
+    pub fn source(&self) -> OracleSource {
         let weights: Vec<u32> = TABLE1_DISTRIBUTION.iter().map(|&(_, w)| w).collect();
-        let index = WeightedIndex::new(&weights).expect("static weights are valid");
-        let mut ops = Vec::new();
-        let mut version = 0u64;
-        for _ in 0..self.writes {
-            version += 1;
-            for asset in 0..self.assets {
-                ops.push(Op::Write {
-                    key: Self::asset_key(asset),
-                    value: ValueSpec::new(
-                        self.record_len,
-                        self.seed ^ (version << 8) ^ asset as u64,
-                    ),
-                });
-            }
-            let reads = TABLE1_DISTRIBUTION[index.sample(&mut rng)].0;
-            for _ in 0..reads {
-                ops.push(Op::Read {
-                    key: Self::asset_key(0),
-                });
-            }
+        OracleSource {
+            params: self.clone(),
+            rng: StdRng::seed_from_u64(self.seed),
+            index: WeightedIndex::new(&weights).expect("static weights are valid"),
+            poke: 0,
+            asset_pos: self.assets,
+            reads_left: 0,
         }
-        Trace { ops }
     }
 
     /// A simulated Ether price series (geometric random walk), used by the
@@ -144,6 +136,75 @@ impl OracleTrace {
     }
 }
 
+/// The streaming form of [`OracleTrace`]: a state machine over
+/// (poke, asset position, reads remaining) that reproduces `generate()`'s
+/// exact RNG call order — one Table 1 sample per poke, drawn after the
+/// poke's writes are emitted.
+#[derive(Clone, Debug)]
+pub struct OracleSource {
+    params: OracleTrace,
+    rng: StdRng,
+    index: WeightedIndex,
+    /// Pokes started so far (the write version counter, 1-based once a
+    /// poke's writes begin).
+    poke: u64,
+    /// Assets already emitted for the current poke.
+    asset_pos: usize,
+    /// Reads remaining after the current poke.
+    reads_left: usize,
+}
+
+impl OpSource for OracleSource {
+    fn next_op(&mut self) -> Option<Op> {
+        if self.asset_pos < self.params.assets {
+            let asset = self.asset_pos;
+            self.asset_pos += 1;
+            if self.asset_pos == self.params.assets {
+                self.reads_left = TABLE1_DISTRIBUTION[self.index.sample(&mut self.rng)].0;
+            }
+            return Some(Op::Write {
+                key: OracleTrace::asset_key(asset),
+                value: ValueSpec::new(
+                    self.params.record_len,
+                    self.params.seed ^ (self.poke << 8) ^ asset as u64,
+                ),
+            });
+        }
+        if self.reads_left > 0 {
+            self.reads_left -= 1;
+            return Some(Op::Read {
+                key: OracleTrace::asset_key(0),
+            });
+        }
+        if self.poke as usize >= self.params.writes {
+            return None;
+        }
+        self.poke += 1;
+        self.asset_pos = 0;
+        self.next_op()
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        // Writes remaining are exact; read counts are sampled, so no upper
+        // bound.
+        let pokes_left = self.params.writes - (self.poke as usize).min(self.params.writes);
+        let writes_left = pokes_left * self.params.assets
+            + (self.params.assets - self.asset_pos.min(self.params.assets));
+        (writes_left + self.reads_left, None)
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.params.seed);
+        self.poke = 0;
+        self.asset_pos = self.params.assets;
+        self.reads_left = 0;
+    }
+
+    fn clone_box(&self) -> Box<dyn OpSource> {
+        Box::new(self.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +215,20 @@ mod tests {
         let a = OracleTrace::new().generate();
         let b = OracleTrace::new().generate();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn source_matches_generate_and_replays() {
+        let builder = OracleTrace::new().writes(200).assets(3).seed(77);
+        let mut source = builder.source();
+        let streamed = Trace::from_source(&mut source);
+        assert_eq!(streamed, builder.generate());
+        source.reset();
+        assert_eq!(Trace::from_source(&mut source), streamed, "replay");
+        // The hint's lower bound counts the deterministic writes.
+        let fresh = builder.source();
+        assert!(fresh.remaining_hint().0 >= 200 * 3);
+        assert_eq!(fresh.remaining_hint().1, None, "reads are sampled");
     }
 
     #[test]

@@ -3,7 +3,14 @@
 //! Each workload is "a repeated sequence of X1 writes followed by X2 reads"
 //! under a single key. Ratios below one mean several writes per read (the
 //! paper sweeps 0, 0.125, 0.5, 1, 4, 16, 64, 256).
+//!
+//! Both generators here are *sources first*: [`RatioWorkload::source`] and
+//! [`MultiKeyRatio::source`] stream their operations lazily under the
+//! [`OpSource`] contract, and the `generate()` vector APIs are thin
+//! [`Trace::from_source`] adapters over them — so streamed and materialized
+//! runs are byte-identical by construction.
 
+use crate::source::OpSource;
 use crate::{Op, Trace, ValueSpec};
 
 /// Generator for fixed-ratio single-key workloads.
@@ -57,26 +64,193 @@ impl RatioWorkload {
         }
     }
 
-    /// Generates `cycles` repetitions.
+    /// Generates `cycles` repetitions (materialized view of
+    /// [`RatioWorkload::source`]).
     pub fn generate(&self, cycles: usize) -> Trace {
-        let (writes, reads) = self.cycle_shape();
-        let mut ops = Vec::with_capacity(cycles * (writes + reads));
-        let mut version = 0u64;
-        for _ in 0..cycles {
-            for _ in 0..writes {
-                version += 1;
-                ops.push(Op::Write {
-                    key: self.key.clone(),
-                    value: ValueSpec::new(self.value_len, self.seed.wrapping_add(version)),
-                });
+        Trace::from_source(&mut self.source(cycles))
+    }
+
+    /// Streams `cycles` repetitions lazily: O(1) state regardless of trace
+    /// length.
+    pub fn source(&self, cycles: usize) -> RatioSource {
+        RatioSource {
+            workload: self.clone(),
+            cycles,
+            cycle: 0,
+            pos: 0,
+            version: 0,
+        }
+    }
+}
+
+/// The streaming form of [`RatioWorkload`]: one `(cycle, position)` cursor
+/// and a write-version counter — constant memory for any trace length.
+#[derive(Clone, Debug)]
+pub struct RatioSource {
+    workload: RatioWorkload,
+    cycles: usize,
+    cycle: usize,
+    pos: usize,
+    version: u64,
+}
+
+impl OpSource for RatioSource {
+    fn next_op(&mut self) -> Option<Op> {
+        let (writes, reads) = self.workload.cycle_shape();
+        if self.cycle >= self.cycles {
+            return None;
+        }
+        let op = if self.pos < writes {
+            self.version += 1;
+            Op::Write {
+                key: self.workload.key.clone(),
+                value: ValueSpec::new(
+                    self.workload.value_len,
+                    self.workload.seed.wrapping_add(self.version),
+                ),
             }
-            for _ in 0..reads {
-                ops.push(Op::Read {
-                    key: self.key.clone(),
-                });
+        } else {
+            Op::Read {
+                key: self.workload.key.clone(),
+            }
+        };
+        self.pos += 1;
+        if self.pos == writes + reads {
+            self.pos = 0;
+            self.cycle += 1;
+        }
+        Some(op)
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        let (writes, reads) = self.workload.cycle_shape();
+        let per_cycle = writes + reads;
+        let total = self.cycles * per_cycle;
+        let emitted = self.cycle * per_cycle + self.pos;
+        let n = total - emitted;
+        (n, Some(n))
+    }
+
+    fn reset(&mut self) {
+        self.cycle = 0;
+        self.pos = 0;
+        self.version = 0;
+    }
+
+    fn clone_box(&self) -> Box<dyn OpSource> {
+        Box::new(self.clone())
+    }
+}
+
+/// A multi-key ratio mix: each key in a set runs its *own* read/write
+/// ratio, and the merged stream interleaves them one operation per key per
+/// turn (keys whose cycles complete drop out of the rotation once they
+/// finish their budget).
+///
+/// This is the first workload dimension native to the ingestion layer: the
+/// per-key cycle cursors are the entire state, so a mix over thousands of
+/// keys streams at O(keys) memory where the vector API would materialize
+/// the full cross-product.
+#[derive(Clone, Debug)]
+pub struct MultiKeyRatio {
+    entries: Vec<(String, f64)>,
+    value_len: usize,
+    seed: u64,
+}
+
+impl MultiKeyRatio {
+    /// A mix over `(key, ratio)` pairs with 32-byte values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or any ratio is negative/non-finite.
+    pub fn new(entries: Vec<(String, f64)>) -> Self {
+        assert!(!entries.is_empty(), "need at least one key");
+        for (key, ratio) in &entries {
+            assert!(
+                ratio.is_finite() && *ratio >= 0.0,
+                "ratio for {key} must be ≥ 0"
+            );
+        }
+        MultiKeyRatio {
+            entries,
+            value_len: 32,
+            seed: 1,
+        }
+    }
+
+    /// Sets the record size in bytes.
+    pub fn value_len(mut self, len: usize) -> Self {
+        self.value_len = len;
+        self
+    }
+
+    /// Sets the value seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Streams `cycles` full cycles *per key*, interleaved round-robin one
+    /// op per live key.
+    pub fn source(&self, cycles: usize) -> MultiKeyRatioSource {
+        let lanes = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, (key, ratio))| {
+                RatioWorkload::new(key.clone(), *ratio)
+                    .value_len(self.value_len)
+                    // Distinct per-key value streams: offset the seed by the
+                    // lane index so same-length values never collide.
+                    .seed(self.seed.wrapping_add((i as u64) << 32))
+                    .source(cycles)
+            })
+            .collect();
+        MultiKeyRatioSource { lanes, turn: 0 }
+    }
+
+    /// Materialized view of [`MultiKeyRatio::source`].
+    pub fn generate(&self, cycles: usize) -> Trace {
+        Trace::from_source(&mut self.source(cycles))
+    }
+}
+
+/// The streaming form of [`MultiKeyRatio`]: one [`RatioSource`] lane per
+/// key plus a rotation cursor.
+#[derive(Clone, Debug)]
+pub struct MultiKeyRatioSource {
+    lanes: Vec<RatioSource>,
+    turn: usize,
+}
+
+impl OpSource for MultiKeyRatioSource {
+    fn next_op(&mut self) -> Option<Op> {
+        // One full rotation is enough: a lane either yields or is exhausted.
+        for _ in 0..self.lanes.len() {
+            let lane = self.turn % self.lanes.len();
+            self.turn = (self.turn + 1) % self.lanes.len();
+            if let Some(op) = self.lanes[lane].next_op() {
+                return Some(op);
             }
         }
-        Trace { ops }
+        None
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        let n: usize = self.lanes.iter().map(|l| l.remaining_hint().0).sum();
+        (n, Some(n))
+    }
+
+    fn reset(&mut self) {
+        for lane in &mut self.lanes {
+            lane.reset();
+        }
+        self.turn = 0;
+    }
+
+    fn clone_box(&self) -> Box<dyn OpSource> {
+        Box::new(self.clone())
     }
 }
 
@@ -135,5 +309,63 @@ mod tests {
     #[should_panic(expected = "ratio must be ≥ 0")]
     fn negative_ratio_rejected() {
         RatioWorkload::new("k", -1.0);
+    }
+
+    #[test]
+    fn source_streams_exactly_what_generate_materializes() {
+        for ratio in [0.0, 0.125, 1.0, 4.0] {
+            let w = RatioWorkload::new("k", ratio).seed(9);
+            let mut source = w.source(7);
+            let (lo, hi) = source.remaining_hint();
+            assert_eq!(Some(lo), hi, "ratio sources know their exact length");
+            let streamed = Trace::from_source(&mut source);
+            assert_eq!(streamed, w.generate(7));
+            assert_eq!(streamed.ops.len(), lo);
+            source.reset();
+            assert_eq!(Trace::from_source(&mut source), streamed, "replay");
+        }
+    }
+
+    #[test]
+    fn multi_key_mix_interleaves_per_key_ratios() {
+        let mix = MultiKeyRatio::new(vec![
+            ("hot".into(), 4.0),
+            ("cold".into(), 0.0),
+            ("warm".into(), 1.0),
+        ]);
+        let trace = mix.generate(4);
+        // Per key: hot = 4×(1w+4r) = 20 ops, cold = 4×1w, warm = 4×2.
+        assert_eq!(trace.ops.len(), 20 + 4 + 8);
+        assert_eq!(trace.write_count(), 4 + 4 + 4);
+        // The stream interleaves: the first three ops touch three keys.
+        let first: Vec<&str> = trace.ops[..3].iter().map(|o| o.key()).collect();
+        assert_eq!(first, vec!["hot", "cold", "warm"]);
+        // Streamed == materialized, and replay is identical.
+        let mut source = mix.source(4);
+        assert_eq!(Trace::from_source(&mut source), trace);
+        source.reset();
+        assert_eq!(Trace::from_source(&mut source), trace);
+    }
+
+    #[test]
+    fn multi_key_mix_value_streams_are_distinct_per_key() {
+        let mix = MultiKeyRatio::new(vec![("a".into(), 0.0), ("b".into(), 0.0)]);
+        let trace = mix.generate(1);
+        let values: Vec<Vec<u8>> = trace
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Write { value, .. } => Some(value.materialize()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values.len(), 2);
+        assert_ne!(values[0], values[1], "per-lane seeds must differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one key")]
+    fn empty_mix_rejected() {
+        MultiKeyRatio::new(Vec::new());
     }
 }

@@ -1,0 +1,275 @@
+//! The pull-based ingestion layer: [`OpSource`], the workspace-wide
+//! contract for streaming operations into the system.
+//!
+//! The paper's online policies (§4) are defined over an *unbounded* stream
+//! of reads and writes, but a materialized [`Trace`] caps experiment length
+//! at available memory. An [`OpSource`] inverts the dataflow: consumers
+//! *pull* one operation at a time from a seeded deterministic generator, so
+//! a million-op (or endless) workload runs at O(1) trace-side memory —
+//! only the generator's own bounded state is resident.
+//!
+//! # The contract
+//!
+//! Every implementation must be
+//!
+//! * **deterministic** — the emitted sequence is a pure function of the
+//!   generator's construction parameters (seed included). No wall clock, no
+//!   global state;
+//! * **replayable** — [`OpSource::reset`] rewinds to the first operation,
+//!   and a replay yields the byte-identical sequence (asserted for every
+//!   generator in `tests/streaming.rs`);
+//! * **`Send`** — the multi-tenant engine stages feeds on worker threads,
+//!   and a feed's source travels with its staging half;
+//! * **cloneable** — [`OpSource::clone_box`] snapshots the source *at its
+//!   current position*, which is what lets schedulers fork speculative
+//!   replicas and lets [`Trace::from_source`] stay a pure adapter.
+//!
+//! [`Trace`] remains the materialized view for back-compat and for
+//! algorithms that genuinely need the whole sequence up front (the
+//! offline-optimal reference): [`Trace::from_source`] drains a source into
+//! a vector, [`Trace::into_source`] replays a vector as a stream.
+
+use crate::{Op, Trace};
+
+/// A pull-based, seeded, deterministic stream of feed operations.
+///
+/// See the [module docs](self) for the determinism/replay contract.
+pub trait OpSource: Send + std::fmt::Debug {
+    /// Produces the next operation, or `None` once the stream is exhausted.
+    /// After returning `None`, every further call returns `None` until
+    /// [`OpSource::reset`].
+    fn next_op(&mut self) -> Option<Op>;
+
+    /// `(lower, upper)` bounds on the number of operations remaining, in
+    /// [`Iterator::size_hint`] convention: the lower bound is always safe,
+    /// `Some(upper)` is exact-or-over. Generators that sample their read
+    /// counts (oracle, BtcRelay) cannot give an exact upper bound; purely
+    /// arithmetic generators (ratio) return `(n, Some(n))`.
+    fn remaining_hint(&self) -> (usize, Option<usize>);
+
+    /// Rewinds the stream to its first operation. A replay after `reset`
+    /// emits the byte-identical sequence the source emitted from
+    /// construction — the replay contract every implementation is tested
+    /// against.
+    fn reset(&mut self);
+
+    /// Clones the source — including its current position — behind a fresh
+    /// box. (Object-safe stand-in for `Clone`.)
+    fn clone_box(&self) -> Box<dyn OpSource>;
+}
+
+impl Clone for Box<dyn OpSource> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+impl OpSource for Box<dyn OpSource> {
+    fn next_op(&mut self) -> Option<Op> {
+        (**self).next_op()
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        (**self).remaining_hint()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn clone_box(&self) -> Box<dyn OpSource> {
+        (**self).clone_box()
+    }
+}
+
+/// A materialized [`Trace`] replayed as a stream — the back-compat bridge
+/// from the vector world into the ingestion layer.
+#[derive(Clone, Debug)]
+pub struct TraceSource {
+    trace: Trace,
+    cursor: usize,
+}
+
+impl TraceSource {
+    /// Wraps a trace; the stream starts at its first operation.
+    pub fn new(trace: Trace) -> Self {
+        TraceSource { trace, cursor: 0 }
+    }
+
+    /// The operations not yet emitted.
+    pub fn remaining_ops(&self) -> usize {
+        self.trace.ops.len() - self.cursor
+    }
+}
+
+impl OpSource for TraceSource {
+    fn next_op(&mut self) -> Option<Op> {
+        let op = self.trace.ops.get(self.cursor).cloned();
+        if op.is_some() {
+            self.cursor += 1;
+        }
+        op
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining_ops();
+        (n, Some(n))
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    fn clone_box(&self) -> Box<dyn OpSource> {
+        Box::new(self.clone())
+    }
+}
+
+/// A one-op-lookahead wrapper giving any boxed source a *non-consuming*
+/// exhaustion test — what round-based schedulers need to decide "does this
+/// feed still have work?" without advancing the stream past the answer.
+///
+/// The lookahead op is part of the stream, not a copy: [`next_op`] hands it
+/// out first and refills from the inner source.
+///
+/// [`next_op`]: OpSource::next_op
+#[derive(Clone, Debug)]
+pub struct PeekableSource {
+    inner: Box<dyn OpSource>,
+    lookahead: Option<Op>,
+}
+
+impl PeekableSource {
+    /// Wraps a source, immediately pulling the first op into the lookahead.
+    pub fn new(mut inner: Box<dyn OpSource>) -> Self {
+        let lookahead = inner.next_op();
+        PeekableSource { inner, lookahead }
+    }
+
+    /// Whether the stream has no operations left — `&self`, does not
+    /// consume.
+    pub fn is_exhausted(&self) -> bool {
+        self.lookahead.is_none()
+    }
+
+    /// The next operation without consuming it.
+    pub fn peek(&self) -> Option<&Op> {
+        self.lookahead.as_ref()
+    }
+}
+
+impl OpSource for PeekableSource {
+    fn next_op(&mut self) -> Option<Op> {
+        let out = self.lookahead.take()?;
+        self.lookahead = self.inner.next_op();
+        Some(out)
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        let (lo, hi) = self.inner.remaining_hint();
+        let buffered = usize::from(self.lookahead.is_some());
+        (lo + buffered, hi.map(|h| h + buffered))
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.lookahead = self.inner.next_op();
+    }
+
+    fn clone_box(&self) -> Box<dyn OpSource> {
+        Box::new(self.clone())
+    }
+}
+
+impl Trace {
+    /// Drains a source to exhaustion into a materialized trace.
+    ///
+    /// The adapter direction used by every legacy `generate()`: the
+    /// streaming source is the single implementation, and the vector API is
+    /// a view over it — which is what makes streamed and materialized runs
+    /// byte-identical by construction.
+    pub fn from_source(source: &mut dyn OpSource) -> Trace {
+        let mut ops = Vec::with_capacity(source.remaining_hint().0);
+        while let Some(op) = source.next_op() {
+            ops.push(op);
+        }
+        Trace { ops }
+    }
+
+    /// Replays this trace as a stream (the other adapter direction).
+    pub fn into_source(self) -> TraceSource {
+        TraceSource::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ValueSpec;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            ops: vec![
+                Op::Write {
+                    key: "a".into(),
+                    value: ValueSpec::new(8, 1),
+                },
+                Op::Read { key: "a".into() },
+                Op::Read { key: "a".into() },
+            ],
+        }
+    }
+
+    #[test]
+    fn op_source_is_object_safe_and_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Box<dyn OpSource>>();
+        assert_send::<TraceSource>();
+        assert_send::<PeekableSource>();
+    }
+
+    #[test]
+    fn trace_round_trips_through_source() {
+        let trace = sample_trace();
+        let mut source = trace.clone().into_source();
+        assert_eq!(source.remaining_hint(), (3, Some(3)));
+        let back = Trace::from_source(&mut source);
+        assert_eq!(back, trace);
+        assert_eq!(source.remaining_hint(), (0, Some(0)));
+        assert_eq!(source.next_op(), None, "exhausted stays exhausted");
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        let mut source = sample_trace().into_source();
+        let first = Trace::from_source(&mut source);
+        source.reset();
+        let second = Trace::from_source(&mut source);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn clone_box_snapshots_position() {
+        let mut source = sample_trace().into_source();
+        source.next_op();
+        let mut fork = source.clone_box();
+        assert_eq!(fork.remaining_hint(), (2, Some(2)));
+        assert_eq!(Trace::from_source(&mut fork).ops.len(), 2);
+        // The original is unaffected by the fork's progress.
+        assert_eq!(source.remaining_hint(), (2, Some(2)));
+    }
+
+    #[test]
+    fn peekable_exhaustion_is_non_consuming() {
+        let mut peek = PeekableSource::new(Box::new(sample_trace().into_source()));
+        assert!(!peek.is_exhausted());
+        assert!(peek.peek().is_some());
+        assert_eq!(peek.remaining_hint(), (3, Some(3)));
+        let drained = Trace::from_source(&mut peek);
+        assert_eq!(drained, sample_trace());
+        assert!(peek.is_exhausted());
+        peek.reset();
+        assert!(!peek.is_exhausted());
+        assert_eq!(Trace::from_source(&mut peek), sample_trace());
+    }
+}

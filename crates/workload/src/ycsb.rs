@@ -20,6 +20,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::source::OpSource;
 use crate::{Op, Trace, ValueSpec};
 
 /// The YCSB zipfian constant θ.
@@ -131,7 +132,7 @@ pub fn preload(record_count: u64, record_len: usize, seed: u64) -> Vec<(String, 
 
 /// Generator state shared across phases so inserts keep growing the
 /// keyspace (as YCSB's transaction-insert sequence does).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct YcsbRunner {
     record_count: u64,
     record_len: usize,
@@ -193,65 +194,90 @@ impl YcsbRunner {
         }
     }
 
-    /// Generates `ops` operations of workload `kind`, advancing shared
-    /// state.
+    /// One YCSB transaction of workload `kind`: usually one operation, two
+    /// for F's read-modify-write (read then write of the same key). The
+    /// single step every surface shares — `generate()` materializes it in a
+    /// loop, [`YcsbSource`] streams it — so vector and stream cannot drift.
+    pub fn step(&mut self, kind: YcsbKind) -> (Op, Option<Op>) {
+        let p: f64 = self.rng.gen();
+        let op = match kind {
+            YcsbKind::A => {
+                if p < 0.5 {
+                    self.read_op()
+                } else {
+                    self.update_op()
+                }
+            }
+            YcsbKind::B => {
+                if p < 0.95 {
+                    self.read_op()
+                } else {
+                    self.update_op()
+                }
+            }
+            YcsbKind::C => self.read_op(),
+            YcsbKind::D => {
+                if p < 0.95 {
+                    let key = ycsb_key(self.latest_key());
+                    Op::Read { key }
+                } else {
+                    self.insert_op()
+                }
+            }
+            YcsbKind::E => {
+                if p < 0.95 {
+                    let start = self.scrambled_zipfian_key();
+                    let len = self.rng.gen_range(1..=self.max_scan_len);
+                    Op::Scan {
+                        start_key: ycsb_key(start),
+                        len,
+                    }
+                } else {
+                    self.insert_op()
+                }
+            }
+            YcsbKind::F => {
+                if p < 0.5 {
+                    self.read_op()
+                } else {
+                    // Read-modify-write touches the same key twice.
+                    let key = ycsb_key(self.scrambled_zipfian_key());
+                    let write = Op::Write {
+                        key: key.clone(),
+                        value: self.fresh_value(),
+                    };
+                    return (Op::Read { key }, Some(write));
+                }
+            }
+        };
+        (op, None)
+    }
+
+    /// Generates `ops` transactions of workload `kind`, advancing shared
+    /// state. (F's read-modify-write emits two operations per transaction,
+    /// as YCSB's core does, so the trace may be longer than `ops`.)
     pub fn generate(&mut self, kind: YcsbKind, ops: usize) -> Trace {
         let mut out = Vec::with_capacity(ops);
         for _ in 0..ops {
-            let p: f64 = self.rng.gen();
-            let op = match kind {
-                YcsbKind::A => {
-                    if p < 0.5 {
-                        self.read_op()
-                    } else {
-                        self.update_op()
-                    }
-                }
-                YcsbKind::B => {
-                    if p < 0.95 {
-                        self.read_op()
-                    } else {
-                        self.update_op()
-                    }
-                }
-                YcsbKind::C => self.read_op(),
-                YcsbKind::D => {
-                    if p < 0.95 {
-                        let key = ycsb_key(self.latest_key());
-                        Op::Read { key }
-                    } else {
-                        self.insert_op()
-                    }
-                }
-                YcsbKind::E => {
-                    if p < 0.95 {
-                        let start = self.scrambled_zipfian_key();
-                        let len = self.rng.gen_range(1..=self.max_scan_len);
-                        Op::Scan {
-                            start_key: ycsb_key(start),
-                            len,
-                        }
-                    } else {
-                        self.insert_op()
-                    }
-                }
-                YcsbKind::F => {
-                    if p < 0.5 {
-                        self.read_op()
-                    } else {
-                        // Read-modify-write touches the same key twice.
-                        let key = ycsb_key(self.scrambled_zipfian_key());
-                        out.push(Op::Read { key: key.clone() });
-                        Op::Write {
-                            key,
-                            value: self.fresh_value(),
-                        }
-                    }
-                }
-            };
-            out.push(op);
+            let (first, second) = self.step(kind);
+            out.push(first);
+            out.extend(second);
         }
         Trace { ops: out }
+    }
+
+    /// Consumes the runner into a phased streaming source: each
+    /// `(kind, transactions)` phase runs in order against the shared
+    /// keyspace state, one pulled operation at a time.
+    pub fn into_source(self, phases: Vec<(YcsbKind, usize)>) -> YcsbSource {
+        YcsbSource {
+            initial: self.clone(),
+            runner: self,
+            phases,
+            phase: 0,
+            done_in_phase: 0,
+            pending: None,
+        }
     }
 
     fn read_op(&mut self) -> Op {
@@ -268,20 +294,80 @@ impl YcsbRunner {
     }
 }
 
+/// The streaming form of [`YcsbRunner`]: phased like
+/// [`mixed_trace`], with F's second (write) operation buffered one pull —
+/// resident state is the runner plus at most one pending op, independent of
+/// phase lengths.
+#[derive(Clone, Debug)]
+pub struct YcsbSource {
+    /// The runner as constructed — what [`OpSource::reset`] restores.
+    initial: YcsbRunner,
+    runner: YcsbRunner,
+    phases: Vec<(YcsbKind, usize)>,
+    phase: usize,
+    done_in_phase: usize,
+    /// F's read-modify-write second half, awaiting the next pull.
+    pending: Option<Op>,
+}
+
+impl OpSource for YcsbSource {
+    fn next_op(&mut self) -> Option<Op> {
+        if let Some(op) = self.pending.take() {
+            return Some(op);
+        }
+        while let Some(&(kind, ops)) = self.phases.get(self.phase) {
+            if self.done_in_phase < ops {
+                self.done_in_phase += 1;
+                let (first, second) = self.runner.step(kind);
+                self.pending = second;
+                return Some(first);
+            }
+            self.phase += 1;
+            self.done_in_phase = 0;
+        }
+        None
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        // One op per remaining transaction is a safe lower bound; F's RMW
+        // pairs can double it, so the upper bound reflects that.
+        let txs: usize = self
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, ops))| match i.cmp(&self.phase) {
+                std::cmp::Ordering::Less => 0,
+                std::cmp::Ordering::Equal => ops - self.done_in_phase.min(ops),
+                std::cmp::Ordering::Greater => ops,
+            })
+            .sum();
+        let buffered = usize::from(self.pending.is_some());
+        (txs + buffered, Some(2 * txs + buffered))
+    }
+
+    fn reset(&mut self) {
+        self.runner = self.initial.clone();
+        self.phase = 0;
+        self.done_in_phase = 0;
+        self.pending = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn OpSource> {
+        Box::new(self.clone())
+    }
+}
+
 /// Convenience: a phased mix like the paper's "Workload A, B" experiments —
-/// each `(kind, ops)` phase runs in order against shared state.
+/// each `(kind, ops)` phase runs in order against shared state
+/// (materialized view of [`YcsbRunner::into_source`]).
 pub fn mixed_trace(
     record_count: u64,
     record_len: usize,
     seed: u64,
     phases: &[(YcsbKind, usize)],
 ) -> Trace {
-    let mut runner = YcsbRunner::new(record_count, record_len, seed);
-    let mut trace = Trace::new();
-    for &(kind, ops) in phases {
-        trace.extend(runner.generate(kind, ops));
-    }
-    trace
+    let runner = YcsbRunner::new(record_count, record_len, seed);
+    Trace::from_source(&mut runner.into_source(phases.to_vec()))
 }
 
 #[cfg(test)]
@@ -413,5 +499,35 @@ mod tests {
         let a = mixed_trace(512, 32, 11, &[(YcsbKind::A, 500)]);
         let b = mixed_trace(512, 32, 11, &[(YcsbKind::A, 500)]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn source_matches_phased_generate_for_every_kind() {
+        for kind in [
+            YcsbKind::A,
+            YcsbKind::B,
+            YcsbKind::C,
+            YcsbKind::D,
+            YcsbKind::E,
+            YcsbKind::F,
+        ] {
+            let mut runner = YcsbRunner::new(256, 32, 23);
+            let expected = runner.generate(kind, 300);
+            let mut source = YcsbRunner::new(256, 32, 23).into_source(vec![(kind, 300)]);
+            assert_eq!(Trace::from_source(&mut source), expected, "{kind:?}");
+            source.reset();
+            assert_eq!(Trace::from_source(&mut source), expected, "{kind:?} replay");
+        }
+    }
+
+    #[test]
+    fn source_spans_phases_with_shared_state() {
+        let phases = [(YcsbKind::F, 120), (YcsbKind::D, 120)];
+        let expected = mixed_trace(128, 32, 31, &phases);
+        let mut source = YcsbRunner::new(128, 32, 31).into_source(phases.to_vec());
+        let (lo, hi) = source.remaining_hint();
+        let streamed = Trace::from_source(&mut source);
+        assert_eq!(streamed, expected);
+        assert!(lo <= streamed.ops.len() && streamed.ops.len() <= hi.unwrap());
     }
 }

@@ -4,13 +4,16 @@
 //!
 //! Eight tenants with Zipfian activity skew (tenant-00 is the hot feed, the
 //! tail idles) and a rotating mix of read/write ratios and replication
-//! policies share one chain across two shards. The same specs run three
-//! times — batching off (the sum-of-singles baseline), update batching only
-//! (one `batchUpdate` per shard per block), and full batching (delivers
-//! coalesced into `batchDeliver` too) — and the per-tenant tables plus the
-//! aggregate savings are printed. The run asserts the savings ladder:
-//! read batching strictly undercuts write-only batching, which strictly
-//! undercuts no batching.
+//! policies share one chain across two shards. Every feed *streams* its
+//! workload from a lazy `OpSource` — the engine pulls one epoch per round,
+//! no trace is materialized. The same specs run three times — batching off
+//! (the sum-of-singles baseline), update batching only (one `batchUpdate`
+//! per shard per block), and full batching (delivers coalesced into
+//! `batchDeliver` too) — and the per-tenant tables plus the aggregate
+//! savings are printed. The run asserts the savings ladder (read batching
+//! strictly undercuts write-only batching, which strictly undercuts no
+//! batching) and that a trace-driven replay of the same streams mines the
+//! byte-identical chain.
 //!
 //! With `GRUB_PARALLEL=1` every run stages its shards on worker threads
 //! (the parallel executor with deterministic merge) instead of the
@@ -84,6 +87,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             full_chain.chain_digest().to_hex()
         );
     }
+
+    // The ingestion-layer contract, end to end: feeds pull their ops from
+    // lazy sources; materializing those same streams into traces up front
+    // and replaying them must mine the byte-identical chain.
+    let trace_specs: Vec<FeedSpec> = build_specs(total_ops)
+        .into_iter()
+        .map(|spec| {
+            let trace = spec.materialized();
+            FeedSpec::new(spec.tenant, spec.config, trace)
+        })
+        .collect();
+    let (_, trace_chain) =
+        FeedEngine::new(&config(EngineConfig::new(shards)), trace_specs)?.run_with_chain()?;
+    assert_eq!(
+        full_chain.chain_digest(),
+        trace_chain.chain_digest(),
+        "source-driven run must mine the same chain as the trace-driven run"
+    );
+    println!(
+        "source-driven == trace-driven chain digest: {}",
+        trace_chain.chain_digest().to_hex()
+    );
 
     let (u, w, f) = (
         unbatched.feed_gas_total(),

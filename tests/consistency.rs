@@ -10,6 +10,7 @@ fn config() -> ChainConfig {
         block_period_ms: 1_000,
         finality_depth: 6,
         propagation_ms: 300,
+        ..ChainConfig::default()
     }
 }
 

@@ -68,7 +68,7 @@ fn unbatched_engine_equals_sum_of_singles() {
     let singles: Vec<u64> = specs
         .iter()
         .map(|s| {
-            GrubSystem::run_trace(&s.trace, &s.config)
+            GrubSystem::run_trace(&s.materialized(), &s.config)
                 .expect("single-feed run")
                 .feed_gas_total()
         })
@@ -233,7 +233,7 @@ fn quota_deferral_is_deterministic_and_preserves_results() {
     let singles: Vec<u64> = build_specs()
         .iter()
         .map(|s| {
-            GrubSystem::run_trace(&s.trace, &s.config)
+            GrubSystem::run_trace(&s.materialized(), &s.config)
                 .expect("single-feed run")
                 .feed_gas_total()
         })
@@ -420,7 +420,10 @@ fn high_tier_pressure_cannot_starve_low_tier() {
         );
         specs
     };
-    let total_ops: usize = build_specs().iter().map(|s| s.trace.ops.len()).sum();
+    let total_ops: usize = build_specs()
+        .iter()
+        .map(|s| s.materialized().ops.len())
+        .sum();
     let report = FeedEngine::run_specs(&EngineConfig::new(1), build_specs()).expect("tiered run");
     assert_eq!(
         report.total_ops(),
@@ -477,7 +480,7 @@ fn tiered_unbatched_run_still_equals_sum_of_singles() {
     let singles: Vec<u64> = build_specs()
         .iter()
         .map(|s| {
-            GrubSystem::run_trace(&s.trace, &s.config)
+            GrubSystem::run_trace(&s.materialized(), &s.config)
                 .expect("single-feed run")
                 .feed_gas_total()
         })
@@ -497,6 +500,92 @@ fn tiered_unbatched_run_still_equals_sum_of_singles() {
         }
         assert_eq!(report.feed_gas_total(), singles.iter().sum::<u64>());
         assert_eq!(report.failed_delivers(), 0);
+    }
+}
+
+/// The ingestion-layer acceptance contract: an engine run whose feeds pull
+/// from lazy generator sources mines the byte-identical chain
+/// (`chain_digest`) of a run whose feeds replay pre-materialized traces of
+/// the same generators — in the sequential pipeline AND under the parallel
+/// executor, in every batching mode.
+#[test]
+fn source_driven_engine_runs_match_trace_driven_byte_for_byte() {
+    use grub::workload::ratio::MultiKeyRatio;
+    use grub::workload::source::OpSource;
+
+    let generators = || -> Vec<(String, grub::core::system::SystemConfig, Box<dyn OpSource>)> {
+        vec![
+            (
+                "streamer".into(),
+                SystemConfig::new(PolicyKind::Memoryless { k: 2 }),
+                Box::new(
+                    MultiKeyRatio::new(vec![("s-hot".into(), 8.0), ("s-cold".into(), 0.25)])
+                        .seed(3)
+                        .source(10),
+                ),
+            ),
+            (
+                "relay".into(),
+                SystemConfig::new(PolicyKind::SelfTuning { window: 16 }),
+                Box::new(
+                    grub::workload::btcrelay::BtcRelayTrace::new()
+                        .blocks(48)
+                        .seed(5)
+                        .source(),
+                ),
+            ),
+            (
+                "ticker".into(),
+                SystemConfig::new(PolicyKind::Bl1),
+                Box::new(RatioWorkload::new("tick", 4.0).seed(7).source(12)),
+            ),
+        ]
+    };
+    let source_specs = || -> Vec<FeedSpec> {
+        generators()
+            .into_iter()
+            .map(|(tenant, config, source)| FeedSpec::from_source(tenant, config, source))
+            .collect()
+    };
+    let trace_specs = || -> Vec<FeedSpec> {
+        generators()
+            .into_iter()
+            .map(|(tenant, config, mut source)| {
+                FeedSpec::new(
+                    tenant,
+                    config,
+                    grub::workload::Trace::from_source(&mut source),
+                )
+            })
+            .collect()
+    };
+    for (label, config) in [
+        ("sequential full batching", EngineConfig::new(2)),
+        ("parallel full batching", EngineConfig::new(2).parallel()),
+        ("sequential unbatched", EngineConfig::new(2).unbatched()),
+        (
+            "parallel unbatched",
+            EngineConfig::new(2).unbatched().parallel(),
+        ),
+    ] {
+        let (trace_report, trace_chain) = FeedEngine::new(&config, trace_specs())
+            .expect("trace engine builds")
+            .run_with_chain()
+            .expect("trace engine runs");
+        let (source_report, source_chain) = FeedEngine::new(&config, source_specs())
+            .expect("source engine builds")
+            .run_with_chain()
+            .expect("source engine runs");
+        assert_eq!(
+            trace_chain.chain_digest(),
+            source_chain.chain_digest(),
+            "{label}: source-driven chain diverged from trace-driven"
+        );
+        assert_eq!(
+            trace_report.render_table(),
+            source_report.render_table(),
+            "{label}: accounting diverged"
+        );
     }
 }
 

@@ -6,6 +6,13 @@
 //!
 //! * `ratio/<x>` — fixed read/write ratios sweeping write-only through
 //!   read-heavy (§2.3, §5.1);
+//! * `ratio-mix` — the ingestion layer's multi-key ratio mix: one key per
+//!   ratio class, interleaved one op per key per turn, so a single feed
+//!   carries write-heavy, balanced, and read-heavy keys at once;
+//! * `tempo/<bursty|uniform>` — the live-reads tempo variants: the same
+//!   balanced mix replayed at live tempo (one consumer transaction per
+//!   block) with its reads re-timed by the `TempoSource` combinator into
+//!   one burst per window vs an even spread;
 //! * `oracle` — the synthesized ethPriceOracle trace (Table 1, Figure 2);
 //! * `btcrelay` — the synthesized BtcRelay block feed (Table 6, Appendix D);
 //! * `ycsb/<A..F>` — all six YCSB core workloads over a preloaded dataset
@@ -31,7 +38,8 @@ use grub::gas::GasSchedule;
 use grub::merkle::ReplState;
 use grub::workload::btcrelay::BtcRelayTrace;
 use grub::workload::oracle::OracleTrace;
-use grub::workload::ratio::RatioWorkload;
+use grub::workload::ratio::{MultiKeyRatio, RatioWorkload};
+use grub::workload::tempo::{ReadTempo, TempoSource};
 use grub::workload::ycsb::{self, YcsbKind, YcsbRunner};
 use grub::workload::Trace;
 
@@ -43,11 +51,20 @@ struct Scenario {
     /// `Some(true)` = read-heavy (replica expected ON for the hot key),
     /// `Some(false)` = write-heavy (replica expected OFF); `None` = mixed.
     read_heavy: Option<bool>,
+    /// Replay reads one per block (the §4 case studies' tempo) instead of
+    /// coalescing them per epoch — the mode under which the tempo variants
+    /// actually differ.
+    live_reads: bool,
 }
 
 impl Scenario {
     fn config(&self, policy: PolicyKind) -> SystemConfig {
-        SystemConfig::new(policy).preload(self.preload.clone())
+        let config = SystemConfig::new(policy).preload(self.preload.clone());
+        if self.live_reads {
+            config.live_reads()
+        } else {
+            config
+        }
     }
 
     fn run(&self, policy: PolicyKind) -> grub::core::metrics::RunReport {
@@ -96,6 +113,7 @@ fn scenarios() -> Vec<Scenario> {
             } else {
                 None
             },
+            live_reads: false,
         });
     }
     out.push(Scenario {
@@ -103,13 +121,50 @@ fn scenarios() -> Vec<Scenario> {
         trace: OracleTrace::new().writes(24).assets(2).seed(11).generate(),
         preload: Vec::new(),
         read_heavy: None,
+        live_reads: false,
     });
     out.push(Scenario {
         name: "btcrelay".into(),
         trace: BtcRelayTrace::new().blocks(32).seed(13).generate(),
         preload: Vec::new(),
         read_heavy: None,
+        live_reads: false,
     });
+    // The ingestion layer's stream-native dimensions. `ratio-mix`: one feed
+    // whose key set spans the ratio classes (write-heavy, balanced,
+    // read-heavy), interleaved per op by MultiKeyRatio.
+    out.push(Scenario {
+        name: "ratio-mix".into(),
+        trace: MultiKeyRatio::new(vec![
+            ("mix-w".into(), 0.125),
+            ("mix-b".into(), 1.0),
+            ("mix-r".into(), 16.0),
+        ])
+        .seed(19)
+        .generate(6),
+        preload: Vec::new(),
+        read_heavy: None,
+        live_reads: false,
+    });
+    // The live-reads tempo variants: the same balanced mix, reads re-timed
+    // by the TempoSource combinator and replayed one read per block, where
+    // arrival timing actually changes what the monitor has seen.
+    for (label, tempo) in [
+        ("bursty", ReadTempo::Bursty),
+        ("uniform", ReadTempo::Uniform),
+    ] {
+        let inner = MultiKeyRatio::new(vec![("feed".into(), 2.0), ("side".into(), 0.5)])
+            .seed(29)
+            .source(8);
+        let mut shaped = TempoSource::new(Box::new(inner), tempo, 12);
+        out.push(Scenario {
+            name: format!("tempo/{label}"),
+            trace: Trace::from_source(&mut shaped),
+            preload: Vec::new(),
+            read_heavy: None,
+            live_reads: true,
+        });
+    }
     let records = 48u64;
     let record_len = 32usize;
     let preload: Vec<(String, Vec<u8>)> = ycsb::preload(records, record_len, 7)
@@ -133,6 +188,7 @@ fn scenarios() -> Vec<Scenario> {
                 .generate(kind, 128),
             preload: preload.clone(),
             read_heavy: None,
+            live_reads: false,
         });
     }
     out
@@ -169,7 +225,9 @@ fn policies() -> Vec<(&'static str, PolicyKind)> {
 }
 
 /// Every policy drives every workload to completion with honest-SP
-/// invariants intact. 7 policies × 15 workloads = 105 combinations.
+/// invariants intact. 7 policies × 18 workloads = 126 combinations
+/// (ratio sweep, ratio-mix, the two live-reads tempo variants, oracle,
+/// btcrelay, YCSB A–F).
 #[test]
 fn full_matrix_runs_every_policy_on_every_workload() {
     let scenarios = scenarios();
