@@ -1,0 +1,230 @@
+//! The persisted bench trajectory: a smoke-scaled multi-tenant run whose
+//! headline numbers are checked in as `BENCH_multifeed.json` and re-measured
+//! on every CI run.
+//!
+//! Two kinds of numbers live in the baseline, with different gates:
+//!
+//! * **Deterministic** — total ops, scheduler rounds, the gas-savings
+//!   ladder (unbatched → write-only batching → full batching), and the
+//!   batch-section/transaction counts. These are pure functions of the
+//!   specs; a fresh run must reproduce them *exactly*, or the engine's
+//!   cost model silently moved.
+//! * **Measured** — end-to-end throughput (`ops_per_sec`) and the
+//!   sequential→parallel staging speedup. Wall clock varies across
+//!   machines, so throughput is gated loosely ([`THROUGHPUT_FLOOR`]) and
+//!   the speedup is recorded but not gated.
+//!
+//! Re-baseline after an intentional change with:
+//!
+//! ```sh
+//! GRUB_WRITE_BASELINE=1 cargo run --release -p grub-bench --bin baseline
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use grub_engine::specs::{demo_policies, zipfian_ratio_specs, DEMO_RATIOS};
+use grub_engine::{EngineConfig, FeedEngine, FeedSpec};
+
+/// Fleet shape: the multifeed example's 8-feed mixed-skew fleet at smoke
+/// scale, sharded two ways.
+const TENANTS: usize = 8;
+const SHARDS: usize = 2;
+const TOTAL_OPS: usize = 512;
+
+/// A fresh run must achieve at least this fraction of the baseline's
+/// recorded `ops_per_sec` — loose on purpose: CI machines are slower and
+/// noisier than the machine that wrote the baseline, and real throughput
+/// regressions (an accidentally quadratic scheduler) blow through 4× .
+pub const THROUGHPUT_FLOOR: f64 = 0.25;
+
+/// Baseline keys that must reproduce exactly (deterministic functions of
+/// the specs).
+pub const DETERMINISTIC_KEYS: &[&str] = &[
+    "total_ops",
+    "rounds",
+    "unbatched_gas",
+    "write_only_gas",
+    "full_batch_gas",
+    "update_sections",
+    "deliver_sections",
+    "update_txs",
+    "deliver_txs",
+];
+
+fn fleet() -> Vec<FeedSpec> {
+    zipfian_ratio_specs(TENANTS, TOTAL_OPS, DEMO_RATIOS, &demo_policies())
+}
+
+/// Runs the smoke fleet through the three batching modes (and both
+/// scheduler modes for the full-batch configuration) and returns the
+/// baseline metrics, keyed as in `BENCH_multifeed.json`.
+pub fn measure() -> BTreeMap<String, f64> {
+    let unbatched = FeedEngine::run_specs(&EngineConfig::new(SHARDS).unbatched(), fleet())
+        .expect("unbatched run");
+    let write_only =
+        FeedEngine::run_specs(&EngineConfig::new(SHARDS).without_read_batching(), fleet())
+            .expect("write-only run");
+    let seq_start = Instant::now();
+    let (full, seq_chain) = FeedEngine::new(&EngineConfig::new(SHARDS), fleet())
+        .expect("engine builds")
+        .run_with_chain()
+        .expect("full-batch run");
+    let seq_elapsed = seq_start.elapsed();
+    let par_start = Instant::now();
+    let (_par, par_chain) = FeedEngine::new(&EngineConfig::new(SHARDS).parallel(), fleet())
+        .expect("engine builds")
+        .run_with_chain()
+        .expect("parallel run");
+    let par_elapsed = par_start.elapsed();
+    assert_eq!(
+        seq_chain.chain_digest(),
+        par_chain.chain_digest(),
+        "parallel staging must reproduce the sequential chain byte for byte"
+    );
+    assert!(
+        full.feed_gas_total() < write_only.feed_gas_total()
+            && write_only.feed_gas_total() < unbatched.feed_gas_total(),
+        "the gas-savings ladder must be strictly monotone"
+    );
+
+    let mut out = BTreeMap::new();
+    out.insert("total_ops".into(), full.total_ops() as f64);
+    out.insert("rounds".into(), full.rounds as f64);
+    out.insert("unbatched_gas".into(), unbatched.feed_gas_total() as f64);
+    out.insert("write_only_gas".into(), write_only.feed_gas_total() as f64);
+    out.insert("full_batch_gas".into(), full.feed_gas_total() as f64);
+    out.insert(
+        "update_sections".into(),
+        full.metrics
+            .iter()
+            .map(|m| m.update_sections)
+            .sum::<usize>() as f64,
+    );
+    out.insert(
+        "deliver_sections".into(),
+        full.metrics
+            .iter()
+            .map(|m| m.deliver_sections)
+            .sum::<usize>() as f64,
+    );
+    out.insert(
+        "update_txs".into(),
+        full.shard_update_txs.iter().sum::<usize>() as f64,
+    );
+    out.insert(
+        "deliver_txs".into(),
+        full.shard_deliver_txs.iter().sum::<usize>() as f64,
+    );
+    out.insert(
+        "ops_per_sec".into(),
+        full.total_ops() as f64 / seq_elapsed.as_secs_f64().max(1e-9),
+    );
+    out.insert(
+        "seq_par_speedup".into(),
+        seq_elapsed.as_secs_f64() / par_elapsed.as_secs_f64().max(1e-9),
+    );
+    out
+}
+
+/// Renders the metrics as the checked-in JSON artifact (sorted keys, one
+/// per line — diff-friendly; integers render without a fraction).
+pub fn render_json(metrics: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    let last = metrics.len().saturating_sub(1);
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        let comma = if i == last { "" } else { "," };
+        if value.fract() == 0.0 && value.abs() < 9e15 {
+            let _ = writeln!(out, "  \"{key}\": {}{comma}", *value as i64);
+        } else {
+            let _ = writeln!(out, "  \"{key}\": {value:.3}{comma}");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the flat one-level JSON the renderer writes (the workspace is
+/// offline and its vendored `serde` is a no-op stub, so the artifact format
+/// is deliberately trivial). Unknown lines are ignored.
+pub fn parse_json(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim().trim_end_matches(',');
+        if let Ok(v) = value.parse::<f64>() {
+            out.insert(key.to_owned(), v);
+        }
+    }
+    out
+}
+
+/// Diffs a fresh measurement against the checked-in baseline. Returns the
+/// list of regressions (empty = pass): deterministic keys must match
+/// exactly, throughput must clear [`THROUGHPUT_FLOOR`] × baseline, and the
+/// recorded speedup is informational only.
+pub fn compare(baseline: &BTreeMap<String, f64>, fresh: &BTreeMap<String, f64>) -> Vec<String> {
+    let mut failures = Vec::new();
+    for key in DETERMINISTIC_KEYS {
+        match (baseline.get(*key), fresh.get(*key)) {
+            (Some(b), Some(f)) if b == f => {}
+            (Some(b), Some(f)) => failures.push(format!(
+                "{key}: baseline {b} vs fresh {f} (deterministic metric must match exactly; \
+                 re-baseline with GRUB_WRITE_BASELINE=1 if the change is intentional)"
+            )),
+            (None, _) => failures.push(format!("{key}: missing from baseline file")),
+            (_, None) => failures.push(format!("{key}: missing from fresh run")),
+        }
+    }
+    if let (Some(b), Some(f)) = (baseline.get("ops_per_sec"), fresh.get("ops_per_sec")) {
+        let floor = b * THROUGHPUT_FLOOR;
+        if *f < floor {
+            failures.push(format!(
+                "ops_per_sec: fresh {f:.0} below floor {floor:.0} \
+                 ({THROUGHPUT_FLOOR}× baseline {b:.0})"
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("total_ops".to_owned(), 512.0);
+        metrics.insert("ops_per_sec".to_owned(), 1234.567);
+        let parsed = parse_json(&render_json(&metrics));
+        assert_eq!(parsed.get("total_ops"), Some(&512.0));
+        assert_eq!(parsed.get("ops_per_sec"), Some(&1234.567));
+    }
+
+    #[test]
+    fn compare_flags_deterministic_drift_and_slow_runs() {
+        let mut base = BTreeMap::new();
+        for key in DETERMINISTIC_KEYS {
+            base.insert((*key).to_owned(), 100.0);
+        }
+        base.insert("ops_per_sec".to_owned(), 1000.0);
+        assert!(compare(&base, &base).is_empty(), "identical runs pass");
+        let mut drifted = base.clone();
+        drifted.insert("full_batch_gas".to_owned(), 101.0);
+        assert_eq!(compare(&base, &drifted).len(), 1);
+        let mut slow = base.clone();
+        slow.insert("ops_per_sec".to_owned(), 1000.0 * THROUGHPUT_FLOOR / 2.0);
+        assert_eq!(compare(&base, &slow).len(), 1);
+        let mut fast = base.clone();
+        fast.insert("ops_per_sec".to_owned(), 5000.0);
+        assert!(
+            compare(&base, &fast).is_empty(),
+            "faster is never a regression"
+        );
+    }
+}

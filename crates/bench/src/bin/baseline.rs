@@ -1,0 +1,52 @@
+//! Measure the multifeed smoke fleet and gate it against the checked-in
+//! `BENCH_multifeed.json` baseline (CI's bench-baseline job), or rewrite
+//! the baseline after an intentional change:
+//!
+//! ```sh
+//! cargo run --release -p grub-bench --bin baseline            # compare
+//! GRUB_WRITE_BASELINE=1 \
+//!   cargo run --release -p grub-bench --bin baseline          # re-baseline
+//! ```
+
+use std::path::PathBuf;
+
+use grub_bench::baseline;
+
+fn baseline_path() -> PathBuf {
+    if let Ok(path) = std::env::var("GRUB_BASELINE_PATH") {
+        return PathBuf::from(path);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_multifeed.json")
+}
+
+fn main() {
+    let path = baseline_path();
+    println!("measuring multifeed baseline fleet...");
+    let fresh = baseline::measure();
+    print!("{}", baseline::render_json(&fresh));
+
+    if std::env::var("GRUB_WRITE_BASELINE").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::write(&path, baseline::render_json(&fresh)).expect("write baseline");
+        println!("baseline written to {}", path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!(
+            "no baseline at {} ({e}); write one with GRUB_WRITE_BASELINE=1",
+            path.display()
+        );
+        std::process::exit(1);
+    });
+    let recorded = baseline::parse_json(&text);
+    let failures = baseline::compare(&recorded, &fresh);
+    if failures.is_empty() {
+        println!("baseline check passed against {}", path.display());
+    } else {
+        eprintln!("baseline regressions against {}:", path.display());
+        for failure in &failures {
+            eprintln!("  - {failure}");
+        }
+        std::process::exit(1);
+    }
+}

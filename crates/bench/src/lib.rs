@@ -12,6 +12,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod experiments;
 
 /// One experiment entry: `(name, paper artifact, function)`.

@@ -147,6 +147,9 @@ pub struct Blockchain {
     /// [`Blockchain::chain_digest`]), so the digest survives pruning and
     /// stays O(1) to read.
     digest_acc: grub_crypto::Hash32,
+    /// Recovery oracle (see [`Blockchain::expect_digest_at`]): when the
+    /// chain reaches this height, its digest must equal this value.
+    checkpoint: Option<(u64, grub_crypto::Hash32)>,
     next_tx_id: u64,
     now_ms: u64,
 }
@@ -174,6 +177,7 @@ impl Blockchain {
             blocks: Vec::new(),
             mined: 0,
             digest_acc: grub_crypto::Sha256::new().finalize(),
+            checkpoint: None,
             next_tx_id: 0,
             now_ms: 0,
         }
@@ -239,6 +243,18 @@ impl Blockchain {
             call_records,
         };
         self.digest_acc = fold_block_digest(&self.digest_acc, &block);
+        if let Some((height, expected)) = self.checkpoint {
+            if self.mined == height {
+                self.checkpoint = None;
+                assert_eq!(
+                    self.chain_digest(),
+                    expected,
+                    "recovery re-execution diverged from the surviving chain \
+                     at checkpoint height {height}: the replayed transaction \
+                     stream is not byte-identical to the pre-crash run"
+                );
+            }
+        }
         self.blocks.push(block);
         if let Some(retain) = self.config.retain_blocks {
             let retain = retain.max(1);
@@ -478,6 +494,28 @@ impl Blockchain {
     /// Unmetered storage inspection, for tests and assertions.
     pub fn storage(&self, contract: Address) -> Option<&ContractStorage> {
         self.storages.get(&contract)
+    }
+
+    /// Arms a one-shot recovery oracle: when this chain next reaches
+    /// `height`, its [`Blockchain::chain_digest`] must equal `expected`.
+    ///
+    /// Crash-recovery tests take `(height, digest)` from the chain that
+    /// survived an injected crash and arm it on the fresh re-execution
+    /// chain, so a divergence is caught *at the crash point* rather than as
+    /// an opaque end-of-run digest mismatch.
+    ///
+    /// # Panics
+    ///
+    /// [`Blockchain::produce_block`] panics when the checkpoint height is
+    /// reached with a different digest. Arming at or below the current
+    /// height panics immediately — the oracle could never fire.
+    pub fn expect_digest_at(&mut self, height: u64, expected: grub_crypto::Hash32) {
+        assert!(
+            height > self.mined,
+            "checkpoint height {height} is not ahead of current height {}",
+            self.mined
+        );
+        self.checkpoint = Some((height, expected));
     }
 
     /// Canonical digest of the whole mined chain: every block's number and
@@ -994,6 +1032,58 @@ mod tests {
             &[],
         );
         assert_eq!(Decoder::new(&out.unwrap()).u64().unwrap(), 19);
+    }
+
+    #[test]
+    fn digest_checkpoint_passes_on_identical_replay() {
+        let (mut chain, widget, user) = setup();
+        let mut enc = Encoder::new();
+        enc.u64(3);
+        let payload = enc.finish();
+        chain.submit(Transaction::new(
+            user,
+            widget,
+            "set",
+            payload.clone(),
+            Layer::User,
+        ));
+        chain.produce_block();
+        let oracle = (chain.height(), chain.chain_digest());
+        // A fresh chain replaying the same stream sails through the oracle.
+        let (mut replay, widget, user) = setup();
+        replay.expect_digest_at(oracle.0, oracle.1);
+        replay.submit(Transaction::new(user, widget, "set", payload, Layer::User));
+        replay.produce_block();
+        assert_eq!(replay.chain_digest(), oracle.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged from the surviving chain")]
+    fn digest_checkpoint_panics_on_divergent_replay() {
+        let (mut chain, widget, user) = setup();
+        let mut enc = Encoder::new();
+        enc.u64(3);
+        chain.submit(Transaction::new(
+            user,
+            widget,
+            "set",
+            enc.finish(),
+            Layer::User,
+        ));
+        chain.produce_block();
+        let oracle = (chain.height(), chain.chain_digest());
+        let (mut replay, widget, user) = setup();
+        replay.expect_digest_at(oracle.0, oracle.1);
+        let mut enc = Encoder::new();
+        enc.u64(4); // different payload → different digest at the checkpoint
+        replay.submit(Transaction::new(
+            user,
+            widget,
+            "set",
+            enc.finish(),
+            Layer::User,
+        ));
+        replay.produce_block();
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod metrics;
 pub mod owner;
 pub mod policy;
 pub mod provider;
+pub mod scrub;
 pub mod system;
 pub mod wire;
 

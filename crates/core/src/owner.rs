@@ -177,6 +177,19 @@ impl DataOwner {
         self.mirror.root()
     }
 
+    /// The authoritative record set, sorted by key: every key the DO has
+    /// produced, with its committed replication state and latest value.
+    /// This is the ground truth the scrubber audits the SP against.
+    pub fn live_records(&self) -> Vec<(String, ReplState, Vec<u8>)> {
+        let mut out: Vec<(String, ReplState, Vec<u8>)> = self
+            .values
+            .iter()
+            .map(|(key, value)| (key.clone(), self.state_of(key), value.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Closes the epoch: applies staged writes and decided transitions to
     /// the mirror, and produces the `update()` payload plus the SP sync.
     ///

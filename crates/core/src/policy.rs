@@ -20,7 +20,7 @@ use std::collections::HashMap;
 
 use grub_gas::GasSchedule;
 use grub_merkle::ReplState;
-use grub_workload::{Op, Trace};
+use grub_workload::{Op, OpSource, Trace};
 
 /// A replication decision maker.
 ///
@@ -336,32 +336,72 @@ pub struct OfflineOptimal {
 
 impl OfflineOptimal {
     /// Precomputes decisions for `trace` with threshold `k` (use
-    /// `schedule.two_competitive_k()` for the Gas-optimal setting).
+    /// `schedule.two_competitive_k()` for the Gas-optimal setting), with an
+    /// unbounded lookahead — every read up to the key's next write counts.
     pub fn from_trace(trace: &Trace, k: f64) -> Self {
+        Self::from_trace_windowed(trace, k, usize::MAX)
+    }
+
+    /// Like [`OfflineOptimal::from_trace`] with the lookahead bounded to a
+    /// sliding `window` of trace operations (clamped to ≥ 1): a write's
+    /// decision counts only the reads arriving within the next `window`
+    /// ops. A window at least as long as the trace reproduces the
+    /// unbounded construction exactly (asserted per scenario in
+    /// `tests/scenario_matrix.rs`).
+    pub fn from_trace_windowed(trace: &Trace, k: f64, window: usize) -> Self {
+        let mut source = trace.clone().into_source();
+        Self::from_source(&mut source, k, window)
+    }
+
+    /// The streaming construction: pulls the trace through an [`OpSource`]
+    /// one op at a time, so the precomputation's live state is bounded by
+    /// the lookahead `window` (open write horizons), never the trace length
+    /// — the whole-trace materialization the old construction required is
+    /// gone.
+    pub fn from_source(source: &mut dyn OpSource, k: f64, window: usize) -> Self {
+        let window = window.max(1);
         // reads-following count per (key, write occurrence), closed out when
-        // the next write of the same key arrives.
+        // the next write of the same key arrives, the lookahead window ends,
+        // or the trace does.
         let mut upcoming: HashMap<String, std::collections::VecDeque<ReplState>> = HashMap::new();
-        let mut open: HashMap<String, u64> = HashMap::new();
-        for op in &trace.ops {
+        let mut open: HashMap<String, (usize, u64)> = HashMap::new();
+        let mut horizon: std::collections::VecDeque<(usize, String)> =
+            std::collections::VecDeque::new();
+        let mut i = 0usize;
+        while let Some(op) = source.next_op() {
+            while let Some((opened_at, _)) = horizon.front() {
+                if i - opened_at < window {
+                    break;
+                }
+                let (opened_at, key) = horizon.pop_front().expect("peeked above");
+                // A newer write of the same key reuses the slot; only close
+                // it if this horizon entry is still the live occurrence.
+                if open.get(&key).is_some_and(|(at, _)| *at == opened_at) {
+                    let (_, reads) = open.remove(&key).expect("checked above");
+                    push_decision(&mut upcoming, &key, reads, k);
+                }
+            }
             match op {
                 Op::Write { key, .. } => {
-                    if let Some(reads) = open.insert(key.clone(), 0) {
-                        push_decision(&mut upcoming, key, reads, k);
+                    if let Some((_, reads)) = open.insert(key.clone(), (i, 0)) {
+                        push_decision(&mut upcoming, &key, reads, k);
                     }
+                    horizon.push_back((i, key));
                 }
                 Op::Read { key } => {
-                    if let Some(c) = open.get_mut(key) {
+                    if let Some((_, c)) = open.get_mut(&key) {
                         *c += 1;
                     }
                 }
                 Op::Scan { start_key, .. } => {
-                    if let Some(c) = open.get_mut(start_key) {
+                    if let Some((_, c)) = open.get_mut(&start_key) {
                         *c += 1;
                     }
                 }
             }
+            i += 1;
         }
-        for (key, reads) in open {
+        for (key, (_, reads)) in open {
             push_decision(&mut upcoming, &key, reads, k);
         }
         OfflineOptimal {

@@ -73,6 +73,9 @@ pub struct StorageProvider {
     db: Db,
     tree: MerkleKv,
     dir: PathBuf,
+    /// Whether the store directory outlives this SP instance (crash-recovery
+    /// mode). Ephemeral SPs — the default — clean up on drop.
+    persistent: bool,
     watch_cursor: u64,
     mode: AdversaryMode,
     /// Snapshot for [`AdversaryMode::ReplayStale`].
@@ -90,22 +93,77 @@ impl StorageProvider {
     ///
     /// Propagates store-open failures.
     pub fn new(address: Address) -> Result<Self> {
+        Self::new_with_options(address, Options::default())
+    }
+
+    /// Like [`StorageProvider::new`] with explicit store tuning knobs —
+    /// crash-recovery tests shrink the memtable so SSTable flushes happen
+    /// on small workloads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store-open failures.
+    pub fn new_with_options(address: Address, options: Options) -> Result<Self> {
         let dir = std::env::temp_dir().join(format!(
             "grub-sp-{}-{}",
             std::process::id(),
             SP_DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        let db = Db::open(&dir, Options::default())?;
+        let db = Db::open(&dir, options)?;
         Ok(StorageProvider {
             address,
             db,
             tree: MerkleKv::new(),
             dir,
+            persistent: false,
             watch_cursor: 0,
             mode: AdversaryMode::Honest,
             stale: None,
             decision_hints: std::collections::HashMap::new(),
         })
+    }
+
+    /// Opens an SP over a *persistent* store directory, surviving drops and
+    /// reopenable across simulated process deaths.
+    ///
+    /// The Merkle tree is an in-memory structure, so on reopen it is rebuilt
+    /// from a full store scan — the recovery path a real SP daemon would run
+    /// at boot. A crash between a store write and the corresponding chain
+    /// commit can leave the rebuilt tree *ahead* of the on-chain root; the
+    /// scrubber reconciles exactly that divergence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store-open failures (including corrupt-table reports).
+    pub fn open_at(address: Address, dir: impl Into<PathBuf>, options: Options) -> Result<Self> {
+        let dir = dir.into();
+        let db = Db::open(&dir, options)?;
+        let mut tree = MerkleKv::new();
+        for (skey, value) in db.scan(None, None)? {
+            let Some((state, key)) = parse_storage_key(&skey) else {
+                continue;
+            };
+            tree.insert(
+                ProofKey::new(state, key.as_bytes().to_vec()),
+                record_value_hash(&value),
+            );
+        }
+        Ok(StorageProvider {
+            address,
+            db,
+            tree,
+            dir,
+            persistent: true,
+            watch_cursor: 0,
+            mode: AdversaryMode::Honest,
+            stale: None,
+            decision_hints: std::collections::HashMap::new(),
+        })
+    }
+
+    /// The store directory backing this SP.
+    pub fn store_dir(&self) -> &std::path::Path {
+        &self.dir
     }
 
     /// The SP's account address (sender of `deliver` transactions).
@@ -319,6 +377,114 @@ impl StorageProvider {
     pub fn value_of(&self, state: ReplState, key: &str) -> Option<Vec<u8>> {
         self.db.get(&Self::storage_key(state, key)).ok().flatten()
     }
+
+    /// Every live record in the store, decoded to `(state, key, value)` and
+    /// ordered by storage key — the scrubber's view of the SP's contents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn live_records(&self) -> Result<Vec<(ReplState, String, Vec<u8>)>> {
+        Ok(self
+            .db
+            .scan(None, None)?
+            .into_iter()
+            .filter_map(|(skey, value)| {
+                parse_storage_key(&skey).map(|(state, key)| (state, key, value))
+            })
+            .collect())
+    }
+
+    /// Logical content digest of the store: SHA-256 over the ordered live
+    /// `(storage key, value)` scan. Two stores with the same digest hold
+    /// byte-identical record sets regardless of their physical layout
+    /// (memtable vs. L0 vs. L1) — the store-equivalence oracle of the
+    /// crash-recovery tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn state_digest(&self) -> Result<grub_crypto::Hash32> {
+        let mut h = grub_crypto::Sha256::new();
+        for (skey, value) in self.db.scan(None, None)? {
+            h.update(&(skey.len() as u64).to_le_bytes());
+            h.update(&skey);
+            h.update(&(value.len() as u64).to_le_bytes());
+            h.update(&value);
+        }
+        Ok(h.finalize())
+    }
+
+    /// Corrupts the stored value of `key` *without* touching the Merkle
+    /// tree — simulating silent at-rest damage (bit rot, a buggy operator
+    /// script) for scrubber tests. Honest code never calls this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn tamper_value(&mut self, state: ReplState, key: &str, value: Vec<u8>) -> Result<()> {
+        self.db.put(Self::storage_key(state, key), value)?;
+        Ok(())
+    }
+
+    /// Deletes `key` from the store *without* touching the Merkle tree —
+    /// the lost-record flavor of at-rest damage, for scrubber tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn tamper_remove(&mut self, state: ReplState, key: &str) -> Result<()> {
+        self.db.delete(&Self::storage_key(state, key))?;
+        Ok(())
+    }
+
+    /// Repairs one record to the authoritative `(state, value)`: removes any
+    /// copy filed under a different state, rewrites the store, and re-inserts
+    /// the tree leaf. The scrubber's fix-up primitive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn repair_record(&mut self, key: &str, value: &[u8], state: ReplState) -> Result<()> {
+        let other = match state {
+            ReplState::Replicated => ReplState::NotReplicated,
+            ReplState::NotReplicated => ReplState::Replicated,
+        };
+        if self.db.get(&Self::storage_key(other, key))?.is_some() {
+            self.db.delete(&Self::storage_key(other, key))?;
+        }
+        self.tree
+            .invalidate(&ProofKey::new(other, key.as_bytes().to_vec()));
+        self.db.put(Self::storage_key(state, key), value.to_vec())?;
+        self.tree.insert(
+            ProofKey::new(state, key.as_bytes().to_vec()),
+            record_value_hash(value),
+        );
+        Ok(())
+    }
+
+    /// Removes a record the authoritative state says must not exist (an
+    /// orphan) from both the store and the tree. The scrubber's other
+    /// fix-up primitive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn remove_record(&mut self, state: ReplState, key: &str) -> Result<()> {
+        self.db.delete(&Self::storage_key(state, key))?;
+        self.tree
+            .invalidate(&ProofKey::new(state, key.as_bytes().to_vec()));
+        Ok(())
+    }
+}
+
+/// Splits a raw storage key back into `(state, data key)`; `None` for keys
+/// that are not state-prefixed UTF-8 (there are none in normal operation).
+fn parse_storage_key(skey: &[u8]) -> Option<(ReplState, String)> {
+    let (&state, rest) = skey.split_first()?;
+    let state = ReplState::from_byte(state)?;
+    let key = std::str::from_utf8(rest).ok()?.to_owned();
+    Some((state, key))
 }
 
 fn hide_leaf(node: ProofNode, target: &ProofKey) -> ProofNode {
@@ -336,7 +502,9 @@ fn hide_leaf(node: ProofNode, target: &ProofKey) -> ProofNode {
 
 impl Drop for StorageProvider {
     fn drop(&mut self) {
-        std::fs::remove_dir_all(&self.dir).ok();
+        if !self.persistent {
+            std::fs::remove_dir_all(&self.dir).ok();
+        }
     }
 }
 

@@ -74,6 +74,21 @@ pub struct SystemConfig {
     /// live trace replay does (§4's oracle and BtcRelay experiments). When
     /// reads share a block, same-key requests coalesce into one `deliver`.
     pub coalesce_reads: bool,
+    /// A *streaming* preload: write operations pulled one at a time from an
+    /// [`OpSource`] and applied incrementally (DO mirror, SP sync, chunked
+    /// on-chain seeding), so the preload never materializes a second copy of
+    /// the dataset. Non-write operations in the stream are ignored. Used in
+    /// addition to (after) the materialized `preload` records.
+    pub preload_source: Option<Box<dyn OpSource>>,
+    /// Where the SP's LSM store lives. `None` (the default) uses a fresh
+    /// temp directory that is deleted when the provider drops; `Some(dir)`
+    /// opens a *persistent* store at `dir` that survives drops and simulated
+    /// process deaths — the crash-recovery tests point each feed here.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// SP store tuning knobs (`None` = [`grub_store::Options::default`]).
+    /// Crash tests shrink `memtable_bytes` so SSTable flushes — and the
+    /// mid-flush crash point — actually occur on small workloads.
+    pub store_options: Option<grub_store::Options>,
     /// Chain timing parameters.
     pub chain: ChainConfig,
 }
@@ -89,6 +104,9 @@ impl SystemConfig {
             on_chain_trace: OnChainTrace::None,
             preload_replicated: None,
             coalesce_reads: true,
+            preload_source: None,
+            store_dir: None,
+            store_options: None,
             chain: ChainConfig::default(),
         }
     }
@@ -116,6 +134,28 @@ impl SystemConfig {
     /// Sets the preload dataset.
     pub fn preload(mut self, records: Vec<(String, Vec<u8>)>) -> Self {
         self.preload = records;
+        self
+    }
+
+    /// Streams the preload from an [`OpSource`] instead of a materialized
+    /// record vector: each `Write` op is applied (and its on-chain seeding
+    /// chunk flushed) as it is pulled, so preload-side memory stays constant
+    /// in the dataset size.
+    pub fn preload_stream(mut self, source: Box<dyn OpSource>) -> Self {
+        self.preload_source = Some(source);
+        self
+    }
+
+    /// Points the SP's store at a persistent directory (surviving drops and
+    /// simulated crashes) instead of an ephemeral temp dir.
+    pub fn store_at(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides the SP store's tuning knobs.
+    pub fn store_options(mut self, options: grub_store::Options) -> Self {
+        self.store_options = Some(options);
         self
     }
 
@@ -434,7 +474,11 @@ impl EpochDriver {
             Layer::Application,
         );
         let mut owner = DataOwner::new(do_addr, policy);
-        let mut provider = StorageProvider::new(sp_addr)?;
+        let store_options = config.store_options.unwrap_or_default();
+        let mut provider = match &config.store_dir {
+            Some(dir) => StorageProvider::open_at(sp_addr, dir.clone(), store_options)?,
+            None => StorageProvider::new_with_options(sp_addr, store_options)?,
+        };
 
         // Preload: BL2-style policies want the dataset replicated up front;
         // warm-started adaptive deployments may too.
@@ -480,7 +524,42 @@ impl EpochDriver {
                     }
                 }
             }
-        } else {
+        }
+        if let Some(stream) = &config.preload_source {
+            // Streaming preload: pull one write at a time, apply it to the
+            // DO mirror and SP store immediately, and flush on-chain seeding
+            // chunks as they fill — no second materialized copy of the
+            // dataset ever exists. Intermediate chunks carry intermediate
+            // digests; the final (possibly empty) chunk pins the final root.
+            let mut stream = stream.clone_box();
+            let mut batch: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            let mut batch_bytes = 0usize;
+            while let Some(op) = stream.next_op() {
+                let Op::Write { key, value } = op else {
+                    continue;
+                };
+                let value = value.materialize();
+                let sync = owner.preload(&[(key.clone(), value.clone())], preload_state);
+                provider.apply_sync(&sync)?;
+                if preload_state == ReplState::Replicated {
+                    batch_bytes += key.len() + value.len() + 16;
+                    batch.push((key.into_bytes(), value));
+                    if batch_bytes > 20_000 {
+                        let input = crate::contract::encode_update(
+                            &owner.root(),
+                            &[],
+                            &std::mem::take(&mut batch),
+                            &[],
+                        );
+                        submit_checked(chain, do_addr, manager, "update", input)?;
+                        batch_bytes = 0;
+                    }
+                }
+            }
+            let input = crate::contract::encode_update(&owner.root(), &[], &batch, &[]);
+            submit_checked(chain, do_addr, manager, "update", input)?;
+        }
+        if config.preload.is_empty() && config.preload_source.is_none() {
             // Even an empty feed pins its (empty-tree) digest on chain.
             let input = crate::contract::encode_update(&owner.root(), &[], &[], &[]);
             submit_checked(chain, do_addr, manager, "update", input)?;
@@ -897,6 +976,31 @@ impl EpochDriver {
         &self.stage.provider
     }
 
+    /// Mutable SP access — the scrubber's repair path and the fault tests'
+    /// tamper hooks.
+    pub fn provider_mut(&mut self) -> &mut StorageProvider {
+        &mut self.stage.provider
+    }
+
+    /// Runs one scrub pass of this feed's SP against its DO and on-chain
+    /// root (see [`crate::scrub::Scrubber`]).
+    ///
+    /// # Errors
+    ///
+    /// Store I/O failures, or a failed `root()` view call.
+    pub fn scrub(
+        &mut self,
+        chain: &Blockchain,
+        scrubber: crate::scrub::Scrubber,
+    ) -> Result<crate::scrub::ScrubReport> {
+        scrubber.scrub(
+            chain,
+            self.manager,
+            &self.stage.owner,
+            &mut self.stage.provider,
+        )
+    }
+
     /// Epoch reports accumulated so far.
     pub fn reports(&self) -> &[EpochReport] {
         &self.reports
@@ -1274,6 +1378,62 @@ mod tests {
         assert!(end.starts_with(&start));
         // Maximum-width suffixes that stay in range still advance exactly.
         assert_eq!(scan_end_key("user995", 5), "user999");
+    }
+
+    #[test]
+    fn streamed_preload_matches_materialized_preload() {
+        // The BL2 preload path must produce byte-identical state whether the
+        // dataset arrives as a materialized Vec or is pulled through an
+        // OpSource one op at a time (constant-memory seeding).
+        let specs = grub_workload::ycsb::preload(48, 600, 7);
+        let records: Vec<(String, Vec<u8>)> = specs
+            .iter()
+            .map(|(key, value)| (key.clone(), value.materialize()))
+            .collect();
+        let mut trace = grub_workload::Trace::new();
+        for (key, value) in &specs {
+            trace.ops.push(grub_workload::Op::Write {
+                key: key.clone(),
+                value: value.clone(),
+            });
+        }
+        for policy in [PolicyKind::Bl2, PolicyKind::Memoryless { k: 2 }] {
+            let mut chain_vec = grub_chain::Blockchain::new();
+            let vec_driver = EpochDriver::deploy(
+                &mut chain_vec,
+                &config(policy.clone()).preload(records.clone()),
+                &DriverIdentity::default(),
+            )
+            .unwrap();
+            let mut chain_stream = grub_chain::Blockchain::new();
+            let stream_driver = EpochDriver::deploy(
+                &mut chain_stream,
+                &config(policy.clone()).preload_stream(Box::new(trace.clone().into_source())),
+                &DriverIdentity::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                vec_driver.owner().root(),
+                stream_driver.owner().root(),
+                "{policy:?}: owner roots diverge"
+            );
+            assert_eq!(
+                vec_driver.provider().state_digest().unwrap(),
+                stream_driver.provider().state_digest().unwrap(),
+                "{policy:?}: SP stores diverge"
+            );
+            // Both paths must have pinned the same final digest on chain.
+            let root_of = |chain: &grub_chain::Blockchain, driver: &EpochDriver| {
+                chain
+                    .static_call(driver.owner().address(), driver.manager(), "root", &[])
+                    .unwrap()
+            };
+            assert_eq!(
+                root_of(&chain_vec, &vec_driver),
+                root_of(&chain_stream, &stream_driver),
+                "{policy:?}: on-chain roots diverge"
+            );
+        }
     }
 
     #[test]

@@ -2,13 +2,16 @@
 
 use grub_chain::codec::encode_sections;
 use grub_chain::{Address, Blockchain, ChainConfig, CommitGate, Transaction};
+use grub_core::scrub::Scrubber;
 use grub_core::system::{DriverIdentity, EpochDriver, StagedReads, StagedUpdate, SystemConfig};
 use grub_core::{GrubError, Result};
+use grub_fault::FaultPoint;
 use grub_gas::{checked_add_gas, checked_sub_gas, Layer};
+use grub_store::StoreError;
 use grub_workload::{OpSource, PeekableSource, Trace};
 
 use crate::executor::{ParallelExecutor, StageTask};
-use crate::report::{EngineReport, TenantReport};
+use crate::report::{EngineReport, EpochMetrics, TenantReport};
 use crate::router::ShardRouter;
 
 /// A shard batch transaction stays under the same `Ctx` payload bound the
@@ -41,6 +44,49 @@ pub enum ExecMode {
     Parallel,
 }
 
+/// When (and whether) the engine cross-checks each feed's SP store against
+/// the DO's authoritative records and the on-chain root at scheduler-round
+/// boundaries (the background Merkle scrubber,
+/// [`grub_core::scrub::Scrubber`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScrubMode {
+    /// No scrubbing (the default).
+    #[default]
+    Off,
+    /// Audit every feed after each round; findings land in that round's
+    /// [`EpochMetrics`].
+    Detect,
+    /// Audit and repair: divergent keys are re-synced from the DO.
+    Repair,
+}
+
+impl ScrubMode {
+    /// Parses the `GRUB_SCRUB` environment knob: unset, empty, `0`, or
+    /// `off` → [`ScrubMode::Off`]; `repair` → [`ScrubMode::Repair`];
+    /// anything else → [`ScrubMode::Detect`].
+    pub fn from_env() -> Self {
+        match std::env::var("GRUB_SCRUB") {
+            Err(_) => ScrubMode::Off,
+            Ok(v) => match v.as_str() {
+                "" | "0" | "off" => ScrubMode::Off,
+                "repair" => ScrubMode::Repair,
+                _ => ScrubMode::Detect,
+            },
+        }
+    }
+}
+
+/// Kills the run at an armed [`grub_fault`] crash point: the typed error
+/// unwinds out of the scheduler mid-pipeline, leaving the chain and every
+/// feed's persistent store exactly as a dying process would. Recovery tests
+/// then restart from that state.
+fn fault_check(point: FaultPoint) -> Result<()> {
+    if grub_fault::should_trip(point) {
+        return Err(GrubError::Store(StoreError::Injected(point.name())));
+    }
+    Ok(())
+}
+
 /// Engine-wide configuration.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -63,6 +109,8 @@ pub struct EngineConfig {
     /// consumer callbacks burn application-layer Gas is refused with a
     /// typed error rather than misattributed.
     pub read_batching: bool,
+    /// Background Merkle scrubbing at round boundaries ([`ScrubMode`]).
+    pub scrub: ScrubMode,
     /// Chain timing parameters shared by all feeds.
     pub chain: ChainConfig,
 }
@@ -76,8 +124,15 @@ impl EngineConfig {
             exec: ExecMode::Sequential,
             batching: true,
             read_batching: true,
+            scrub: ScrubMode::default(),
             chain: ChainConfig::default(),
         }
+    }
+
+    /// Enables background scrubbing at round boundaries.
+    pub fn with_scrub(mut self, scrub: ScrubMode) -> Self {
+        self.scrub = scrub;
+        self
     }
 
     /// Disables cross-feed batching entirely (the sum-of-singles baseline).
@@ -427,7 +482,13 @@ pub struct FeedEngine {
     batching: bool,
     read_batching: bool,
     exec: ExecMode,
+    scrub: ScrubMode,
     rounds: usize,
+    metrics: Vec<EpochMetrics>,
+    /// Sections the current round's shard batches carried so far — reset at
+    /// the top of every round, snapshotted into its [`EpochMetrics`].
+    round_update_sections: usize,
+    round_deliver_sections: usize,
 }
 
 impl FeedEngine {
@@ -502,7 +563,11 @@ impl FeedEngine {
             batching: config.batching,
             read_batching: config.batching && config.read_batching,
             exec: config.exec,
+            scrub: config.scrub,
             rounds: 0,
+            metrics: Vec::new(),
+            round_update_sections: 0,
+            round_deliver_sections: 0,
         })
     }
 
@@ -536,13 +601,108 @@ impl FeedEngine {
     ///
     /// Propagates store failures and protocol-violating transaction
     /// failures.
-    pub fn run_with_chain(mut self) -> Result<(EngineReport, Blockchain)> {
+    pub fn run_with_chain(self) -> Result<(EngineReport, Blockchain)> {
+        let (report, chain) = self.run_surviving();
+        Ok((report?, chain))
+    }
+
+    /// Like [`FeedEngine::run_with_chain`], but hands the chain back even
+    /// when the run dies mid-pipeline — the surviving chain of a crash
+    /// (e.g. an armed [`grub_fault`] point) is exactly what a recovery
+    /// harness needs to restart from.
+    pub fn run_surviving(mut self) -> (Result<EngineReport>, Blockchain) {
+        let result = self.run_rounds();
+        let chain = std::mem::take(&mut self.chain);
+        (result.map(|()| self.into_report()), chain)
+    }
+
+    /// Drives scheduler rounds until every feed's stream is exhausted,
+    /// without consuming the engine — callers that need to inspect drivers
+    /// after the run (recovery harnesses, scrub audits) use this and keep
+    /// the engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures, protocol-violating transaction failures,
+    /// and injected crash points.
+    pub fn run_rounds(&mut self) -> Result<()> {
         while self.feeds.iter().any(|f| !f.exhausted()) {
-            self.run_round()?;
+            self.run_metered_round()?;
             self.rounds += 1;
         }
-        let chain = std::mem::take(&mut self.chain);
-        Ok((self.into_report(), chain))
+        Ok(())
+    }
+
+    /// One scheduler round wrapped in metrics collection: Gas-meter and
+    /// counter snapshots around [`FeedEngine::run_round`], a scrub pass at
+    /// the epoch boundary, and one [`EpochMetrics`] entry appended.
+    fn run_metered_round(&mut self) -> Result<()> {
+        let started = std::time::Instant::now();
+        let gas_before = self.chain.gas_snapshot();
+        let ops_before = self.completed_ops();
+        let parked_before: usize = self.feeds.iter().map(|f| f.parked_rounds).sum();
+        let update_gas_before: u64 = self.shards.iter().map(|s| s.update_gas).sum();
+        let deliver_gas_before: u64 = self.shards.iter().map(|s| s.deliver_gas).sum();
+        self.round_update_sections = 0;
+        self.round_deliver_sections = 0;
+        self.run_round()?;
+        let (scrub_findings, scrub_repaired) = self.run_scrub_pass()?;
+        let gas_after = self.chain.gas_snapshot();
+        let (feed_delta, app_delta) = gas_after.since(gas_before);
+        self.metrics.push(EpochMetrics {
+            round: self.rounds,
+            staged_ops: self.completed_ops() - ops_before,
+            feed_gas: feed_delta.amount(),
+            app_gas: app_delta.amount(),
+            update_gas: checked_sub_gas(
+                self.shards.iter().map(|s| s.update_gas).sum(),
+                update_gas_before,
+            ),
+            deliver_gas: checked_sub_gas(
+                self.shards.iter().map(|s| s.deliver_gas).sum(),
+                deliver_gas_before,
+            ),
+            update_sections: self.round_update_sections,
+            deliver_sections: self.round_deliver_sections,
+            parked: self.feeds.iter().map(|f| f.parked_rounds).sum::<usize>() - parked_before,
+            max_parked_streak: self
+                .feeds
+                .iter()
+                .map(|f| f.parked_streak)
+                .max()
+                .unwrap_or(0),
+            scrub_findings,
+            scrub_repaired,
+            wall_clock_micros: started.elapsed().as_micros().try_into().unwrap_or(u64::MAX),
+        });
+        Ok(())
+    }
+
+    /// Trace operations completed so far, across all feeds.
+    fn completed_ops(&self) -> usize {
+        self.feeds
+            .iter()
+            .map(|f| f.driver.reports().iter().map(|e| e.ops).sum::<usize>())
+            .sum()
+    }
+
+    /// One scrub pass over every feed at a round boundary (no-op with
+    /// scrubbing [`ScrubMode::Off`]). Returns (findings, repaired) totals.
+    fn run_scrub_pass(&mut self) -> Result<(usize, usize)> {
+        let scrubber = match self.scrub {
+            ScrubMode::Off => return Ok((0, 0)),
+            ScrubMode::Detect => Scrubber::default(),
+            ScrubMode::Repair => Scrubber::repairing(),
+        };
+        let mut findings = 0;
+        let mut repaired = 0;
+        let chain = &self.chain;
+        for feed in &mut self.feeds {
+            let report = feed.driver.scrub(chain, scrubber)?;
+            findings += report.findings.len();
+            repaired += report.repaired();
+        }
+        Ok((findings, repaired))
     }
 
     /// One scheduler round.
@@ -610,6 +770,7 @@ impl FeedEngine {
     /// [`FeedEngine::run_round_unbatched`].
     fn run_round_unbatched_parallel(&mut self, runnable: &[usize]) -> Result<()> {
         let staged = self.stage_parallel(runnable)?;
+        fault_check(FaultPoint::PreMerge)?;
         for (idx, update) in staged {
             let feed = &mut self.feeds[idx];
             feed.driver.submit_update(&mut self.chain, &update);
@@ -630,7 +791,13 @@ impl FeedEngine {
     fn run_round_pipelined(&mut self, by_shard: &[Vec<usize>], schedule: &[usize]) -> Result<()> {
         let mut gate = CommitGate::new(self.shards.len());
         let mut staged_next = self.stage_shard(&by_shard[schedule[0]])?;
+        fault_check(FaultPoint::PreMerge)?;
         for (pos, &shard) in schedule.iter().enumerate() {
+            if pos > 0 {
+                // Between two shard commits of the same round: the previous
+                // shard's block is mined, this shard's is not.
+                fault_check(FaultPoint::MidShardCommit)?;
+            }
             let staged = std::mem::take(&mut staged_next);
             claim_lane(&mut gate, shard)?;
             self.commit_shard(shard, staged, |engine| {
@@ -658,9 +825,13 @@ impl FeedEngine {
             .flat_map(|&s| by_shard[s].iter().copied())
             .collect();
         let staged = self.stage_parallel(&order)?;
+        fault_check(FaultPoint::PreMerge)?;
         let mut staged = staged.into_iter();
         let mut gate = CommitGate::new(self.shards.len());
-        for &shard in schedule {
+        for (pos, &shard) in schedule.iter().enumerate() {
+            if pos > 0 {
+                fault_check(FaultPoint::MidShardCommit)?;
+            }
             claim_lane(&mut gate, shard)?;
             let round_feeds: Vec<RoundFeed> = by_shard[shard]
                 .iter()
@@ -694,6 +865,8 @@ impl FeedEngine {
             }
         }
         self.submit_shard_batch(shard, BatchKind::Update, sections)?;
+        // The shard's write block is mined; its read phase has not begun.
+        fault_check(FaultPoint::PostWriteBlock)?;
         overlap(self)?;
         self.run_shard_read_phase(shard, staged)
     }
@@ -758,6 +931,7 @@ impl FeedEngine {
             debug_assert_eq!(feed, idx, "lane results must align with the order");
             out.push((idx, update));
         }
+        fault_check(FaultPoint::PostStage)?;
         Ok(out)
     }
 
@@ -775,6 +949,7 @@ impl FeedEngine {
                 update,
             });
         }
+        fault_check(FaultPoint::PostStage)?;
         Ok(staged)
     }
 
@@ -835,6 +1010,10 @@ impl FeedEngine {
     ) -> Result<()> {
         if sections.is_empty() {
             return Ok(());
+        }
+        match kind {
+            BatchKind::Update => self.round_update_sections += sections.len(),
+            BatchKind::Deliver => self.round_deliver_sections += sections.len(),
         }
         // Chunk the sections into planned transactions, preserving order.
         type Planned = (Vec<(Address, Vec<u8>)>, Vec<(usize, usize)>);
@@ -975,6 +1154,24 @@ impl FeedEngine {
         &self.chain
     }
 
+    /// Arms the shared chain's recovery checkpoint
+    /// ([`Blockchain::expect_digest_at`]): when this engine's re-execution
+    /// reaches `height`, its chain digest must equal `digest` or the run
+    /// panics — the oracle a recovery run uses to prove it rebuilt the
+    /// surviving chain byte for byte before continuing past it.
+    pub fn expect_digest_at(&mut self, height: u64, digest: grub_crypto::Hash32) {
+        self.chain.expect_digest_at(height, digest);
+    }
+
+    /// One tenant's driver, for recovery and scrub harnesses that compare a
+    /// feed's DO/SP state across runs.
+    pub fn driver(&self, tenant: &str) -> Option<&EpochDriver> {
+        self.feeds
+            .iter()
+            .find(|f| f.tenant == tenant)
+            .map(|f| &f.driver)
+    }
+
     fn into_report(self) -> EngineReport {
         let batching = self.batching;
         let read_batching = self.read_batching;
@@ -1001,6 +1198,7 @@ impl FeedEngine {
             rounds,
             batching,
             read_batching,
+            metrics: self.metrics,
         }
     }
 }

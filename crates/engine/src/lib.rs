@@ -161,8 +161,8 @@ mod router;
 pub mod specs;
 
 pub use engine::{
-    tenant_shard, EngineConfig, ExecMode, FeedEngine, FeedSpec, QuotaTier, TenantBudget,
+    tenant_shard, EngineConfig, ExecMode, FeedEngine, FeedSpec, QuotaTier, ScrubMode, TenantBudget,
 };
 pub use executor::ParallelExecutor;
-pub use report::{EngineReport, TenantReport};
+pub use report::{EngineReport, EpochMetrics, TenantReport};
 pub use router::ShardRouter;

@@ -57,10 +57,50 @@ impl TenantReport {
     }
 }
 
+/// Structured per-round (scheduler-epoch) metrics emitted by the engine.
+///
+/// One entry per scheduler round, in order. Every field except
+/// `wall_clock_micros` is a deterministic function of the engine's specs;
+/// wall-clock is measured and therefore excluded from
+/// [`EngineReport::render_table`] (the determinism artifact) — it feeds the
+/// bench harness's throughput baseline instead.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EpochMetrics {
+    /// Scheduler round index (0-based).
+    pub round: usize,
+    /// Trace operations ingested and completed this round, across feeds.
+    pub staged_ops: usize,
+    /// Feed-layer Gas metered this round (updates, delivers, batches).
+    pub feed_gas: u64,
+    /// Application-layer Gas metered this round (consumer callbacks).
+    pub app_gas: u64,
+    /// Engine-submitted update Gas this round, summed over shards.
+    pub update_gas: u64,
+    /// Engine-submitted deliver Gas this round, summed over shards.
+    pub deliver_gas: u64,
+    /// Update sections carried by this round's shard batches.
+    pub update_sections: usize,
+    /// Deliver sections carried by this round's shard batches.
+    pub deliver_sections: usize,
+    /// Feeds the quota scheduler parked this round.
+    pub parked: usize,
+    /// Longest consecutive-park streak across feeds, as of this round.
+    pub max_parked_streak: usize,
+    /// Scrub findings reported at this round's epoch boundary (zero with
+    /// scrubbing off).
+    pub scrub_findings: usize,
+    /// Scrub findings repaired at this round's epoch boundary.
+    pub scrub_repaired: usize,
+    /// Wall-clock duration of the round, in microseconds. Measured, not
+    /// deterministic — never rendered into the determinism table.
+    pub wall_clock_micros: u64,
+}
+
 /// The aggregate result of one engine run.
 ///
 /// Tenant order is the feed declaration order; all contained quantities are
-/// deterministic functions of the engine's specs, so two identical runs
+/// deterministic functions of the engine's specs (the per-round
+/// [`EpochMetrics::wall_clock_micros`] excepted), so two identical runs
 /// render byte-identical tables.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct EngineReport {
@@ -84,6 +124,8 @@ pub struct EngineReport {
     pub batching: bool,
     /// Whether shard-level read (deliver) batching was on.
     pub read_batching: bool,
+    /// Per-round metrics trajectory, one entry per scheduler round.
+    pub metrics: Vec<EpochMetrics>,
 }
 
 impl EngineReport {
@@ -226,6 +268,14 @@ mod tests {
             rounds: 1,
             batching: true,
             read_batching: true,
+            metrics: vec![EpochMetrics {
+                round: 0,
+                staged_ops: 4,
+                feed_gas: 260,
+                update_gas: 100,
+                deliver_gas: 10,
+                ..EpochMetrics::default()
+            }],
         };
         assert_eq!(report.feed_gas_total(), 100 + 40 + 5 + 50 + 60 + 5);
         assert_eq!(report.app_gas_total(), 14);

@@ -89,6 +89,13 @@ impl Db {
             if let Some((no, level)) = parse_table_name(&name) {
                 names.push((no, level, entry.path()));
                 next_file_no = next_file_no.max(no + 1);
+            } else if name.ends_with(".tmp") && name != "SEQ.tmp" {
+                // A crash mid-flush leaves a partial `.sst.tmp` behind (the
+                // writer renames only on a complete, synced finish). Its
+                // contents are still covered by the WAL — the WAL is reset
+                // strictly after the rename — so the leftover is dead weight:
+                // sweep it. SEQ.tmp follows its own temp+rename discipline.
+                std::fs::remove_file(entry.path()).ok();
             }
         }
         names.sort();
@@ -618,6 +625,46 @@ mod tests {
         db.put(b"big".to_vec(), big.clone()).unwrap();
         db.flush().unwrap();
         assert_eq!(db.get(b"big").unwrap(), Some(big));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_mid_flush_crash_leaves_reopenable_dir() {
+        use grub_fault::{arm, injection_lock, FaultPlan, FaultPoint};
+        let _guard = injection_lock();
+        let dir = temp_dir("midflush");
+        {
+            let mut db = Db::open(&dir, small_opts()).unwrap();
+            db.put(b"a".to_vec(), b"1".to_vec()).unwrap();
+            db.put(b"b".to_vec(), b"2".to_vec()).unwrap();
+            arm(FaultPlan::at(FaultPoint::MidSstableFlush));
+            let err = db.flush().unwrap_err();
+            assert!(
+                matches!(err, crate::StoreError::Injected(_)),
+                "expected injected crash, got {err}"
+            );
+            // Simulated process death: drop without cleanup.
+        }
+        // The partial .tmp table is on disk; the WAL still covers the data.
+        let has_tmp = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().ends_with(".tmp"));
+        assert!(has_tmp, "crash artifact (.tmp table) expected on disk");
+        let mut db = Db::open(&dir, small_opts()).unwrap();
+        assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"b").unwrap(), Some(b"2".to_vec()));
+        // The sweep removed the leftover and a clean flush now succeeds.
+        let has_tmp = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().ends_with(".tmp"));
+        assert!(!has_tmp, "stray .tmp must be swept on open");
+        db.flush().unwrap();
+        drop(db);
+        let db = Db::open(&dir, small_opts()).unwrap();
+        assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"b").unwrap(), Some(b"2".to_vec()));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -55,6 +55,9 @@ pub enum StoreError {
     Io(io::Error),
     /// A file was malformed (bad magic, bad CRC, truncated structure).
     Corrupt(String),
+    /// An armed [`grub_fault`] crash point tripped here — the simulated
+    /// process death of a recovery test, never seen in normal operation.
+    Injected(&'static str),
 }
 
 impl fmt::Display for StoreError {
@@ -62,6 +65,7 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "i/o error: {e}"),
             StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+            StoreError::Injected(point) => write!(f, "injected crash at {point}"),
         }
     }
 }
@@ -70,7 +74,7 @@ impl Error for StoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             StoreError::Io(e) => Some(e),
-            StoreError::Corrupt(_) => None,
+            StoreError::Corrupt(_) | StoreError::Injected(_) => None,
         }
     }
 }

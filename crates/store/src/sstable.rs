@@ -17,6 +17,8 @@ use std::io::Write;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 
+use grub_fault::{should_trip, FaultPoint};
+
 use crate::bloom::Bloom;
 use crate::crc::crc32;
 use crate::{Result, StoreError};
@@ -44,10 +46,17 @@ struct IndexEntry {
 
 /// Streaming SSTable writer. Entries must arrive sorted by
 /// `(key asc, seq desc)`.
+///
+/// Bytes go to a `.tmp` sibling of the target path; [`SsTableWriter::finish`]
+/// syncs and renames it into place, so a crash at any point during the write
+/// leaves either no table or a complete one at the final name — never a
+/// half-written `.sst` that poisons the next open. Stray `.tmp` leftovers
+/// are swept by `Db::open`.
 #[derive(Debug)]
 pub struct SsTableWriter {
     file: File,
     path: PathBuf,
+    tmp_path: PathBuf,
     block: Vec<u8>,
     block_entries: usize,
     offset: u64,
@@ -72,14 +81,18 @@ impl SsTableWriter {
         bits_per_key: usize,
     ) -> Result<Self> {
         let path = path.into();
+        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp_path = path.with_file_name(tmp_name);
         let file = OpenOptions::new()
             .create(true)
             .write(true)
             .truncate(true)
-            .open(&path)?;
+            .open(&tmp_path)?;
         Ok(SsTableWriter {
             file,
             path,
+            tmp_path,
             block: Vec::new(),
             block_entries: 0,
             offset: 0,
@@ -161,13 +174,21 @@ impl SsTableWriter {
         Ok(())
     }
 
-    /// Finishes the table, writing index, bloom and footer.
+    /// Finishes the table: writes index, bloom and footer, syncs, and
+    /// renames the `.tmp` file to the final path.
     ///
     /// # Errors
     ///
     /// Any filesystem error writing or syncing.
     pub fn finish(mut self) -> Result<PathBuf> {
         self.finish_block()?;
+        if should_trip(FaultPoint::MidSstableFlush) {
+            // Simulated crash mid-flush: the data blocks written so far stay
+            // in the .tmp file — no footer, no rename — which is exactly the
+            // artifact a power cut leaves. Db::open sweeps it.
+            self.file.sync_data().ok();
+            return Err(StoreError::Injected("mid-sstable-flush"));
+        }
         // Index block.
         let mut index = Vec::new();
         index.extend_from_slice(&(self.index.len() as u32).to_le_bytes());
@@ -195,6 +216,14 @@ impl SsTableWriter {
         footer.extend_from_slice(&MAGIC.to_le_bytes());
         self.file.write_all(&footer)?;
         self.file.sync_data()?;
+        std::fs::rename(&self.tmp_path, &self.path)?;
+        // Persist the rename (best effort where directories cannot be
+        // opened for sync), mirroring the SEQ sidecar discipline.
+        if let Some(parent) = self.path.parent() {
+            if let Ok(d) = File::open(parent) {
+                d.sync_all().ok();
+            }
+        }
         Ok(self.path)
     }
 }

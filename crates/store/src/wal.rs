@@ -8,6 +8,8 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
+use grub_fault::{should_trip, FaultPoint};
+
 use crate::crc::crc32;
 use crate::{Result, StoreError};
 
@@ -92,6 +94,14 @@ impl Wal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
+        if should_trip(FaultPoint::MidWalAppend) {
+            // Simulated crash mid-append: the torn half of the frame reaches
+            // the log (exactly what a power cut during write_all leaves),
+            // then the process "dies" via the injected error.
+            self.file.write_all(&frame[..frame.len() / 2])?;
+            self.file.sync_data().ok();
+            return Err(StoreError::Injected("mid-wal-append"));
+        }
         self.file.write_all(&frame)?;
         Ok(())
     }
@@ -121,7 +131,12 @@ impl Wal {
     }
 
     /// Reads every intact record from a log file, stopping (without error)
-    /// at the first torn or corrupt frame — LevelDB's recovery contract.
+    /// at the first torn or corrupt frame — LevelDB's recovery contract —
+    /// and **truncating the log there**. The truncation is what makes
+    /// recovery durable: the log stays in append mode after replay, so
+    /// garbage left beyond the last intact frame would otherwise sit between
+    /// the valid prefix and every post-recovery append, silently losing
+    /// those appends at the *next* replay.
     ///
     /// # Errors
     ///
@@ -153,6 +168,13 @@ impl Wal {
                 None => break,
             }
             pos += 8 + len;
+        }
+        if pos < data.len() {
+            // Cut the torn/corrupt tail so subsequent appends land directly
+            // after the recovered prefix.
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(pos as u64)?;
+            f.sync_data()?;
         }
         Ok(out)
     }
@@ -229,6 +251,69 @@ mod tests {
         data[idx] ^= 0xFF;
         std::fs::write(&path, &data).unwrap();
         assert!(Wal::replay(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_with_stale_bytes_is_truncated_durably() {
+        // The crash shape that used to lose data: the final record is only
+        // half-written AND stale bytes from an earlier, longer log
+        // generation sit beyond it. Replay must stop at the intact prefix,
+        // truncate the file there, and post-recovery appends must land
+        // directly after the prefix — visible to the *next* replay.
+        let path = temp_path("torn-stale");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&rec(1, "a", Some("1"))).unwrap();
+            wal.append(&rec(2, "b", Some("2"))).unwrap();
+            wal.sync().unwrap();
+        }
+        let data = std::fs::read(&path).unwrap();
+        // Keep record 1 intact plus the first half of record 2's frame, then
+        // splice in stale garbage that a previous generation left behind.
+        let record_len = data.len() / 2;
+        let mut torn = data[..record_len + record_len / 2].to_vec();
+        torn.extend_from_slice(&[0xAA; 37]);
+        std::fs::write(&path, &torn).unwrap();
+
+        let records = Wal::replay(&path).unwrap();
+        assert_eq!(records, vec![rec(1, "a", Some("1"))]);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            record_len as u64,
+            "replay must truncate the torn tail, not just skip it"
+        );
+
+        // Post-recovery appends go right after the prefix and survive the
+        // next replay (the bug: they used to land after the garbage and be
+        // unreachable forever).
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&rec(2, "c", Some("3"))).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let records = Wal::replay(&path).unwrap();
+        assert_eq!(
+            records,
+            vec![rec(1, "a", Some("1")), rec(2, "c", Some("3"))]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_mid_append_crash_leaves_recoverable_log() {
+        let _guard = grub_fault::injection_lock();
+        let path = temp_path("fault-append");
+        std::fs::remove_file(&path).ok();
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&rec(1, "a", Some("1"))).unwrap();
+        grub_fault::arm(grub_fault::FaultPlan::at(FaultPoint::MidWalAppend));
+        let err = wal.append(&rec(2, "b", Some("2"))).unwrap_err();
+        assert!(matches!(err, StoreError::Injected(_)), "typed crash error");
+        drop(wal);
+        // The torn half-frame is on disk; recovery keeps the intact prefix.
+        let records = Wal::replay(&path).unwrap();
+        assert_eq!(records, vec![rec(1, "a", Some("1"))]);
         std::fs::remove_file(&path).ok();
     }
 

@@ -30,7 +30,7 @@
 //! ```
 
 use grub::engine::specs::{demo_policies, zipfian_ratio_specs};
-use grub::engine::{EngineConfig, FeedEngine, FeedSpec};
+use grub::engine::{EngineConfig, FeedEngine, FeedSpec, ScrubMode};
 
 fn build_specs(total_ops: usize) -> Vec<FeedSpec> {
     // A wider ratio rotation than the default demo fleet: includes a
@@ -42,9 +42,28 @@ fn build_specs(total_ops: usize) -> Vec<FeedSpec> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::var("GRUB_SMOKE").is_ok();
     let parallel = std::env::var("GRUB_PARALLEL").is_ok();
+    let scrub = ScrubMode::from_env();
     let total_ops = if smoke { 256 } else { 2048 };
     let shards = 2;
-    let config = |base: EngineConfig| if parallel { base.parallel() } else { base };
+    let config = move |base: EngineConfig| {
+        let base = base.with_scrub(scrub);
+        if parallel {
+            base.parallel()
+        } else {
+            base
+        }
+    };
+
+    // Crash-testing harness: with GRUB_FAULT_POINT=<point>[:<n>] set, the
+    // named pipeline crash point trips on its n-th crossing and the run
+    // dies there — exactly what tests/fault_recovery.rs automates.
+    if let Some(plan) = grub::fault::plan_from_env() {
+        println!("fault injection armed from GRUB_FAULT_POINT: {plan:?}");
+        grub::fault::arm(plan);
+    }
+    if scrub != ScrubMode::Off {
+        println!("epoch-boundary Merkle scrubbing on (GRUB_SCRUB): {scrub:?}");
+    }
 
     println!(
         "8 tenants, zipfian activity skew, {total_ops} total ops, {shards} shards{}{}",

@@ -14,6 +14,7 @@
 //! | [`workload`] | `grub-workload` | ratio/oracle/BtcRelay/YCSB workloads |
 //! | [`apps`] | `grub-apps` | SCoin stablecoin + Bitcoin-pegged token case studies |
 //! | [`gas`] | `grub-gas` | the paper's Table 2 Gas schedule and metering |
+//! | [`fault`] | `grub-fault` | named crash-point injection for recovery tests |
 //! | [`crypto`] | `grub-crypto` | SHA-256 / HMAC / Lamport, from scratch |
 //!
 //! # Quickstart
@@ -40,6 +41,7 @@ pub use grub_chain as chain;
 pub use grub_core as core;
 pub use grub_crypto as crypto;
 pub use grub_engine as engine;
+pub use grub_fault as fault;
 pub use grub_gas as gas;
 pub use grub_merkle as merkle;
 pub use grub_store as store;

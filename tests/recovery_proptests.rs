@@ -204,3 +204,88 @@ fn seed_forgery(value: &[u8; 8]) -> [u8; 8] {
     forged[0] ^= 0xFF;
     forged
 }
+
+/// A small mixed-skew fleet on persistent stores, for the engine-level
+/// crash × recovery property below.
+fn crash_fleet(root: &std::path::Path, total_ops: usize) -> Vec<grub::engine::FeedSpec> {
+    use grub::engine::specs::{demo_policies, zipfian_ratio_specs, DEMO_RATIOS};
+    let mut specs = zipfian_ratio_specs(4, total_ops, DEMO_RATIOS, &demo_policies());
+    for spec in &mut specs {
+        spec.config = spec
+            .config
+            .clone()
+            .store_at(root.join(&spec.tenant))
+            .store_options(grub::store::Options {
+                // Tiny memtable: even the read-leaning tenants of a short
+                // fleet flush SSTables, so the mid-flush point can trip.
+                memtable_bytes: 128,
+                l0_compaction_trigger: 2,
+                ..grub::store::Options::default()
+            });
+    }
+    specs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Engine-level crash × recovery: for an arbitrary crash point,
+    /// scheduler mode, batching mode, and fleet size, a run killed at the
+    /// point and re-executed by a fresh engine — checkpointed against the
+    /// surviving chain — finishes with the same chain digest as an
+    /// uninterrupted run of the same specs.
+    #[test]
+    fn crashed_engine_recovers_to_the_clean_chain_digest(
+        point_idx in 0usize..6,
+        parallel in any::<bool>(),
+        read_batching in any::<bool>(),
+        total_ops in 96usize..192,
+    ) {
+        use grub::engine::{EngineConfig, ExecMode, FeedEngine};
+        use grub::fault::{FaultPlan, FaultPoint};
+
+        let _guard = grub::fault::injection_lock();
+        let point = FaultPoint::ALL[point_idx];
+        let config = {
+            let mut c = EngineConfig::new(2);
+            c.exec = if parallel { ExecMode::Parallel } else { ExecMode::Sequential };
+            c.read_batching = read_batching;
+            c
+        };
+        let root = |tag: &str| std::env::temp_dir().join(format!(
+            "grub-engcrash-{tag}-{}-{}", std::process::id(), rand::random::<u64>()
+        ));
+        let (clean_root, crash_root, recover_root) = (root("clean"), root("crash"), root("rec"));
+
+        let mut clean = FeedEngine::new(&config, crash_fleet(&clean_root, total_ops)).unwrap();
+        clean.run_rounds().unwrap();
+        let clean_digest = clean.chain().chain_digest();
+        drop(clean);
+
+        let mut crashed = FeedEngine::new(&config, crash_fleet(&crash_root, total_ops)).unwrap();
+        grub::fault::arm(FaultPlan::at(point));
+        let died = crashed.run_rounds();
+        prop_assert!(died.is_err(), "{point:?}: armed crash point did not kill the run");
+        prop_assert!(!grub::fault::is_armed(), "{point:?}: run died but the point never tripped");
+        let surviving_height = crashed.chain().height();
+        let surviving_digest = crashed.chain().chain_digest();
+        drop(crashed);
+
+        let mut recovered = FeedEngine::new(&config, crash_fleet(&recover_root, total_ops)).unwrap();
+        if surviving_height > recovered.chain().height() {
+            recovered.expect_digest_at(surviving_height, surviving_digest);
+        } else {
+            prop_assert_eq!(recovered.chain().chain_digest(), surviving_digest);
+        }
+        recovered.run_rounds().unwrap();
+        prop_assert_eq!(
+            recovered.chain().chain_digest(),
+            clean_digest,
+            "{:?}: recovered chain diverges from the clean run", point
+        );
+        drop(recovered);
+        for dir in [clean_root, crash_root, recover_root] {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}

@@ -305,6 +305,35 @@ fn memoryless_stays_within_two_competitive_bound() {
     }
 }
 
+/// The windowed offline-optimal construction (bounded sliding lookahead,
+/// streaming-friendly) must be gas-identical to the unbounded one whenever
+/// the window covers the trace — on every scenario in the matrix, both for
+/// a generously sized window and for one clamped exactly to the trace
+/// length.
+#[test]
+fn windowed_offline_optimal_matches_unbounded_on_every_scenario() {
+    let schedule = GasSchedule::default();
+    let k = schedule.two_competitive_k();
+    for scenario in scenarios() {
+        let unbounded = scenario.run_offline_optimal();
+        for window in [scenario.trace.ops.len().max(1), 1 << 20] {
+            let policy = OfflineOptimal::from_trace_windowed(&scenario.trace, k, window);
+            let windowed = GrubSystem::run_trace_with_policy(
+                &scenario.trace,
+                &scenario.config(PolicyKind::Bl1),
+                Box::new(policy),
+            )
+            .unwrap_or_else(|e| panic!("{} windowed({window}) failed: {e}", scenario.name));
+            assert_eq!(
+                windowed.feed_gas_total(),
+                unbounded.feed_gas_total(),
+                "{}: window {window} changes offline-optimal gas",
+                scenario.name
+            );
+        }
+    }
+}
+
 /// §2.3's motivation: a fixed baseline can be catastrophically wrong on a
 /// skewed workload, while GRuB adapts. On every skewed scenario GRuB must
 /// beat the *worse* of BL1/BL2 — and on the extremes, by a wide margin.
