@@ -24,8 +24,10 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use grub_chain::ChainConfig;
 use grub_engine::specs::{demo_policies, zipfian_ratio_specs, DEMO_RATIOS};
 use grub_engine::{EngineConfig, FeedEngine, FeedSpec};
+use grub_gas::FeeProcess;
 
 /// Fleet shape: the multifeed example's 8-feed mixed-skew fleet at smoke
 /// scale, sharded two ways.
@@ -47,11 +49,15 @@ pub const DETERMINISTIC_KEYS: &[&str] = &[
     "unbatched_gas",
     "write_only_gas",
     "full_batch_gas",
+    "fee_spike_gas",
     "update_sections",
     "deliver_sections",
     "update_txs",
     "deliver_txs",
 ];
+
+/// Throughput keys gated at [`THROUGHPUT_FLOOR`] × their baseline value.
+pub const THROUGHPUT_KEYS: &[&str] = &["ops_per_sec", "fee_ops_per_sec"];
 
 fn fleet() -> Vec<FeedSpec> {
     zipfian_ratio_specs(TENANTS, TOTAL_OPS, DEMO_RATIOS, &demo_policies())
@@ -78,6 +84,14 @@ pub fn measure() -> BTreeMap<String, f64> {
         .run_with_chain()
         .expect("parallel run");
     let par_elapsed = par_start.elapsed();
+    // The chain-realism row: the same fleet under the seeded spiking
+    // gas-price process. Block heights, and therefore every priced charge,
+    // are pure functions of the specs and the seed — the total is exact.
+    let mut fee_config = EngineConfig::new(SHARDS);
+    fee_config.chain = ChainConfig::default().fee(FeeProcess::spike(11));
+    let fee_start = Instant::now();
+    let fee_run = FeedEngine::run_specs(&fee_config, fleet()).expect("fee-schedule run");
+    let fee_elapsed = fee_start.elapsed();
     assert_eq!(
         seq_chain.chain_digest(),
         par_chain.chain_digest(),
@@ -95,6 +109,7 @@ pub fn measure() -> BTreeMap<String, f64> {
     out.insert("unbatched_gas".into(), unbatched.feed_gas_total() as f64);
     out.insert("write_only_gas".into(), write_only.feed_gas_total() as f64);
     out.insert("full_batch_gas".into(), full.feed_gas_total() as f64);
+    out.insert("fee_spike_gas".into(), fee_run.feed_gas_total() as f64);
     out.insert(
         "update_sections".into(),
         full.metrics
@@ -120,6 +135,10 @@ pub fn measure() -> BTreeMap<String, f64> {
     out.insert(
         "ops_per_sec".into(),
         full.total_ops() as f64 / seq_elapsed.as_secs_f64().max(1e-9),
+    );
+    out.insert(
+        "fee_ops_per_sec".into(),
+        fee_run.total_ops() as f64 / fee_elapsed.as_secs_f64().max(1e-9),
     );
     out.insert(
         "seq_par_speedup".into(),
@@ -180,13 +199,15 @@ pub fn compare(baseline: &BTreeMap<String, f64>, fresh: &BTreeMap<String, f64>) 
             (_, None) => failures.push(format!("{key}: missing from fresh run")),
         }
     }
-    if let (Some(b), Some(f)) = (baseline.get("ops_per_sec"), fresh.get("ops_per_sec")) {
-        let floor = b * THROUGHPUT_FLOOR;
-        if *f < floor {
-            failures.push(format!(
-                "ops_per_sec: fresh {f:.0} below floor {floor:.0} \
-                 ({THROUGHPUT_FLOOR}× baseline {b:.0})"
-            ));
+    for key in THROUGHPUT_KEYS {
+        if let (Some(b), Some(f)) = (baseline.get(*key), fresh.get(*key)) {
+            let floor = b * THROUGHPUT_FLOOR;
+            if *f < floor {
+                failures.push(format!(
+                    "{key}: fresh {f:.0} below floor {floor:.0} \
+                     ({THROUGHPUT_FLOOR}× baseline {b:.0})"
+                ));
+            }
         }
     }
     failures

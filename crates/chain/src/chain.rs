@@ -1,17 +1,49 @@
-//! The single-chain simulator: mempool, blocks, receipts, events, finality.
+//! The single-chain simulator: mempool, blocks, receipts, events, finality,
+//! and the chain-realism axes (seeded reorgs, a volatile gas-price process,
+//! bounded-capacity mempool contention).
 
+use std::cmp::Reverse;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use grub_gas::{GasMeter, GasSnapshot, Layer};
+use grub_fault::FaultPoint;
+use grub_gas::{seeded_mix, FeeProcess, GasMeter, GasSnapshot, Layer};
 
 use crate::contract::{CallContext, CallRecord, Contract, Deployed, ExecState, VmError};
 use crate::storage::ContractStorage;
 use crate::types::{Address, TxId};
 
+/// Parameters of the seeded fork process (see [`ChainConfig::reorg`]).
+///
+/// Every `period` blocks the chain mines a short-lived fork block (with a
+/// seeded timestamp skew), rolls back `1 + mix(seed, height) % max_depth`
+/// canonical blocks — clamped to what snapshots and retained bodies allow —
+/// and re-commits the canonical branch from the recorded per-block
+/// transaction lists. The re-committed branch is byte-identical to a
+/// straight-line run, so [`Blockchain::chain_digest`] is reorg-transparent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReorgConfig {
+    /// Seed fixing fork depths and fork-block timestamp skew.
+    pub seed: u64,
+    /// A fork fires at every height divisible by this (min 1).
+    pub period: u64,
+    /// Upper bound on how many canonical blocks one fork rolls back (min 1).
+    pub max_depth: usize,
+}
+
+/// Mempool contention parameters (see [`ChainConfig::mempool`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MempoolConfig {
+    /// Maximum transactions mined per block (min 1). Overflow stays queued
+    /// for later blocks, ordered by descending [`Transaction::priority`]
+    /// (stable: equal priorities keep submission order).
+    pub max_txs_per_block: usize,
+}
+
 /// Chain timing parameters (paper §3.4): block period `B`, finality depth
 /// `F`, and transaction propagation delay `Pt` — plus the simulator's
-/// block-retention window for streamed-scale runs.
+/// block-retention window for streamed-scale runs and the optional
+/// chain-realism axes (reorgs, fee volatility, mempool congestion).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ChainConfig {
     /// Average block production period, milliseconds (Ethereum: 10–19 s).
@@ -31,6 +63,14 @@ pub struct ChainConfig {
     /// window (every per-epoch watchdog does — cursors advance each
     /// epoch, and an epoch spans a handful of blocks).
     pub retain_blocks: Option<usize>,
+    /// Seeded fork process; `None` (the default) never forks.
+    pub reorg: Option<ReorgConfig>,
+    /// Seeded per-block gas-price process; `None` (the default) charges the
+    /// flat Table-2 schedule.
+    pub fee: Option<FeeProcess>,
+    /// Bounded per-block transaction capacity; `None` (the default) mines
+    /// every queued transaction in one block.
+    pub mempool: Option<MempoolConfig>,
 }
 
 impl Default for ChainConfig {
@@ -40,12 +80,186 @@ impl Default for ChainConfig {
             finality_depth: 250,
             propagation_ms: 500,
             retain_blocks: None,
+            reorg: None,
+            fee: None,
+            mempool: None,
         }
     }
 }
 
+impl ChainConfig {
+    /// Enables the seeded fork process: a fork at every height divisible by
+    /// `period`, rolling back up to `max_depth` canonical blocks.
+    pub fn reorg(mut self, seed: u64, period: u64, max_depth: usize) -> Self {
+        self.reorg = Some(ReorgConfig {
+            seed,
+            period: period.max(1),
+            max_depth: max_depth.max(1),
+        });
+        self
+    }
+
+    /// Enables a seeded per-block gas-price process.
+    pub fn fee(mut self, process: FeeProcess) -> Self {
+        self.fee = Some(process);
+        self
+    }
+
+    /// Bounds per-block transaction capacity to `max_txs_per_block`.
+    pub fn mempool(mut self, max_txs_per_block: usize) -> Self {
+        self.mempool = Some(MempoolConfig {
+            max_txs_per_block: max_txs_per_block.max(1),
+        });
+        self
+    }
+
+    /// Applies the chain-realism environment knobs on top of this config:
+    ///
+    /// * `GRUB_REORG=seed:period:depth` (or `1` for defaults `7:5:2`)
+    /// * `GRUB_FEE_SCHEDULE=step|spike|revert[:seed]` (see
+    ///   [`FeeProcess::parse`])
+    /// * `GRUB_MEMPOOL=<max txs per block>`
+    ///
+    /// Unset, empty, or `0` leaves the corresponding axis off.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed knob values — a typo must not silently run a
+    /// different scenario.
+    pub fn with_env_realism(mut self) -> Self {
+        if let Ok(raw) = std::env::var("GRUB_REORG") {
+            let raw = raw.trim();
+            if !raw.is_empty() && raw != "0" {
+                self = if raw == "1" {
+                    self.reorg(7, 5, 2)
+                } else {
+                    let parts: Vec<u64> = raw
+                        .split(':')
+                        .map(|p| {
+                            p.parse().unwrap_or_else(|_| {
+                                panic!("GRUB_REORG: bad field {p:?} in {raw:?}")
+                            })
+                        })
+                        .collect();
+                    assert!(
+                        parts.len() == 3,
+                        "GRUB_REORG: want seed:period:depth, got {raw:?}"
+                    );
+                    self.reorg(parts[0], parts[1], parts[2] as usize)
+                };
+            }
+        }
+        if let Ok(raw) = std::env::var("GRUB_FEE_SCHEDULE") {
+            match FeeProcess::parse(&raw) {
+                Ok(Some(fee)) => self = self.fee(fee),
+                Ok(None) => {}
+                Err(err) => panic!("GRUB_FEE_SCHEDULE: {err}"),
+            }
+        }
+        if let Ok(raw) = std::env::var("GRUB_MEMPOOL") {
+            let raw = raw.trim();
+            if !raw.is_empty() && raw != "0" {
+                let cap: usize = raw
+                    .parse()
+                    .unwrap_or_else(|_| panic!("GRUB_MEMPOOL: bad capacity {raw:?}"));
+                self = self.mempool(cap);
+            }
+        }
+        self
+    }
+}
+
+/// One observed fork: recorded when the seeded reorg process fires, for
+/// reporting and tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReorgEvent {
+    /// Height the abandoned fork block was mined at.
+    pub height: u64,
+    /// How many canonical blocks were rolled back and re-committed.
+    pub depth: usize,
+    /// Digest the chain would have had if the fork branch had won —
+    /// always different from the canonical digest at the same height.
+    pub fork_digest: grub_crypto::Hash32,
+}
+
+/// A rollback was requested past what the chain can undo.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReorgError {
+    /// The rollback depth exceeds the retained block bodies — history
+    /// beyond [`ChainConfig::retain_blocks`] has been pruned and cannot be
+    /// re-committed.
+    PastRetainedWindow {
+        /// Blocks the caller asked to roll back.
+        requested: usize,
+        /// Block bodies still retained.
+        retained: usize,
+    },
+    /// No state snapshot exists at the rollback target — deeper than
+    /// [`ReorgConfig::max_depth`] keeps, or the chain is not in reorg mode
+    /// (snapshots are only recorded when [`ChainConfig::reorg`] is set).
+    PastSnapshotHorizon {
+        /// Blocks the caller asked to roll back.
+        requested: usize,
+        /// Deepest rollback currently possible.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for ReorgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReorgError::PastRetainedWindow {
+                requested,
+                retained,
+            } => write!(
+                f,
+                "cannot roll back {requested} blocks: only {retained} block \
+                 bodies are retained (retain_blocks pruned the rest)"
+            ),
+            ReorgError::PastSnapshotHorizon {
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot roll back {requested} blocks: no state snapshot at \
+                 the target height (deepest possible rollback is {available})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReorgError {}
+
+/// Block production failed — either an injected crash point tripped or a
+/// reorg could not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockError {
+    /// A [`grub_fault`] crash point tripped mid-production; the chain is
+    /// left in a consistent canonical state.
+    Injected(&'static str),
+    /// The fork process asked for an impossible rollback.
+    Reorg(ReorgError),
+}
+
+impl std::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockError::Injected(point) => write!(f, "injected fault at {point}"),
+            BlockError::Reorg(err) => write!(f, "reorg failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+impl From<ReorgError> for BlockError {
+    fn from(err: ReorgError) -> Self {
+        BlockError::Reorg(err)
+    }
+}
+
 /// A transaction submitted to the chain.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Transaction {
     /// Sender account.
     pub from: Address,
@@ -57,10 +271,14 @@ pub struct Transaction {
     pub input: Vec<u8>,
     /// Which layer pays the `Ctx` envelope cost.
     pub envelope_layer: Layer,
+    /// Mempool priority under [`ChainConfig::mempool`] congestion: higher
+    /// values mine first; ties keep submission order. Ignored (all
+    /// transactions mine together) when the mempool is unbounded.
+    pub priority: u8,
 }
 
 impl Transaction {
-    /// Builds a transaction.
+    /// Builds a transaction (default priority 0).
     pub fn new(
         from: Address,
         to: Address,
@@ -74,7 +292,14 @@ impl Transaction {
             func: func.into(),
             input,
             envelope_layer,
+            priority: 0,
         }
+    }
+
+    /// Sets the mempool priority (see [`Transaction::priority`]).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
     }
 }
 
@@ -152,6 +377,27 @@ pub struct Blockchain {
     checkpoint: Option<(u64, grub_crypto::Hash32)>,
     next_tx_id: u64,
     now_ms: u64,
+    /// Rollback snapshots, ascending by height, only kept in reorg mode
+    /// (bounded to `max_depth + 1` entries).
+    snapshots: Vec<StateSnapshot>,
+    /// Transaction lists of recently sealed canonical blocks (same window
+    /// as `snapshots`), the replay source for re-committing after rollback.
+    recent_txs: Vec<(u64, Vec<(TxId, Transaction)>)>,
+    /// Every fork the seeded reorg process has executed.
+    reorg_events: Vec<ReorgEvent>,
+}
+
+/// Everything needed to rewind the chain to the state just after a given
+/// canonical block sealed. The contract registry is deliberately absent:
+/// deployments happen outside blocks and are never rolled back (contract
+/// code is stateless; all mutable state lives in `storages`).
+#[derive(Clone)]
+struct StateSnapshot {
+    mined: u64,
+    now_ms: u64,
+    digest_acc: grub_crypto::Hash32,
+    storages: HashMap<Address, ContractStorage>,
+    meter: GasMeter,
 }
 
 impl Default for Blockchain {
@@ -168,7 +414,7 @@ impl Blockchain {
 
     /// Creates a chain with explicit timing parameters.
     pub fn with_config(config: ChainConfig) -> Self {
-        Blockchain {
+        let mut chain = Blockchain {
             config,
             registry: HashMap::new(),
             storages: HashMap::new(),
@@ -180,6 +426,24 @@ impl Blockchain {
             checkpoint: None,
             next_tx_id: 0,
             now_ms: 0,
+            snapshots: Vec::new(),
+            recent_txs: Vec::new(),
+            reorg_events: Vec::new(),
+        };
+        if chain.config.reorg.is_some() {
+            chain.snapshots.push(chain.current_snapshot());
+        }
+        chain
+    }
+
+    /// The chain state as a rollback snapshot.
+    fn current_snapshot(&self) -> StateSnapshot {
+        StateSnapshot {
+            mined: self.mined,
+            now_ms: self.now_ms,
+            digest_acc: self.digest_acc,
+            storages: self.storages.clone(),
+            meter: self.meter.clone(),
         }
     }
 
@@ -217,17 +481,77 @@ impl Blockchain {
         self.mempool.len()
     }
 
-    /// Advances time by the block period and mines all queued transactions
-    /// into a new block, returning it.
+    /// Advances time by the block period and mines queued transactions into
+    /// a new block, returning it.
     ///
     /// The sealed block is folded into the chain's running digest before it
     /// is retained, and — under [`ChainConfig::retain_blocks`] — the oldest
-    /// bodies past the window are dropped.
+    /// bodies past the window are dropped. Under [`ChainConfig::mempool`]
+    /// congestion only the highest-priority transactions up to the per-block
+    /// capacity mine; the rest stay queued. Under [`ChainConfig::reorg`],
+    /// heights divisible by the fork period first mine an abandoned fork
+    /// block, roll the chain back, and re-commit the canonical branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when production fails (an armed [`grub_fault`] crash point or
+    /// an impossible rollback). Fault-aware callers use
+    /// [`Blockchain::try_produce_block`] instead.
     pub fn produce_block(&mut self) -> &Block {
-        self.now_ms += self.config.block_period_ms;
+        match self.try_produce_block() {
+            Ok(block) => block,
+            Err(err) => panic!("produce_block: {err}"),
+        }
+    }
+
+    /// Fallible block production: like [`Blockchain::produce_block`] but an
+    /// armed [`grub_fault`] crash point or a failed rollback surfaces as a
+    /// typed [`BlockError`] instead of a panic. On error, the chain is left
+    /// in a consistent canonical state (for the mid-reorg crash point:
+    /// rolled back to the fork's target height, mempool cleared).
+    pub fn try_produce_block(&mut self) -> Result<&Block, BlockError> {
+        if let Some(reorg) = self.config.reorg {
+            let next = self.mined + 1;
+            if next.is_multiple_of(reorg.period) && self.rollback_capacity() > 0 {
+                self.run_reorg(reorg)?;
+                return Ok(self.blocks.last().expect("reorg re-committed the tip"));
+            }
+        }
+        self.seal_canonical_block();
+        Ok(self.blocks.last().expect("just pushed"))
+    }
+
+    /// Selects the transactions the next block will mine: everything, or —
+    /// under mempool congestion — the top `max_txs_per_block` by priority
+    /// (stable, so equal priorities keep submission order).
+    fn take_block_pending(&mut self) -> Vec<(TxId, Transaction)> {
+        match self.config.mempool {
+            None => std::mem::take(&mut self.mempool),
+            Some(mp) => {
+                let cap = mp.max_txs_per_block.max(1);
+                self.mempool.sort_by_key(|(_, tx)| Reverse(tx.priority));
+                if self.mempool.len() <= cap {
+                    std::mem::take(&mut self.mempool)
+                } else {
+                    let rest = self.mempool.split_off(cap);
+                    std::mem::replace(&mut self.mempool, rest)
+                }
+            }
+        }
+    }
+
+    /// Advances time (plus `jitter_ms`, used for fork-branch timestamp skew)
+    /// and executes `pending`, returning the block. State mutations (height,
+    /// clock, storages, meter) happen here; what makes a block *canonical* —
+    /// digest fold, checkpoint check, retention, snapshots — is the caller's
+    /// job.
+    fn execute_block(&mut self, pending: Vec<(TxId, Transaction)>, jitter_ms: u64) -> Block {
+        self.now_ms += self.config.block_period_ms + jitter_ms;
         self.mined += 1;
         let number = self.mined;
-        let pending = std::mem::take(&mut self.mempool);
+        if let Some(fee) = self.config.fee {
+            self.meter.set_price_permille(fee.price_permille(number));
+        }
         let mut receipts = Vec::with_capacity(pending.len());
         let mut events = Vec::new();
         let mut call_records = Vec::new();
@@ -235,13 +559,21 @@ impl Blockchain {
             let receipt = self.execute(tx_id, tx, number, &mut events, &mut call_records);
             receipts.push(receipt);
         }
-        let block = Block {
+        Block {
             number,
             time_ms: self.now_ms,
             receipts,
             events,
             call_records,
-        };
+        }
+    }
+
+    /// Seals the next canonical block: select pending, execute, fold the
+    /// digest, check the recovery checkpoint, retain, snapshot.
+    fn seal_canonical_block(&mut self) {
+        let pending = self.take_block_pending();
+        let replay = self.config.reorg.map(|_| pending.clone());
+        let block = self.execute_block(pending, 0);
         self.digest_acc = fold_block_digest(&self.digest_acc, &block);
         if let Some((height, expected)) = self.checkpoint {
             if self.mined == height {
@@ -262,7 +594,152 @@ impl Blockchain {
                 self.blocks.drain(..self.blocks.len() - retain);
             }
         }
-        self.blocks.last().expect("just pushed")
+        if let (Some(reorg), Some(txs)) = (self.config.reorg, replay) {
+            self.recent_txs.push((self.mined, txs));
+            self.snapshots.push(self.current_snapshot());
+            let window = reorg.max_depth.max(1) + 1;
+            if self.snapshots.len() > window {
+                self.snapshots.drain(..self.snapshots.len() - window);
+            }
+            let oldest = self.snapshots.first().map(|s| s.mined).unwrap_or(0);
+            self.recent_txs.retain(|(h, _)| *h > oldest);
+        }
+    }
+
+    /// Deepest rollback currently possible: bounded by both the snapshot
+    /// window and the retained block bodies.
+    fn rollback_capacity(&self) -> usize {
+        let Some(oldest) = self.snapshots.first().map(|s| s.mined) else {
+            return 0;
+        };
+        ((self.mined - oldest) as usize).min(self.blocks.len())
+    }
+
+    /// Rolls back the last `depth` canonical blocks, restoring chain state
+    /// (height, clock, storages, Gas meter, running digest) to just after
+    /// the block at `height - depth` sealed, and returns the rolled-back
+    /// blocks' transaction lists (oldest first) so the caller can re-commit
+    /// them. The mempool is left untouched. Requires reorg mode
+    /// ([`ChainConfig::reorg`]), which is what records the needed snapshots.
+    ///
+    /// # Errors
+    ///
+    /// [`ReorgError::PastRetainedWindow`] when `depth` exceeds the block
+    /// bodies still retained under [`ChainConfig::retain_blocks`];
+    /// [`ReorgError::PastSnapshotHorizon`] when no snapshot exists at the
+    /// target height (deeper than the fork process keeps, or reorg mode is
+    /// off).
+    pub fn rollback(&mut self, depth: usize) -> Result<Vec<Vec<(TxId, Transaction)>>, ReorgError> {
+        if depth == 0 {
+            return Ok(Vec::new());
+        }
+        if depth > self.blocks.len() {
+            return Err(ReorgError::PastRetainedWindow {
+                requested: depth,
+                retained: self.blocks.len(),
+            });
+        }
+        let target = self.mined - depth as u64;
+        self.rollback_to(target, depth)
+    }
+
+    /// Restores the snapshot at `target` height, dropping the canonical
+    /// bodies above it; `requested` only labels the error.
+    fn rollback_to(
+        &mut self,
+        target: u64,
+        requested: usize,
+    ) -> Result<Vec<Vec<(TxId, Transaction)>>, ReorgError> {
+        let snap_idx = self
+            .snapshots
+            .iter()
+            .position(|s| s.mined == target)
+            .ok_or(ReorgError::PastSnapshotHorizon {
+                requested,
+                available: self.rollback_capacity(),
+            })?;
+        let replay: Vec<Vec<(TxId, Transaction)>> = self
+            .recent_txs
+            .iter()
+            .filter(|(h, _)| *h > target)
+            .map(|(_, txs)| txs.clone())
+            .collect();
+        let snap = self.snapshots[snap_idx].clone();
+        self.snapshots.truncate(snap_idx + 1);
+        self.recent_txs.retain(|(h, _)| *h <= target);
+        self.blocks.retain(|b| b.number <= target);
+        self.storages = snap.storages;
+        self.meter = snap.meter;
+        self.digest_acc = snap.digest_acc;
+        self.mined = snap.mined;
+        self.now_ms = snap.now_ms;
+        Ok(replay)
+    }
+
+    /// The seeded fork: mine an abandoned fork block at the next height,
+    /// roll back, re-commit the canonical branch, then seal the next height
+    /// canonically with the original pending transactions. Net effect on the
+    /// canonical chain: byte-identical to never having forked.
+    fn run_reorg(&mut self, cfg: ReorgConfig) -> Result<(), BlockError> {
+        let tip = self.mined;
+        let next = tip + 1;
+        let want = 1 + (seeded_mix(cfg.seed, next) % cfg.max_depth.max(1) as u64) as usize;
+        let depth = want.min(self.rollback_capacity());
+        let target = tip - depth as u64;
+        let pending = std::mem::take(&mut self.mempool);
+        // The fork branch: a divergent miner greedily seals `next` with a
+        // skewed timestamp. Never folded into the canonical digest.
+        let jitter =
+            1 + seeded_mix(cfg.seed ^ 0x666f_726b, next) % self.config.block_period_ms.max(1);
+        let fork = self.execute_block(pending.clone(), jitter);
+        let fork_digest = fold_block_digest(&self.digest_acc, &fork);
+        // The canonical branch wins: undo the fork block and `depth`
+        // canonical ancestors in one restore.
+        let replay = self.rollback_to(target, depth)?;
+        self.reorg_events.push(ReorgEvent {
+            height: next,
+            depth,
+            fork_digest,
+        });
+        if grub_fault::should_trip(FaultPoint::MidReorgRollback) {
+            // The process dies between rollback and re-commit: the chain is
+            // consistent at `target`, the pending transactions are lost with
+            // the process.
+            self.mempool.clear();
+            return Err(BlockError::Injected(FaultPoint::MidReorgRollback.name()));
+        }
+        // Re-commit the canonical branch block by block (identical pending
+        // sets at identical heights ⇒ identical digests), then seal `next`.
+        for txs in replay {
+            debug_assert!(self.mempool.is_empty(), "re-commit must not mix blocks");
+            self.mempool = txs;
+            self.seal_canonical_block();
+        }
+        self.mempool = pending;
+        self.seal_canonical_block();
+        Ok(())
+    }
+
+    /// Every fork the seeded reorg process has executed so far.
+    pub fn reorg_events(&self) -> &[ReorgEvent] {
+        &self.reorg_events
+    }
+
+    /// The gas-price multiplier (permille of the flat schedule) the fee
+    /// process dictates at `height` — [`grub_gas::BASE_PRICE_PERMILLE`]
+    /// when no fee process is configured.
+    pub fn fee_price_permille(&self, height: u64) -> u64 {
+        match self.config.fee {
+            Some(fee) => fee.price_permille(height),
+            None => grub_gas::BASE_PRICE_PERMILLE,
+        }
+    }
+
+    /// The gas-price multiplier charged by the most recently mined block
+    /// (the price off-chain deciders can observe without predicting the
+    /// future).
+    pub fn current_fee_permille(&self) -> u64 {
+        self.meter.price_permille()
     }
 
     fn execute(
@@ -482,8 +959,17 @@ impl Blockchain {
 
     /// Zeroes the Gas meter — harnesses call this after provisioning so the
     /// reported numbers cover steady-state operation only.
+    ///
+    /// In reorg mode this also re-baselines the rollback snapshots: a fork
+    /// must never roll the chain back across a meter reset, or the restored
+    /// meter would resurrect pre-reset totals and corrupt the digest.
     pub fn meter_reset(&mut self) {
         self.meter.reset();
+        if self.config.reorg.is_some() {
+            self.snapshots.clear();
+            self.recent_txs.clear();
+            self.snapshots.push(self.current_snapshot());
+        }
     }
 
     /// Snapshot of Gas totals, for epoch-by-epoch reporting.
@@ -979,6 +1465,279 @@ mod tests {
         assert_ne!(a.chain_digest(), c.chain_digest());
         // Reading the digest is pure.
         assert_eq!(a.chain_digest(), a.chain_digest());
+    }
+
+    /// Queues a `set(value)` transaction.
+    fn submit_set(chain: &mut Blockchain, widget: Address, user: Address, value: u64) -> TxId {
+        let mut enc = Encoder::new();
+        enc.u64(value);
+        chain.submit(Transaction::new(
+            user,
+            widget,
+            "set",
+            enc.finish(),
+            Layer::User,
+        ))
+    }
+
+    #[test]
+    fn reorg_replay_reproduces_straight_line_digest() {
+        let reorg_cfg = ChainConfig::default().reorg(7, 3, 2);
+        let mut forked = Blockchain::with_config(reorg_cfg);
+        let mut straight = Blockchain::new();
+        let widget = Address::derive("widget");
+        let user = Address::derive("user");
+        for chain in [&mut forked, &mut straight] {
+            chain.deploy(widget, Rc::new(Widget), Layer::Application);
+        }
+        for round in 0..12 {
+            for chain in [&mut forked, &mut straight] {
+                submit_set(chain, widget, user, round);
+                chain.produce_block();
+            }
+        }
+        assert!(
+            !forked.reorg_events().is_empty(),
+            "the fork process must have fired"
+        );
+        for ev in forked.reorg_events() {
+            assert!(
+                ev.depth >= 1 && ev.depth <= 2,
+                "depth bounded: {}",
+                ev.depth
+            );
+            assert_ne!(
+                ev.fork_digest,
+                forked.chain_digest(),
+                "the abandoned branch is never the canonical digest"
+            );
+        }
+        assert_eq!(forked.height(), straight.height());
+        assert_eq!(
+            forked.chain_digest(),
+            straight.chain_digest(),
+            "reorg-and-replay must be byte-identical to the straight-line run"
+        );
+    }
+
+    #[test]
+    fn explicit_rollback_returns_replayable_blocks() {
+        // Fork period far beyond the test so only the explicit rollback runs.
+        let mut chain = Blockchain::with_config(ChainConfig::default().reorg(1, 1_000_000, 4));
+        let widget = Address::derive("widget");
+        let user = Address::derive("user");
+        chain.deploy(widget, Rc::new(Widget), Layer::Application);
+        for v in 0..6 {
+            submit_set(&mut chain, widget, user, v);
+            chain.produce_block();
+        }
+        let tip_digest = chain.chain_digest();
+        let tip_height = chain.height();
+        let replay = chain.rollback(2).expect("rollback within the window");
+        assert_eq!(
+            replay.len(),
+            2,
+            "one transaction list per rolled-back block"
+        );
+        assert_eq!(chain.height(), tip_height - 2);
+        assert_ne!(chain.chain_digest(), tip_digest);
+        for txs in replay {
+            chain.mempool = txs;
+            chain.produce_block();
+        }
+        assert_eq!(chain.height(), tip_height);
+        assert_eq!(
+            chain.chain_digest(),
+            tip_digest,
+            "re-committing the returned blocks restores the canonical chain"
+        );
+    }
+
+    #[test]
+    fn rollback_past_retained_window_is_a_typed_error() {
+        let mut config = ChainConfig::default().reorg(1, 1_000_000, 8);
+        config.retain_blocks = Some(2);
+        let mut chain = Blockchain::with_config(config);
+        let widget = Address::derive("widget");
+        let user = Address::derive("user");
+        chain.deploy(widget, Rc::new(Widget), Layer::Application);
+        for v in 0..6 {
+            submit_set(&mut chain, widget, user, v);
+            chain.produce_block();
+        }
+        assert_eq!(
+            chain.rollback(5),
+            Err(ReorgError::PastRetainedWindow {
+                requested: 5,
+                retained: 2,
+            }),
+            "pruned history cannot be re-committed"
+        );
+        // The auto fork process clamps to the same capacity instead of erroring.
+        assert!(chain.rollback_capacity() <= 2);
+    }
+
+    #[test]
+    fn rollback_without_reorg_mode_lacks_snapshots() {
+        let (mut chain, widget, user) = setup();
+        for v in 0..3 {
+            submit_set(&mut chain, widget, user, v);
+            chain.produce_block();
+        }
+        assert_eq!(
+            chain.rollback(1),
+            Err(ReorgError::PastSnapshotHorizon {
+                requested: 1,
+                available: 0,
+            }),
+            "snapshots are only recorded in reorg mode"
+        );
+    }
+
+    #[test]
+    fn rollback_deeper_than_snapshot_window_is_a_typed_error() {
+        let mut chain = Blockchain::with_config(ChainConfig::default().reorg(1, 1_000_000, 2));
+        let widget = Address::derive("widget");
+        let user = Address::derive("user");
+        chain.deploy(widget, Rc::new(Widget), Layer::Application);
+        for v in 0..8 {
+            submit_set(&mut chain, widget, user, v);
+            chain.produce_block();
+        }
+        let err = chain.rollback(5).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ReorgError::PastSnapshotHorizon {
+                    requested: 5,
+                    available: 2
+                }
+            ),
+            "snapshot window is max_depth deep: {err:?}"
+        );
+    }
+
+    #[test]
+    fn meter_reset_rebaselines_rollback_snapshots() {
+        let mut chain = Blockchain::with_config(ChainConfig::default().reorg(1, 1_000_000, 4));
+        let widget = Address::derive("widget");
+        let user = Address::derive("user");
+        chain.deploy(widget, Rc::new(Widget), Layer::Application);
+        for v in 0..3 {
+            submit_set(&mut chain, widget, user, v);
+            chain.produce_block();
+        }
+        chain.meter_reset();
+        assert!(
+            matches!(
+                chain.rollback(1),
+                Err(ReorgError::PastSnapshotHorizon { .. })
+            ),
+            "a fork must never cross a meter reset"
+        );
+    }
+
+    #[test]
+    fn congested_mempool_splits_blocks_by_priority() {
+        let mut capped = Blockchain::with_config(ChainConfig::default().mempool(2));
+        let widget = Address::derive("widget");
+        let user = Address::derive("user");
+        capped.deploy(widget, Rc::new(Widget), Layer::Application);
+        let mut enc = Encoder::new();
+        enc.u64(1);
+        let payload = enc.finish();
+        let mut ids = Vec::new();
+        for priority in [0u8, 1, 2, 0, 2] {
+            let tx = Transaction::new(user, widget, "set", payload.clone(), Layer::User)
+                .with_priority(priority);
+            ids.push(capped.submit(tx));
+        }
+        let first: Vec<TxId> = capped
+            .produce_block()
+            .receipts
+            .iter()
+            .map(|r| r.tx_id)
+            .collect();
+        assert_eq!(
+            first,
+            vec![ids[2], ids[4]],
+            "highest priority mines first; ties keep submission order"
+        );
+        let second: Vec<TxId> = capped
+            .produce_block()
+            .receipts
+            .iter()
+            .map(|r| r.tx_id)
+            .collect();
+        assert_eq!(second, vec![ids[1], ids[0]]);
+        let third: Vec<TxId> = capped
+            .produce_block()
+            .receipts
+            .iter()
+            .map(|r| r.tx_id)
+            .collect();
+        assert_eq!(third, vec![ids[3]], "overflow drains in later blocks");
+        assert_eq!(capped.mempool_len(), 0);
+    }
+
+    #[test]
+    fn fee_process_scales_receipt_gas_per_block() {
+        let fee = grub_gas::FeeProcess::step(5);
+        let mut chain = Blockchain::with_config(ChainConfig::default().fee(fee));
+        let widget = Address::derive("widget");
+        let user = Address::derive("user");
+        chain.deploy(widget, Rc::new(Widget), Layer::Application);
+        let mut flat = Blockchain::new();
+        flat.deploy(widget, Rc::new(Widget), Layer::Application);
+        let mut saw_cheap = false;
+        let mut saw_dear = false;
+        for v in 0..20 {
+            submit_set(&mut chain, widget, user, v);
+            submit_set(&mut flat, widget, user, v);
+            let price = chain.fee_price_permille(chain.height() + 1);
+            let priced = chain.produce_block().receipts[0].gas_used;
+            let base = flat.produce_block().receipts[0].gas_used;
+            // Charges scale individually (each truncating), so bound the
+            // block total instead of demanding one exact product.
+            assert!(
+                priced <= base * price / 1000 && priced + 8 > base * price / 1000,
+                "receipt gas ≈ flat cost × price: {priced} vs {base} × {price}‰"
+            );
+            assert_eq!(chain.current_fee_permille(), price);
+            saw_cheap |= price < 1000;
+            saw_dear |= price > 1000;
+        }
+        assert!(saw_cheap && saw_dear, "the step regime visits both halves");
+    }
+
+    #[test]
+    fn env_realism_knobs_parse() {
+        // Env manipulation is process-wide; run the combinations serially.
+        let _guard = grub_fault::injection_lock();
+        std::env::set_var("GRUB_REORG", "3:9:4");
+        std::env::set_var("GRUB_FEE_SCHEDULE", "step:2");
+        std::env::set_var("GRUB_MEMPOOL", "6");
+        let cfg = ChainConfig::default().with_env_realism();
+        std::env::remove_var("GRUB_REORG");
+        std::env::remove_var("GRUB_FEE_SCHEDULE");
+        std::env::remove_var("GRUB_MEMPOOL");
+        assert_eq!(
+            cfg.reorg,
+            Some(ReorgConfig {
+                seed: 3,
+                period: 9,
+                max_depth: 4,
+            })
+        );
+        assert_eq!(cfg.fee, Some(grub_gas::FeeProcess::step(2)));
+        assert_eq!(
+            cfg.mempool,
+            Some(MempoolConfig {
+                max_txs_per_block: 6
+            })
+        );
+        let off = ChainConfig::default().with_env_realism();
+        assert_eq!(off, ChainConfig::default());
     }
 
     #[test]

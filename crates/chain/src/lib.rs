@@ -62,7 +62,8 @@ pub mod storage;
 mod types;
 
 pub use chain::{
-    Block, Blockchain, ChainConfig, CommitGate, CommitOrderError, Event, Receipt, Transaction,
+    Block, BlockError, Blockchain, ChainConfig, CommitGate, CommitOrderError, Event, MempoolConfig,
+    Receipt, ReorgConfig, ReorgError, ReorgEvent, Transaction,
 };
 pub use contract::{CallContext, Contract, VmError};
 pub use types::{Address, TxId};

@@ -104,5 +104,18 @@ impl From<grub_store::StoreError> for GrubError {
     }
 }
 
+impl From<grub_chain::BlockError> for GrubError {
+    fn from(e: grub_chain::BlockError) -> Self {
+        match e {
+            // An injected chain crash wears the same error the store and
+            // engine crash points use, so recovery harnesses see one shape.
+            grub_chain::BlockError::Injected(point) => {
+                GrubError::Store(grub_store::StoreError::Injected(point))
+            }
+            other => GrubError::Chain(other.to_string()),
+        }
+    }
+}
+
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, GrubError>;

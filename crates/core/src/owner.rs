@@ -97,6 +97,12 @@ impl DataOwner {
         self.policy.name()
     }
 
+    /// Forwards the chain's current gas-price multiplier (permille) to the
+    /// policy, so fee-aware deciders can defer work into cheap windows.
+    pub fn observe_fee_price(&mut self, price_permille: u64) {
+        self.policy.observe_fee_price(price_permille);
+    }
+
     /// Preloads records (no policy involvement, no staging): used for the
     /// initial dataset before metering starts.
     pub fn preload(&mut self, records: &[(String, Vec<u8>)], state: ReplState) -> Vec<SpSync> {

@@ -45,6 +45,12 @@ pub trait ReplicationPolicy: Send {
     /// (warm-start deployments preload records already replicated; the
     /// policy must not treat the first read as a fresh NR record).
     fn seed_state(&mut self, _key: &str, _state: ReplState) {}
+
+    /// Observes the chain's current gas-price multiplier (permille of the
+    /// flat schedule, [`grub_gas::BASE_PRICE_PERMILLE`] = flat). The driver
+    /// feeds this from the last mined block whenever a fee process is
+    /// configured; fee-oblivious policies (the default) ignore it.
+    fn observe_fee_price(&mut self, _price_permille: u64) {}
 }
 
 /// BL1: static non-replication — data only on the SP (§2.3).
@@ -564,6 +570,86 @@ impl ReplicationPolicy for SelfTuningK {
     }
 }
 
+/// A fee-aware deferral wrapper: delegates every decision to an inner
+/// policy, but while the observed gas price (see
+/// [`ReplicationPolicy::observe_fee_price`]) is above `threshold_permille`
+/// it suppresses *fresh* NR→R replications — installing a replica costs
+/// `Cinsert`-scale gas that is strictly cheaper in the next low-fee window.
+///
+/// Only installs are deferred: records already replicated keep following the
+/// inner policy (evicting and re-installing around a spike would cost more,
+/// not less), and data writes are never delayed (freshness is part of the
+/// feed's contract). The wrapper tracks the state it last *granted* per key,
+/// which — because the actuator realizes every granted transition at the
+/// epoch boundary — mirrors the record's actual on-chain state.
+pub struct FeeAware {
+    inner: Box<dyn ReplicationPolicy>,
+    threshold_permille: u64,
+    price_permille: u64,
+    granted: HashMap<String, ReplState>,
+}
+
+impl FeeAware {
+    /// Wraps `inner`, deferring replications while the price exceeds
+    /// `threshold_permille`.
+    pub fn new(inner: Box<dyn ReplicationPolicy>, threshold_permille: u64) -> Self {
+        FeeAware {
+            inner,
+            threshold_permille,
+            price_permille: grub_gas::BASE_PRICE_PERMILLE,
+            granted: HashMap::new(),
+        }
+    }
+
+    fn decide(&mut self, key: &str, want: ReplState) -> ReplState {
+        let have = self
+            .granted
+            .get(key)
+            .copied()
+            .unwrap_or(ReplState::NotReplicated);
+        let out = if want == ReplState::Replicated
+            && have == ReplState::NotReplicated
+            && self.price_permille > self.threshold_permille
+        {
+            ReplState::NotReplicated
+        } else {
+            want
+        };
+        self.granted.insert(key.to_owned(), out);
+        out
+    }
+}
+
+impl ReplicationPolicy for FeeAware {
+    fn on_write(&mut self, key: &str) -> ReplState {
+        let want = self.inner.on_write(key);
+        self.decide(key, want)
+    }
+
+    fn on_read(&mut self, key: &str) -> ReplState {
+        let want = self.inner.on_read(key);
+        self.decide(key, want)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "fee-aware[>{}‰]({})",
+            self.threshold_permille,
+            self.inner.name()
+        )
+    }
+
+    fn seed_state(&mut self, key: &str, state: ReplState) {
+        self.granted.insert(key.to_owned(), state);
+        self.inner.seed_state(key, state);
+    }
+
+    fn observe_fee_price(&mut self, price_permille: u64) {
+        self.price_permille = price_permille;
+        self.inner.observe_fee_price(price_permille);
+    }
+}
+
 /// Declarative policy selection for experiment configs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PolicyKind {
@@ -596,6 +682,14 @@ pub enum PolicyKind {
         /// Burst-window length.
         window: usize,
     },
+    /// [`FeeAware`] deferral around any inner policy: replications are
+    /// postponed while the gas price exceeds the threshold.
+    FeeAware {
+        /// Prices above this (permille of the flat schedule) defer NR→R.
+        threshold_permille: u64,
+        /// The wrapped decision maker.
+        inner: Box<PolicyKind>,
+    },
 }
 
 impl PolicyKind {
@@ -612,6 +706,10 @@ impl PolicyKind {
                 schedule.two_competitive_k(),
             )),
             PolicyKind::SelfTuning { window } => Box::new(SelfTuningK::new(window, schedule)),
+            PolicyKind::FeeAware {
+                threshold_permille,
+                ref inner,
+            } => Box::new(FeeAware::new(inner.build(schedule), threshold_permille)),
         }
     }
 }

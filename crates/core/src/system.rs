@@ -696,6 +696,11 @@ impl EpochDriver {
                 failed_delivers += self.run_watchdog(chain)?;
             }
         }
+        // The epoch boundary is where the DO reads the fee tape: the last
+        // mined block's price steers the next epoch's fee-aware decisions.
+        self.stage
+            .owner
+            .observe_fee_price(chain.current_fee_permille());
         // Account the epoch.
         let (feed, app) = chain.gas_snapshot().since(before);
         self.reports.push(EpochReport {
@@ -748,6 +753,9 @@ impl EpochDriver {
             self.submit_scan(chain, &start, &end);
         }
         self.seal_block(chain)?;
+        self.stage
+            .owner
+            .observe_fee_price(chain.current_fee_permille());
         let delivers = self
             .stage
             .provider
@@ -902,25 +910,25 @@ impl EpochDriver {
         ));
     }
 
-    /// Mines pending transactions, erroring on any protocol failure.
+    /// Mines pending transactions — across as many blocks as mempool
+    /// congestion requires — erroring on any protocol failure.
     fn seal_block(&self, chain: &mut Blockchain) -> Result<()> {
-        if chain.mempool_len() == 0 {
-            return Ok(());
-        }
-        let block = chain.produce_block();
-        for receipt in &block.receipts {
-            if !receipt.success {
-                return Err(GrubError::Chain(format!(
-                    "epoch transaction failed: {}",
-                    receipt.error.as_deref().unwrap_or("unknown")
-                )));
+        while chain.mempool_len() > 0 {
+            let block = chain.try_produce_block().map_err(GrubError::from)?;
+            for receipt in &block.receipts {
+                if !receipt.success {
+                    return Err(GrubError::Chain(format!(
+                        "epoch transaction failed: {}",
+                        receipt.error.as_deref().unwrap_or("unknown")
+                    )));
+                }
             }
         }
         Ok(())
     }
 
-    /// Runs the SP watchdog and mines its deliveries, returning how many
-    /// the contract rejected.
+    /// Runs the SP watchdog and mines its deliveries (across as many blocks
+    /// as congestion requires), returning how many the contract rejected.
     fn run_watchdog(&mut self, chain: &mut Blockchain) -> Result<usize> {
         let delivers = self.stage.provider.watchdog(chain, self.manager)?;
         if delivers.is_empty() {
@@ -929,8 +937,12 @@ impl EpochDriver {
         for tx in delivers {
             chain.submit(tx);
         }
-        let block = chain.produce_block();
-        Ok(block.receipts.iter().filter(|r| !r.success).count())
+        let mut rejected = 0;
+        while chain.mempool_len() > 0 {
+            let block = chain.try_produce_block().map_err(GrubError::from)?;
+            rejected += block.receipts.iter().filter(|r| !r.success).count();
+        }
+        Ok(rejected)
     }
 
     /// Puts the SP into an adversarial mode (security experiments).
@@ -1229,13 +1241,21 @@ fn submit_checked(
     func: &str,
     input: Vec<u8>,
 ) -> Result<()> {
-    chain.submit(Transaction::new(from, to, func, input, Layer::Feed));
-    let block = chain.produce_block();
-    match block.receipts.last() {
-        Some(r) if r.success => Ok(()),
-        Some(r) => Err(GrubError::Chain(format!(
+    let id = chain.submit(Transaction::new(from, to, func, input, Layer::Feed));
+    let mut outcome = None;
+    // Under mempool congestion the transaction may miss the first block;
+    // drain until its receipt lands.
+    while chain.mempool_len() > 0 {
+        let block = chain.try_produce_block().map_err(GrubError::from)?;
+        if let Some(r) = block.receipts.iter().find(|r| r.tx_id == id) {
+            outcome = Some((r.success, r.error.clone()));
+        }
+    }
+    match outcome {
+        Some((true, _)) => Ok(()),
+        Some((false, error)) => Err(GrubError::Chain(format!(
             "setup transaction failed: {}",
-            r.error.as_deref().unwrap_or("unknown")
+            error.as_deref().unwrap_or("unknown")
         ))),
         None => Err(GrubError::Chain("no receipt".into())),
     }

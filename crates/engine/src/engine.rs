@@ -1,7 +1,7 @@
 //! The multi-tenant engine: deployment, scheduling, sharded batching.
 
 use grub_chain::codec::encode_sections;
-use grub_chain::{Address, Blockchain, ChainConfig, CommitGate, Transaction};
+use grub_chain::{Address, Blockchain, ChainConfig, CommitGate, Transaction, TxId};
 use grub_core::scrub::Scrubber;
 use grub_core::system::{DriverIdentity, EpochDriver, StagedReads, StagedUpdate, SystemConfig};
 use grub_core::{GrubError, Result};
@@ -216,6 +216,16 @@ impl QuotaTier {
             QuotaTier::Standard => 4,
             QuotaTier::Low => 8,
         }
+    }
+}
+
+/// Mempool ordering rank of a quota tier — higher mines first when a
+/// bounded mempool ([`grub_chain::MempoolConfig`]) fills a block.
+fn tier_priority(tier: QuotaTier) -> u8 {
+    match tier {
+        QuotaTier::Low => 0,
+        QuotaTier::Standard => 1,
+        QuotaTier::High => 2,
     }
 }
 
@@ -645,10 +655,30 @@ impl FeedEngine {
         let deliver_gas_before: u64 = self.shards.iter().map(|s| s.deliver_gas).sum();
         self.round_update_sections = 0;
         self.round_deliver_sections = 0;
+        let height_before = self.chain.height();
         self.run_round()?;
         let (scrub_findings, scrub_repaired) = self.run_scrub_pass()?;
         let gas_after = self.chain.gas_snapshot();
         let (feed_delta, app_delta) = gas_after.since(gas_before);
+        // Fee tape over the heights this round mined: the per-round min/max
+        // gas-price multiplier, base price when flat or no block sealed.
+        let (fee_low, fee_high) = {
+            let mut low = grub_gas::BASE_PRICE_PERMILLE;
+            let mut high = grub_gas::BASE_PRICE_PERMILLE;
+            let mut any = false;
+            for h in (height_before + 1)..=self.chain.height() {
+                let p = self.chain.fee_price_permille(h);
+                if any {
+                    low = low.min(p);
+                    high = high.max(p);
+                } else {
+                    low = p;
+                    high = p;
+                    any = true;
+                }
+            }
+            (low, high)
+        };
         self.metrics.push(EpochMetrics {
             round: self.rounds,
             staged_ops: self.completed_ops() - ops_before,
@@ -673,6 +703,8 @@ impl FeedEngine {
                 .unwrap_or(0),
             scrub_findings,
             scrub_repaired,
+            fee_low_permille: fee_low,
+            fee_high_permille: fee_high,
             wall_clock_micros: started.elapsed().as_micros().try_into().unwrap_or(u64::MAX),
         });
         Ok(())
@@ -1032,9 +1064,17 @@ impl FeedEngine {
             batch.push((self.feeds[feed_idx].driver.manager(), payload));
         }
         planned.push((batch, parts));
-        let mut submitted: Vec<Vec<(usize, usize)>> = Vec::with_capacity(planned.len());
+        let mut submitted: Vec<(TxId, Vec<(usize, usize)>)> = Vec::with_capacity(planned.len());
         for (mut batch, parts) in planned {
-            if let [(feed_idx, _)] = parts[..] {
+            // Under mempool congestion, a transaction's priority is its
+            // tenants' quota tier (a batch takes the highest tier aboard),
+            // so latency-sensitive feeds keep mining first when blocks fill.
+            let priority = parts
+                .iter()
+                .map(|(feed_idx, _)| tier_priority(self.feeds[*feed_idx].tier()))
+                .max()
+                .unwrap_or(0);
+            let id = if let [(feed_idx, _)] = parts[..] {
                 // Lone section: the feed's own transaction is strictly
                 // cheaper than a one-section batch.
                 let (manager, payload) = batch.pop().expect("one section");
@@ -1043,35 +1083,55 @@ impl FeedEngine {
                     BatchKind::Update => (driver.data_owner(), "update"),
                     BatchKind::Deliver => (driver.provider_address(), "deliver"),
                 };
-                self.chain
-                    .submit(Transaction::new(from, manager, func, payload, Layer::Feed));
+                self.chain.submit(
+                    Transaction::new(from, manager, func, payload, Layer::Feed)
+                        .with_priority(priority),
+                )
             } else {
-                self.submit_router_tx(shard_idx, kind, batch);
-            }
-            submitted.push(parts);
+                self.submit_router_tx(shard_idx, kind, batch, priority)
+            };
+            submitted.push((id, parts));
         }
-        // One block carries the shard's whole batch, spill transactions
-        // included.
+        // Seal blocks until every planned transaction has a receipt — one
+        // block in the uncongested case, several when a bounded mempool
+        // splits or delays the batch. Receipts are matched back by
+        // transaction id: under congestion a block's execution order is
+        // priority order, not submission order.
         let before = self.chain.gas_snapshot();
-        let receipts: Vec<(bool, Option<String>, u64)> = {
-            let block = self.chain.produce_block();
-            block
-                .receipts
-                .iter()
-                .map(|r| (r.success, r.error.clone(), r.gas_used))
-                .collect()
-        };
+        let want: std::collections::HashSet<u64> = submitted.iter().map(|(id, _)| id.0).collect();
+        let mut collected: Vec<(TxId, bool, Option<String>, u64)> = Vec::new();
+        let mut have = 0usize;
+        while have < want.len() {
+            if self.chain.mempool_len() == 0 {
+                return Err(GrubError::Chain(format!(
+                    "shard {shard_idx} {} drained the mempool with {} of {} receipts missing",
+                    kind.func(),
+                    want.len() - have,
+                    want.len()
+                )));
+            }
+            let block = self.chain.try_produce_block().map_err(GrubError::from)?;
+            for r in &block.receipts {
+                if want.contains(&r.tx_id.0) {
+                    have += 1;
+                }
+                collected.push((r.tx_id, r.success, r.error.clone(), r.gas_used));
+            }
+        }
         // Guard the receipt↔transaction pairing: a stray mempool entry
-        // would silently shift (or truncate) the zip below and misattribute
-        // every share after it.
-        if receipts.len() != submitted.len() {
+        // would silently misattribute Gas shares, so refuse it.
+        if collected.len() != submitted.len() {
             return Err(GrubError::Chain(format!(
-                "shard {shard_idx} {} block mined {} receipts for {} transactions",
+                "shard {shard_idx} {} blocks mined {} receipts for {} transactions",
                 kind.func(),
-                receipts.len(),
+                collected.len(),
                 submitted.len()
             )));
         }
+        let mut by_id: std::collections::HashMap<u64, (bool, Option<String>, u64)> = collected
+            .into_iter()
+            .map(|(id, success, error, gas)| (id.0, (success, error, gas)))
+            .collect();
         // The shares booked below are documented — and consumed by every
         // report — as *feed-layer* Gas, but a receipt's `gas_used` spans all
         // meter layers. A consumer whose deliver-time callback did metered
@@ -1089,7 +1149,14 @@ impl FeedEngine {
                 app_delta.amount()
             )));
         }
-        for (parts, (success, error, gas_used)) in submitted.into_iter().zip(receipts) {
+        for (id, parts) in submitted {
+            let (success, error, gas_used) = by_id.remove(&id.0).ok_or_else(|| {
+                GrubError::Chain(format!(
+                    "shard {shard_idx} {} transaction {} mined no receipt",
+                    kind.func(),
+                    id.0
+                ))
+            })?;
             if !success {
                 return Err(GrubError::Chain(format!(
                     "shard {shard_idx} {} failed: {}",
@@ -1138,15 +1205,19 @@ impl FeedEngine {
         shard_idx: usize,
         kind: BatchKind,
         batch: Vec<(Address, Vec<u8>)>,
-    ) {
+        priority: u8,
+    ) -> TxId {
         let shard = &self.shards[shard_idx];
-        self.chain.submit(Transaction::new(
-            shard.operator,
-            shard.router,
-            kind.func(),
-            encode_sections(&batch),
-            Layer::Feed,
-        ));
+        self.chain.submit(
+            Transaction::new(
+                shard.operator,
+                shard.router,
+                kind.func(),
+                encode_sections(&batch),
+                Layer::Feed,
+            )
+            .with_priority(priority),
+        )
     }
 
     /// The shared chain, for assertions.

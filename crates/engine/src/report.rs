@@ -91,6 +91,13 @@ pub struct EpochMetrics {
     pub scrub_findings: usize,
     /// Scrub findings repaired at this round's epoch boundary.
     pub scrub_repaired: usize,
+    /// Lowest gas-price multiplier (permille of the schedule's base cost)
+    /// among blocks mined this round; [`grub_gas::BASE_PRICE_PERMILLE`]
+    /// when no fee process is configured or no block was mined.
+    pub fee_low_permille: u64,
+    /// Highest gas-price multiplier (permille) among blocks mined this
+    /// round; base price when no fee process is configured.
+    pub fee_high_permille: u64,
     /// Wall-clock duration of the round, in microseconds. Measured, not
     /// deterministic — never rendered into the determinism table.
     pub wall_clock_micros: u64,

@@ -46,17 +46,22 @@ pub enum FaultPoint {
     /// Mid SSTable flush: a partial table file exists, never finished or
     /// renamed into place.
     MidSstableFlush,
+    /// Mid chain reorg: the fork branch has been rolled back, but the
+    /// canonical branch has not been re-committed yet — the process dies
+    /// with the chain consistent at the rollback target height.
+    MidReorgRollback,
 }
 
 impl FaultPoint {
     /// Every named crash point, in pipeline order.
-    pub const ALL: [FaultPoint; 6] = [
+    pub const ALL: [FaultPoint; 7] = [
         FaultPoint::PostStage,
         FaultPoint::PreMerge,
         FaultPoint::MidShardCommit,
         FaultPoint::PostWriteBlock,
         FaultPoint::MidWalAppend,
         FaultPoint::MidSstableFlush,
+        FaultPoint::MidReorgRollback,
     ];
 
     /// The knob/display name of the point.
@@ -68,6 +73,7 @@ impl FaultPoint {
             FaultPoint::PostWriteBlock => "post-write-block",
             FaultPoint::MidWalAppend => "mid-wal-append",
             FaultPoint::MidSstableFlush => "mid-sstable-flush",
+            FaultPoint::MidReorgRollback => "mid-reorg-rollback",
         }
     }
 

@@ -282,7 +282,194 @@ pub enum CostKind {
     Log,
 }
 
+/// The neutral gas-price multiplier: schedule costs pass through unscaled.
+pub const BASE_PRICE_PERMILLE: u64 = 1000;
+
+/// A fixed 64-bit mixer (SplitMix64 finalizer) used to derive deterministic
+/// pseudo-random streams from a `(seed, index)` pair without any RNG state.
+/// The fee process and the chain's reorg process both draw from it, so a
+/// replayed run reproduces every "random" draw exactly.
+pub fn seeded_mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The shape of the seeded per-block gas-price process.
+///
+/// All regimes are *pure functions of block height*: re-mining a block at the
+/// same height (e.g. when replaying the canonical branch after a reorg)
+/// reproduces the same price, so fee volatility never breaks determinism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeeRegime {
+    /// A square wave alternating between `low` and `high` every `period`
+    /// blocks (seeded phase).
+    Step {
+        /// Blocks per half-cycle.
+        period: u64,
+        /// Price (permille of the base schedule) in the cheap half.
+        low: u64,
+        /// Price (permille) in the expensive half.
+        high: u64,
+    },
+    /// A mostly-flat `base` price with short spikes to `peak`: every `period`
+    /// blocks, `width` consecutive blocks price at `peak` (seeded phase).
+    Spike {
+        /// Blocks between spike onsets.
+        period: u64,
+        /// Spike duration in blocks.
+        width: u64,
+        /// Off-spike price (permille).
+        base: u64,
+        /// In-spike price (permille).
+        peak: u64,
+    },
+    /// Bounded seeded noise that reverts to `base`: each block's price is
+    /// `base` plus the average of a small window of seeded per-height draws
+    /// in `[-max_dev, +max_dev]`, so excursions decay back to the mean.
+    MeanReverting {
+        /// The long-run mean price (permille).
+        base: u64,
+        /// Maximum deviation (permille) of a single draw from the mean.
+        max_dev: u64,
+    },
+}
+
+/// A seeded, deterministic gas-price schedule: the chain evaluates it at
+/// every block height and scales all schedule costs by the resulting
+/// multiplier (in permille of the flat Table-2 prices).
+///
+/// # Examples
+///
+/// ```
+/// use grub_gas::FeeProcess;
+///
+/// let fee = FeeProcess::spike(7);
+/// // Pure function of height: the same block always prices the same.
+/// assert_eq!(fee.price_permille(42), fee.price_permille(42));
+/// assert!(fee.price_permille(42) >= 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeeProcess {
+    /// The regime shaping the price path.
+    pub regime: FeeRegime,
+    /// Seed fixing the regime's phase/noise; same seed → same price path.
+    pub seed: u64,
+}
+
+impl FeeProcess {
+    /// A step regime with moderate amplitude (0.7× / 1.6× the base price).
+    pub fn step(seed: u64) -> Self {
+        FeeProcess {
+            regime: FeeRegime::Step {
+                period: 8,
+                low: 700,
+                high: 1600,
+            },
+            seed,
+        }
+    }
+
+    /// A spike regime: flat 0.9× with short 5× spikes.
+    pub fn spike(seed: u64) -> Self {
+        FeeProcess {
+            regime: FeeRegime::Spike {
+                period: 16,
+                width: 3,
+                base: 900,
+                peak: 5000,
+            },
+            seed,
+        }
+    }
+
+    /// A mean-reverting regime around the base price (±0.4×).
+    pub fn mean_reverting(seed: u64) -> Self {
+        FeeProcess {
+            regime: FeeRegime::MeanReverting {
+                base: 1000,
+                max_dev: 400,
+            },
+            seed,
+        }
+    }
+
+    /// Parses an env-knob spec: `step`, `spike`, or `revert` (aliases
+    /// `mean-revert`, `mean-reverting`), each optionally suffixed with
+    /// `:<seed>` (default seed 7). `flat`, `0`, and the empty string parse
+    /// to `None` ("no fee process"); unknown regimes are an error naming
+    /// the offending spec.
+    pub fn parse(spec: &str) -> Result<Option<Self>, String> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "0" || spec.eq_ignore_ascii_case("flat") {
+            return Ok(None);
+        }
+        let (regime, seed) = match spec.split_once(':') {
+            Some((r, s)) => {
+                let seed = s
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad fee-schedule seed in {spec:?}"))?;
+                (r, seed)
+            }
+            None => (spec, 7),
+        };
+        match regime.to_ascii_lowercase().as_str() {
+            "step" => Ok(Some(Self::step(seed))),
+            "spike" => Ok(Some(Self::spike(seed))),
+            "revert" | "mean-revert" | "mean-reverting" => Ok(Some(Self::mean_reverting(seed))),
+            other => Err(format!("unknown fee-schedule regime {other:?}")),
+        }
+    }
+
+    /// The gas-price multiplier (permille of the base schedule) at `height`.
+    /// Pure in `(self, height)`; always at least 1.
+    pub fn price_permille(&self, height: u64) -> u64 {
+        let price = match self.regime {
+            FeeRegime::Step { period, low, high } => {
+                let period = period.max(1);
+                let phase = seeded_mix(self.seed, 0) % 2;
+                if (height / period + phase).is_multiple_of(2) {
+                    low
+                } else {
+                    high
+                }
+            }
+            FeeRegime::Spike {
+                period,
+                width,
+                base,
+                peak,
+            } => {
+                let period = period.max(1);
+                let offset = seeded_mix(self.seed, 1) % period;
+                if height.wrapping_add(offset) % period < width.min(period) {
+                    peak
+                } else {
+                    base
+                }
+            }
+            FeeRegime::MeanReverting { base, max_dev } => {
+                let span = 2 * max_dev + 1;
+                const WINDOW: u64 = 4;
+                let mut acc: i64 = 0;
+                for lag in 0..WINDOW {
+                    let draw = seeded_mix(self.seed, height.wrapping_sub(lag)) % span;
+                    acc += draw as i64 - max_dev as i64;
+                }
+                let dev = acc / WINDOW as i64;
+                (base as i64 + dev).max(1) as u64
+            }
+        };
+        price.max(1)
+    }
+}
+
 /// Accumulates Gas charges with layer and kind attribution.
+///
+/// Every charge is scaled by the meter's current gas price (permille of the
+/// flat schedule, default [`BASE_PRICE_PERMILLE`] = no-op), which the chain
+/// sets per block from its [`FeeProcess`].
 ///
 /// # Examples
 ///
@@ -295,11 +482,18 @@ pub enum CostKind {
 /// assert_eq!(m.layer_total(Layer::Feed), Gas(200));
 /// assert_eq!(m.total(), 5200);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct GasMeter {
     schedule: GasSchedule,
     by_layer: [u64; 3],
     by_kind: [[u64; 6]; 3],
+    price_permille: u64,
+}
+
+impl Default for GasMeter {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 fn layer_index(layer: Layer) -> usize {
@@ -322,12 +516,34 @@ impl GasMeter {
             schedule,
             by_layer: [0; 3],
             by_kind: [[0; 6]; 3],
+            price_permille: BASE_PRICE_PERMILLE,
         }
     }
 
     /// The schedule this meter charges against.
     pub fn schedule(&self) -> &GasSchedule {
         &self.schedule
+    }
+
+    /// Sets the gas-price multiplier (permille of the flat schedule) applied
+    /// to subsequent charges. Clamped to at least 1 — a zero price would
+    /// make every operation free and break the savings-ladder invariants.
+    pub fn set_price_permille(&mut self, permille: u64) {
+        self.price_permille = permille.max(1);
+    }
+
+    /// The gas-price multiplier currently applied to charges.
+    pub fn price_permille(&self) -> u64 {
+        self.price_permille
+    }
+
+    /// Scales a flat-schedule amount by the current price.
+    fn scale(&self, amount: u64) -> u64 {
+        if self.price_permille == BASE_PRICE_PERMILLE {
+            amount
+        } else {
+            (u128::from(amount) * u128::from(self.price_permille) / 1000) as u64
+        }
     }
 
     fn kind_index(kind: CostKind) -> usize {
@@ -341,18 +557,24 @@ impl GasMeter {
         }
     }
 
-    /// Records `amount` Gas against a layer and kind.
+    /// Records `amount` Gas (a flat-schedule cost, scaled by the current
+    /// price) against a layer and kind.
     pub fn charge(&mut self, layer: Layer, kind: CostKind, amount: u64) {
+        let amount = self.scale(amount);
         let li = layer_index(layer);
         let ki = Self::kind_index(kind);
         self.by_layer[li] = checked_add_gas(self.by_layer[li], amount);
         self.by_kind[li][ki] = checked_add_gas(self.by_kind[li][ki], amount);
     }
 
-    /// Charges a transaction carrying `payload_bytes` of calldata.
+    /// Charges a transaction carrying `payload_bytes` of calldata; returns
+    /// the price-scaled cost actually booked.
     pub fn charge_tx(&mut self, layer: Layer, payload_bytes: usize) -> u64 {
-        let cost = self.schedule.tx_cost_bytes(payload_bytes);
-        self.charge(layer, CostKind::Transaction, cost);
+        let cost = self.scale(self.schedule.tx_cost_bytes(payload_bytes));
+        let li = layer_index(layer);
+        let ki = Self::kind_index(CostKind::Transaction);
+        self.by_layer[li] = checked_add_gas(self.by_layer[li], cost);
+        self.by_kind[li][ki] = checked_add_gas(self.by_kind[li][ki], cost);
         cost
     }
 
@@ -537,6 +759,83 @@ mod tests {
     fn checked_helpers_pass_through_in_range() {
         assert_eq!(checked_add_gas(3, 4), 7);
         assert_eq!(checked_sub_gas(9, 4), 5);
+    }
+
+    #[test]
+    fn default_price_is_neutral() {
+        let mut m = GasMeter::new();
+        assert_eq!(m.price_permille(), BASE_PRICE_PERMILLE);
+        m.charge_tx(Layer::Feed, 32);
+        assert_eq!(m.total(), 23_176, "flat price reproduces Table 2 exactly");
+    }
+
+    #[test]
+    fn price_scales_charges_and_clamps_zero() {
+        let mut m = GasMeter::new();
+        m.set_price_permille(2000);
+        m.charge(Layer::Feed, CostKind::StorageRead, 200);
+        assert_eq!(m.layer_total(Layer::Feed), Gas(400));
+        let cost = m.charge_tx(Layer::Feed, 0);
+        assert_eq!(cost, 42_000, "charge_tx returns the scaled cost");
+        m.set_price_permille(0);
+        assert_eq!(m.price_permille(), 1, "zero price clamps to 1 permille");
+        m.set_price_permille(500);
+        m.charge(Layer::Application, CostKind::StorageUpdate, 5000);
+        assert_eq!(m.layer_total(Layer::Application), Gas(2500));
+    }
+
+    #[test]
+    fn fee_regimes_are_pure_bounded_and_seed_sensitive() {
+        for fee in [
+            FeeProcess::step(7),
+            FeeProcess::spike(7),
+            FeeProcess::mean_reverting(7),
+        ] {
+            for h in 0..200 {
+                let p = fee.price_permille(h);
+                assert_eq!(p, fee.price_permille(h), "pure in height");
+                assert!((1..=10_000).contains(&p), "bounded: {p}");
+            }
+        }
+        let a: Vec<u64> = (0..64)
+            .map(|h| FeeProcess::spike(1).price_permille(h))
+            .collect();
+        let b: Vec<u64> = (0..64)
+            .map(|h| FeeProcess::spike(2).price_permille(h))
+            .collect();
+        assert_ne!(a, b, "different seeds shift the spike phase");
+    }
+
+    #[test]
+    fn spike_regime_actually_spikes() {
+        let fee = FeeProcess::spike(7);
+        let prices: Vec<u64> = (0..64).map(|h| fee.price_permille(h)).collect();
+        assert!(prices.contains(&5000), "peak blocks exist");
+        assert!(prices.contains(&900), "base blocks exist");
+    }
+
+    #[test]
+    fn mean_reverting_stays_near_base() {
+        let fee = FeeProcess::mean_reverting(3);
+        for h in 0..500 {
+            let p = fee.price_permille(h);
+            assert!((600..=1400).contains(&p), "|p - base| <= max_dev: {p}");
+        }
+    }
+
+    #[test]
+    fn fee_spec_parsing() {
+        assert_eq!(FeeProcess::parse(""), Ok(None));
+        assert_eq!(FeeProcess::parse("flat"), Ok(None));
+        assert_eq!(FeeProcess::parse("0"), Ok(None));
+        assert_eq!(FeeProcess::parse("spike"), Ok(Some(FeeProcess::spike(7))));
+        assert_eq!(FeeProcess::parse("step:11"), Ok(Some(FeeProcess::step(11))));
+        assert_eq!(
+            FeeProcess::parse("mean-revert:2"),
+            Ok(Some(FeeProcess::mean_reverting(2)))
+        );
+        assert!(FeeProcess::parse("banana").is_err());
+        assert!(FeeProcess::parse("spike:xyz").is_err());
     }
 
     #[test]

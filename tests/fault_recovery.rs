@@ -13,6 +13,7 @@
 
 use std::path::{Path, PathBuf};
 
+use grub::chain::ChainConfig;
 use grub::core::provider::StorageProvider;
 use grub::core::scrub::Scrubber;
 use grub::crypto::Hash32;
@@ -48,6 +49,10 @@ fn fleet(root: &Path) -> Vec<FeedSpec> {
 fn engine_config(mode: ExecMode) -> EngineConfig {
     let mut config = EngineConfig::new(2);
     config.exec = mode;
+    // A reorg-capable chain (seeded forks every 5th block, depth ≤ 2) so
+    // the mid-reorg-rollback crash point actually trips, and so recovery
+    // is proven digest-identical *through* reorgs, not just around them.
+    config.chain = ChainConfig::default().reorg(7, 5, 2);
     config
 }
 

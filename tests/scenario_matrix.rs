@@ -32,9 +32,10 @@
 
 use std::collections::BTreeMap;
 
+use grub::chain::ChainConfig;
 use grub::core::policy::{OfflineOptimal, PolicyKind};
 use grub::core::system::{GrubSystem, SystemConfig};
-use grub::gas::GasSchedule;
+use grub::gas::{FeeProcess, FeeRegime, GasSchedule};
 use grub::merkle::ReplState;
 use grub::workload::btcrelay::BtcRelayTrace;
 use grub::workload::oracle::OracleTrace;
@@ -362,6 +363,156 @@ fn grub_beats_the_worse_baseline_on_skewed_workloads() {
             scenario.name,
             grub.feed_gas_per_op(),
             better.feed_gas_per_op(),
+        );
+    }
+}
+
+/// A mild ±10% fee step for the stressed competitive-bound run: wide enough
+/// to reprice every block, narrow enough that the 2-competitive bound stays
+/// a meaningful assertion once inflated by the amplitude ratio.
+fn mild_fee() -> FeeProcess {
+    FeeProcess {
+        regime: FeeRegime::Step {
+            period: 8,
+            low: 900,
+            high: 1100,
+        },
+        seed: 11,
+    }
+}
+
+/// The chain-realism axes layered over the matrix: seeded reorgs, the
+/// volatile gas-price process, mempool congestion, and all three at once.
+fn realism_axes() -> Vec<(&'static str, ChainConfig)> {
+    vec![
+        ("reorg", ChainConfig::default().reorg(7, 4, 2)),
+        ("fee", ChainConfig::default().fee(FeeProcess::step(11))),
+        ("congestion", ChainConfig::default().mempool(1)),
+        (
+            "combined",
+            ChainConfig::default()
+                .reorg(7, 4, 2)
+                .fee(FeeProcess::step(11))
+                .mempool(1),
+        ),
+    ]
+}
+
+/// A representative slice of the workload matrix for the realism axes —
+/// the extremes, the balance point, and the two structured traces.
+fn realism_scenarios() -> Vec<Scenario> {
+    const PICKS: [&str; 5] = ["ratio/0", "ratio/1", "ratio/64", "oracle", "ycsb/A"];
+    scenarios()
+        .into_iter()
+        .filter(|s| PICKS.contains(&s.name.as_str()))
+        .collect()
+}
+
+/// Every policy completes every representative workload under every
+/// chain-realism axis — reorgs, volatile fees, congestion, and the
+/// combination — with the op accounting and honest-SP invariants intact.
+#[test]
+fn chain_realism_axes_run_every_policy() {
+    let scenarios = realism_scenarios();
+    assert_eq!(scenarios.len(), 5, "the representative slice went missing");
+    for (axis, chain) in realism_axes() {
+        for scenario in &scenarios {
+            for (policy_name, policy) in &policies() {
+                let mut config = scenario.config(policy.clone());
+                config.chain = chain;
+                let report = GrubSystem::run_trace(&scenario.trace, &config).unwrap_or_else(|e| {
+                    panic!("{axis}/{}/{policy_name} failed: {e}", scenario.name)
+                });
+                assert_eq!(
+                    report.total_ops(),
+                    scenario.trace.ops.len(),
+                    "{axis}/{}/{policy_name}: every trace op must be accounted",
+                    scenario.name
+                );
+                assert_eq!(
+                    report.failed_delivers(),
+                    0,
+                    "{axis}/{}/{policy_name}: honest SP must never have a deliver rejected",
+                    scenario.name
+                );
+            }
+        }
+    }
+}
+
+/// Reorgs are digest-transparent for every policy: the forked-and-replayed
+/// run converges to the straight-line run's exact chain digest, height, and
+/// Gas totals — the policy layer cannot even tell the forks happened.
+#[test]
+fn reorgs_are_digest_transparent_for_every_policy() {
+    let scenario = scenarios()
+        .into_iter()
+        .find(|s| s.name == "ycsb/A")
+        .expect("ycsb/A scenario exists");
+    for (policy_name, policy) in &policies() {
+        let run = |chain: ChainConfig| {
+            let mut config = scenario.config(policy.clone());
+            config.chain = chain;
+            let mut system =
+                GrubSystem::new(&config).unwrap_or_else(|e| panic!("ycsb-a/{policy_name}: {e}"));
+            system.drive(&scenario.trace).unwrap();
+            system
+        };
+        let plain = run(ChainConfig::default());
+        let forked = run(ChainConfig::default().reorg(7, 2, 2));
+        assert!(
+            !forked.chain().reorg_events().is_empty(),
+            "ycsb-a/{policy_name}: the reorg process never forked"
+        );
+        assert_eq!(
+            forked.chain().chain_digest(),
+            plain.chain().chain_digest(),
+            "ycsb-a/{policy_name}: reorg-and-replay must converge to the straight-line digest"
+        );
+        assert_eq!(
+            forked.chain().height(),
+            plain.chain().height(),
+            "ycsb-a/{policy_name}: canonical height must match"
+        );
+    }
+}
+
+/// Theorem A.1 under chain stress: with reorgs, congestion, and a ±10% fee
+/// step all active, the memoryless policy stays within the 2-competitive
+/// bound of the (fee-blind) offline optimum — inflated by the fee amplitude
+/// ratio, since block heights (and so prices) differ between the two runs.
+#[test]
+fn memoryless_bound_survives_chain_stress() {
+    const SLACK_GAS: u64 = 64_000;
+    let stress = ChainConfig::default()
+        .reorg(7, 4, 2)
+        .fee(mild_fee())
+        .mempool(1);
+    for scenario in realism_scenarios() {
+        let run = |policy: PolicyKind| {
+            let mut config = scenario.config(policy);
+            config.chain = stress;
+            GrubSystem::run_trace(&scenario.trace, &config)
+                .unwrap_or_else(|e| panic!("{} under stress failed: {e}", scenario.name))
+        };
+        let memoryless = run(PolicyKind::Memoryless { k: 2 });
+        let optimal = {
+            let schedule = GasSchedule::default();
+            let policy = OfflineOptimal::from_trace(&scenario.trace, schedule.two_competitive_k());
+            let mut config = scenario.config(PolicyKind::Bl1);
+            config.chain = stress;
+            GrubSystem::run_trace_with_policy(&scenario.trace, &config, Box::new(policy))
+                .unwrap_or_else(|e| panic!("{} optimal under stress failed: {e}", scenario.name))
+        };
+        // Bound inflation: memoryless may be priced at the 1100‰ plateau
+        // where the optimum was priced at 900‰, so 2× becomes 2×(11/9).
+        let bound = 2 * optimal.feed_gas_total() * 11 / 9 + 2 * SLACK_GAS;
+        assert!(
+            memoryless.feed_gas_total() <= bound,
+            "{}: stressed memoryless {} exceeds amplitude-adjusted 2×optimal {}",
+            scenario.name,
+            memoryless.feed_gas_total(),
+            optimal.feed_gas_total(),
         );
     }
 }
