@@ -132,7 +132,6 @@ impl PeggedToken {
 
     /// Processes one delivered header for one pending request. Returns
     /// whether the request completed (minted/burned or failed permanently).
-    #[allow(clippy::too_many_arguments)]
     fn advance(
         &self,
         ctx: &mut CallContext<'_>,

@@ -137,6 +137,7 @@ impl ChainConfig {
                         .split(':')
                         .map(|p| {
                             p.parse().unwrap_or_else(|_| {
+                                // grub-lint: allow(panic) — documented "# Panics": a typo'd knob must fail loudly, not run a different scenario
                                 panic!("GRUB_REORG: bad field {p:?} in {raw:?}")
                             })
                         })
@@ -153,6 +154,7 @@ impl ChainConfig {
             match FeeProcess::parse(&raw) {
                 Ok(Some(fee)) => self = self.fee(fee),
                 Ok(None) => {}
+                // grub-lint: allow(panic) — documented "# Panics": a typo'd knob must fail loudly, not run a different scenario
                 Err(err) => panic!("GRUB_FEE_SCHEDULE: {err}"),
             }
         }
@@ -161,6 +163,7 @@ impl ChainConfig {
             if !raw.is_empty() && raw != "0" {
                 let cap: usize = raw
                     .parse()
+                    // grub-lint: allow(panic) — documented "# Panics": a typo'd knob must fail loudly, not run a different scenario
                     .unwrap_or_else(|_| panic!("GRUB_MEMPOOL: bad capacity {raw:?}"));
                 self = self.mempool(cap);
             }
@@ -500,6 +503,7 @@ impl Blockchain {
     pub fn produce_block(&mut self) -> &Block {
         match self.try_produce_block() {
             Ok(block) => block,
+            // grub-lint: allow(panic) — documented "# Panics"; fault-aware callers use try_produce_block
             Err(err) => panic!("produce_block: {err}"),
         }
     }
@@ -514,10 +518,12 @@ impl Blockchain {
             let next = self.mined + 1;
             if next.is_multiple_of(reorg.period) && self.rollback_capacity() > 0 {
                 self.run_reorg(reorg)?;
+                // grub-lint: allow(panic) — run_reorg re-commits the canonical branch, so the chain is never empty here
                 return Ok(self.blocks.last().expect("reorg re-committed the tip"));
             }
         }
         self.seal_canonical_block();
+        // grub-lint: allow(panic) — seal_canonical_block just pushed a block
         Ok(self.blocks.last().expect("just pushed"))
     }
 

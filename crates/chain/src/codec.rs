@@ -122,6 +122,7 @@ impl<'a> Decoder<'a> {
     /// Returns [`VmError::Decode`] if fewer than 8 bytes remain.
     pub fn u64(&mut self) -> Result<u64, VmError> {
         let b = self.take(8)?;
+        // grub-lint: allow(panic) — take(8) returned exactly 8 bytes
         Ok(u64::from_le_bytes(b.try_into().expect("slice len 8")))
     }
 
@@ -132,6 +133,7 @@ impl<'a> Decoder<'a> {
 
     /// Reads a length-prefixed byte string.
     pub fn bytes(&mut self) -> Result<&'a [u8], VmError> {
+        // grub-lint: allow(panic) — take(4) returned exactly 4 bytes
         let len = u32::from_le_bytes(self.take(4)?.try_into().expect("slice len 4")) as usize;
         self.take(len)
     }

@@ -1,5 +1,6 @@
 //! Per-epoch Gas reporting, in the shape the paper's figures use.
 
+use grub_gas::checked_add_gas;
 use serde::{Deserialize, Serialize};
 
 /// Gas accounting for one epoch of trace operations.
@@ -36,7 +37,7 @@ impl EpochReport {
         if self.ops == 0 {
             0.0
         } else {
-            (self.feed_gas + self.app_gas) as f64 / self.ops as f64
+            checked_add_gas(self.feed_gas, self.app_gas) as f64 / self.ops as f64
         }
     }
 }
@@ -82,7 +83,7 @@ impl RunReport {
         if ops == 0 {
             0.0
         } else {
-            (self.feed_gas_total() + self.app_gas_total()) as f64 / ops as f64
+            checked_add_gas(self.feed_gas_total(), self.app_gas_total()) as f64 / ops as f64
         }
     }
 

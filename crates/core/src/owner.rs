@@ -64,8 +64,9 @@ pub struct DataOwner {
     staged: Vec<(String, Vec<u8>)>,
     /// Keys whose replicas were installed mid-epoch by `deliver` with the
     /// `replicate` flag; the next flush formalizes (NR→R in the tree) or
-    /// evicts them.
-    hinted: std::collections::HashSet<String>,
+    /// evicts them. A BTree set so the flush walks them in key order —
+    /// eviction order reaches the chain and must be deterministic.
+    hinted: std::collections::BTreeSet<String>,
     /// Last block already folded into the read monitor.
     monitor_cursor: u64,
 }
@@ -81,7 +82,7 @@ impl DataOwner {
             desired: HashMap::new(),
             values: HashMap::new(),
             staged: Vec::new(),
-            hinted: std::collections::HashSet::new(),
+            hinted: std::collections::BTreeSet::new(),
             monitor_cursor: 0,
         }
     }
@@ -188,6 +189,7 @@ impl DataOwner {
     /// This is the ground truth the scrubber audits the SP against.
     pub fn live_records(&self) -> Vec<(String, ReplState, Vec<u8>)> {
         let mut out: Vec<(String, ReplState, Vec<u8>)> = self
+            // grub-lint: allow(determinism) — sorted by key two lines down
             .values
             .iter()
             .map(|(key, value)| (key.clone(), self.state_of(key), value.clone()))
@@ -226,6 +228,7 @@ impl DataOwner {
         let mut to_r: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         let mut to_nr: Vec<Vec<u8>> = Vec::new();
         let mut changed: Vec<String> = self
+            // grub-lint: allow(determinism) — sorted before use, below
             .desired
             .iter()
             .filter(|(key, want)| self.state_of(key) != **want)
@@ -282,9 +285,7 @@ impl DataOwner {
         // back to NR must have the hinted replica evicted (no tree change —
         // the tree never left NR); keys now formally R were covered by the
         // transition loop above.
-        let mut hinted: Vec<String> = self.hinted.drain().collect();
-        hinted.sort();
-        for key in hinted {
+        for key in std::mem::take(&mut self.hinted) {
             if self.state_of(&key) == ReplState::NotReplicated
                 && !to_nr.iter().any(|k| k.as_slice() == key.as_bytes())
             {

@@ -300,12 +300,12 @@ impl ReplicationPolicy for AdaptiveK {
     fn on_write(&mut self, key: &str) -> ReplState {
         // Close out the burst that followed the previous write.
         let burst = self.since_write.insert(key.to_owned(), 0).unwrap_or(0);
-        let history = self.history.entry(key.to_owned()).or_default();
-        history.push(burst);
-        if history.len() > self.window {
-            history.remove(0);
+        let bursts = self.history.entry(key.to_owned()).or_default();
+        bursts.push(burst);
+        if bursts.len() > self.window {
+            bursts.remove(0);
         }
-        let predicted = history.iter().sum::<u64>() as f64 / history.len() as f64;
+        let predicted = bursts.iter().sum::<u64>() as f64 / bursts.len() as f64;
         let repeat_says_replicate = predicted >= self.threshold;
         let state = if repeat_says_replicate != self.dual {
             ReplState::Replicated
@@ -335,8 +335,10 @@ impl ReplicationPolicy for AdaptiveK {
 /// before the next write of that key is at least the Equation-1 threshold.
 #[derive(Debug, Clone)]
 pub struct OfflineOptimal {
-    /// Per key: queue of decisions, one per write, in trace order.
-    decisions: HashMap<String, std::collections::VecDeque<ReplState>>,
+    /// Per key: queue of decisions, one per write, in trace order. BTree
+    /// maps keep the offline precomputation order-deterministic (this is a
+    /// reference policy, never a hot path).
+    decisions: std::collections::BTreeMap<String, std::collections::VecDeque<ReplState>>,
     states: HashMap<String, ReplState>,
 }
 
@@ -369,8 +371,12 @@ impl OfflineOptimal {
         // reads-following count per (key, write occurrence), closed out when
         // the next write of the same key arrives, the lookahead window ends,
         // or the trace does.
-        let mut upcoming: HashMap<String, std::collections::VecDeque<ReplState>> = HashMap::new();
-        let mut open: HashMap<String, (usize, u64)> = HashMap::new();
+        let mut upcoming: std::collections::BTreeMap<
+            String,
+            std::collections::VecDeque<ReplState>,
+        > = std::collections::BTreeMap::new();
+        let mut open: std::collections::BTreeMap<String, (usize, u64)> =
+            std::collections::BTreeMap::new();
         let mut horizon: std::collections::VecDeque<(usize, String)> =
             std::collections::VecDeque::new();
         let mut i = 0usize;
@@ -379,12 +385,15 @@ impl OfflineOptimal {
                 if i - opened_at < window {
                     break;
                 }
-                let (opened_at, key) = horizon.pop_front().expect("peeked above");
+                let Some((opened_at, key)) = horizon.pop_front() else {
+                    break;
+                };
                 // A newer write of the same key reuses the slot; only close
                 // it if this horizon entry is still the live occurrence.
                 if open.get(&key).is_some_and(|(at, _)| *at == opened_at) {
-                    let (_, reads) = open.remove(&key).expect("checked above");
-                    push_decision(&mut upcoming, &key, reads, k);
+                    if let Some((_, reads)) = open.remove(&key) {
+                        push_decision(&mut upcoming, &key, reads, k);
+                    }
                 }
             }
             match op {
@@ -418,7 +427,7 @@ impl OfflineOptimal {
 }
 
 fn push_decision(
-    map: &mut HashMap<String, std::collections::VecDeque<ReplState>>,
+    map: &mut std::collections::BTreeMap<String, std::collections::VecDeque<ReplState>>,
     key: &str,
     reads: u64,
     k: f64,

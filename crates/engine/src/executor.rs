@@ -74,6 +74,7 @@ impl ParallelExecutor {
             // a worker that finished early simply waits here.
             handles
                 .into_iter()
+                // grub-lint: allow(panic) — re-raises a worker panic on the coordinator thread; join only fails if the worker panicked
                 .map(|h| h.join().expect("shard staging worker panicked"))
                 .collect()
         })

@@ -173,11 +173,13 @@ pub fn plan_from_env() -> Option<FaultPlan> {
         Some((name, n)) => (
             name,
             n.parse::<u32>()
+                // grub-lint: allow(panic) — documented "# Panics": a typo'd knob must fail loudly, not run a different scenario
                 .unwrap_or_else(|_| panic!("GRUB_FAULT_POINT: bad hit count {n:?}")),
         ),
         None => (raw.as_str(), 0),
     };
     let point = FaultPoint::parse(name)
+        // grub-lint: allow(panic) — documented "# Panics": a typo'd knob must fail loudly, not run a different scenario
         .unwrap_or_else(|| panic!("GRUB_FAULT_POINT: unknown crash point {name:?}"));
     Some(FaultPlan { point, after })
 }

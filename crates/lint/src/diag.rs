@@ -1,0 +1,139 @@
+//! Diagnostics: what a rule reports, and how it renders.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Identifies which rule produced a diagnostic. The wire names (used in
+/// `grub-lint: allow(<rule>)` comments and `--json` output) are the
+/// kebab-case strings from [`Rule::name`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No unordered-collection iteration, wall clocks, thread ids, or
+    /// unseeded randomness in digest-feeding crates.
+    Determinism,
+    /// No bare `+`/`-`/`+=`/`-=` on raw gas amounts outside the checked
+    /// helpers (`checked_add_gas`/`checked_sub_gas`).
+    GasSafety,
+    /// No `unwrap()`/`expect()`/`panic!` in non-test library code.
+    Panic,
+    /// `GRUB_*` knobs and `FaultPoint`s must match their registries
+    /// (ARCHITECTURE.md's knob table; live hook sites).
+    RegistrySync,
+    /// A malformed `grub-lint: allow(...)` comment (unknown rule name or
+    /// missing justification).
+    Suppression,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 5] = [
+        Rule::Determinism,
+        Rule::GasSafety,
+        Rule::Panic,
+        Rule::RegistrySync,
+        Rule::Suppression,
+    ];
+
+    /// The rule's wire name, as used in suppression comments and `--json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::GasSafety => "gas-safety",
+            Rule::Panic => "panic",
+            Rule::RegistrySync => "registry-sync",
+            Rule::Suppression => "suppression",
+        }
+    }
+
+    /// Parses a wire name back into a rule.
+    pub fn parse(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One violation: rule, location, and a human-readable message.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Path of the offending file, relative to the workspace root.
+    pub path: PathBuf,
+    /// 1-based line of the violation (0 for file-level findings).
+    pub line: u32,
+    /// What went wrong and, where possible, what to do instead.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the `file:line: [rule] message` form used by the CLI.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+
+    /// Renders the diagnostic as a JSON object (no external serializer:
+    /// paths and messages are escaped by hand).
+    pub fn render_json(&self) -> String {
+        format!(
+            r#"{{"rule":"{}","path":"{}","line":{},"message":"{}"}}"#,
+            self.rule,
+            json_escape(&self.path.display().to_string()),
+            self.line,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::parse(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::parse("nope"), None);
+    }
+
+    #[test]
+    fn json_escaping() {
+        let d = Diagnostic {
+            rule: Rule::Panic,
+            path: PathBuf::from("a/b.rs"),
+            line: 3,
+            message: "quote \" and \\ and\nnewline".into(),
+        };
+        let json = d.render_json();
+        assert!(json.contains(r#""rule":"panic""#));
+        assert!(json.contains(r#"quote \" and \\ and\nnewline"#));
+    }
+}

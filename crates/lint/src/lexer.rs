@@ -1,0 +1,445 @@
+//! A lightweight Rust lexer — just enough token structure for the lint
+//! rules, with none of `syn`'s weight (the workspace builds fully offline,
+//! so the analyzer vendors nothing and parses nothing it doesn't need).
+//!
+//! The scanner splits a source file into two channels:
+//!
+//! * **code tokens** — identifiers, literals, and punctuation, each tagged
+//!   with its 1-based line. String/char literals are opaque single tokens,
+//!   so rule patterns can never fire on text *inside* a literal.
+//! * **comments** — line, block, and doc comments, kept separately so the
+//!   suppression parser can read `grub-lint: allow(...)` directives and so
+//!   rule patterns never fire on commented-out code or doc examples.
+//!
+//! The lexer is intentionally forgiving: an unterminated literal or comment
+//! consumes to end of file rather than erroring, because the lint must keep
+//! walking the rest of the workspace even over a file that `rustc` would
+//! reject.
+
+/// What kind of code token a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `self`, ...).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// A numeric literal (`42`, `0x1f`, `1.5e3`, `21_000u64`).
+    Num,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), kept
+    /// opaque; `text` is the raw source slice including quotes.
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation, longest-match (`::`, `->`, `+=`, `..=`, `+`, ...).
+    Punct,
+}
+
+/// One code token: kind, raw text, and the 1-based source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Whether this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// One comment (line, block, or doc), with the 1-based line it starts on
+/// and its full raw text (markers included).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line number of the comment's first character.
+    pub line: u32,
+    /// Raw comment text, `//`/`/*` markers included.
+    pub text: String,
+}
+
+/// A lexed source file: the code-token stream plus the comment channel.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character punctuation, longest first so `->` never lexes as `-`,
+/// `>` and `..=` never as `..`, `=`.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into code tokens and comments. Infallible by design: see the
+/// module docs for how malformed input degrades.
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Tracks newlines inside a consumed span so `line` stays accurate.
+    let count_lines = |chars: &[char]| chars.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. `///` and `//!` doc comments).
+        if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: bytes[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Block comment, nested per Rust rules.
+        if c == '/' && bytes.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1u32;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: bytes[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Raw strings and byte strings: r"…", r#"…"#, br#"…"#, b"…".
+        if c == 'r' || c == 'b' {
+            if let Some(len) = raw_or_byte_string_len(&bytes[i..]) {
+                let text: String = bytes[i..i + len].iter().collect();
+                let start_line = line;
+                line += count_lines(&bytes[i..i + len]);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line: start_line,
+                });
+                i += len;
+                continue;
+            }
+            // Byte char b'x'.
+            if c == 'b' && bytes.get(i + 1) == Some(&'\'') {
+                let len = 1 + char_literal_len(&bytes[i + 1..]);
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: bytes[i..i + len].iter().collect(),
+                    line,
+                });
+                i += len;
+                continue;
+            }
+        }
+        // Plain string.
+        if c == '"' {
+            let len = string_literal_len(&bytes[i..]);
+            let text: String = bytes[i..i + len].iter().collect();
+            let start_line = line;
+            line += count_lines(&bytes[i..i + len]);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line: start_line,
+            });
+            i += len;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            if is_lifetime(&bytes[i..]) {
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: bytes[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            let len = char_literal_len(&bytes[i..]);
+            out.toks.push(Tok {
+                kind: TokKind::Char,
+                text: bytes[i..i + len].iter().collect(),
+                line,
+            });
+            i += len;
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < bytes.len() && is_ident_continue(bytes[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: bytes[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Number (floats consume an interior `.` only when a digit follows,
+        // so `1..10` and `x.0` still lex as separate tokens).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < bytes.len() {
+                let float_dot = bytes[j] == '.'
+                    && bytes.get(j + 1).is_some_and(|d| d.is_ascii_digit())
+                    && !bytes[i..j].contains(&'.');
+                if is_ident_continue(bytes[j]) || float_dot {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: bytes[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Punctuation, longest match first.
+        let mut matched = false;
+        for p in MULTI_PUNCT {
+            let pc: Vec<char> = p.chars().collect();
+            if bytes[i..].starts_with(&pc) {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*p).to_string(),
+                    line,
+                });
+                i += pc.len();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// `'a` vs `'a'`: a lifetime is a quote followed by an identifier that is
+/// *not* closed by another quote.
+fn is_lifetime(rest: &[char]) -> bool {
+    if rest.len() < 2 || !is_ident_start(rest[1]) {
+        return false;
+    }
+    let mut j = 2;
+    while j < rest.len() && is_ident_continue(rest[j]) {
+        j += 1;
+    }
+    rest.get(j) != Some(&'\'')
+}
+
+/// Length of a char literal starting at a `'`, escapes handled; consumes to
+/// end of input when unterminated.
+fn char_literal_len(rest: &[char]) -> usize {
+    let mut j = 1;
+    while j < rest.len() {
+        match rest[j] {
+            '\\' => j += 2,
+            '\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    rest.len()
+}
+
+/// Length of a `"…"` literal starting at the quote, escapes handled.
+fn string_literal_len(rest: &[char]) -> usize {
+    let mut j = 1;
+    while j < rest.len() {
+        match rest[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    rest.len()
+}
+
+/// Detects `r"…"`, `r#"…"#` (any number of `#`), `b"…"`, `br#"…"#` at the
+/// start of `rest`; returns the literal's length when present.
+fn raw_or_byte_string_len(rest: &[char]) -> Option<usize> {
+    let mut j = 0;
+    if rest.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = rest.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+        let mut hashes = 0usize;
+        while rest.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if rest.get(j) != Some(&'"') {
+            return None;
+        }
+        j += 1;
+        // Scan for `"` followed by `hashes` hashes; no escapes in raw strings.
+        while j < rest.len() {
+            if rest[j] == '"' {
+                let mut k = 0;
+                while k < hashes && rest.get(j + 1 + k) == Some(&'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return Some(j + 1 + hashes);
+                }
+            }
+            j += 1;
+        }
+        return Some(rest.len());
+    }
+    // b"…" (non-raw byte string).
+    if j == 1 && rest.first() == Some(&'b') && rest.get(1) == Some(&'"') {
+        return Some(1 + string_literal_len(&rest[1..]));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn f(x: u64) -> u64 { x += 1; x }");
+        assert!(toks.contains(&(TokKind::Punct, "->".into())));
+        assert!(toks.contains(&(TokKind::Punct, "+=".into())));
+        assert!(toks.contains(&(TokKind::Ident, "u64".into())));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let lexed = lex(r#"let s = "HashMap.iter() // not a comment";"#);
+        assert_eq!(lexed.comments.len(), 0);
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("HashMap")));
+        assert_eq!(
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let lexed = lex(r##"let s = r#"quote " inside"#; let t = 1;"##);
+        assert_eq!(
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+        assert!(lexed.toks.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn comments_split_off() {
+        let lexed = lex("// top\nlet x = 1; /* mid\nspan */ let y = 2; /// doc\n");
+        assert_eq!(lexed.comments.len(), 3);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+        // Block comment spanned a newline: `y` is on line 3.
+        let y = lexed.toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str, c: char) { let c2 = 'x'; let n = '\\n'; }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokKind::Char, "'x'".into())));
+        assert!(toks.contains(&(TokKind::Char, "'\\n'".into())));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("let a = 1.5e3; let b = 0..10; let c = x.0 + 21_000u64;");
+        assert!(toks.contains(&(TokKind::Num, "1.5e3".into())));
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+        assert!(toks.contains(&(TokKind::Num, "21_000u64".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still outer */ let x = 1;");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.toks.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof() {
+        let lexed = lex("let s = \"never closed\nmore text");
+        assert_eq!(
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+}

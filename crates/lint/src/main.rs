@@ -1,0 +1,87 @@
+//! The `grub-lint` binary: walks the workspace, runs every rule, prints
+//! diagnostics, and exits nonzero on violations (so CI can gate on it).
+//!
+//! ```text
+//! grub-lint [--root <path>] [--json] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use grub_lint::diag::Rule;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => {
+                    eprintln!("grub-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for rule in Rule::ALL {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: grub-lint [--root <path>] [--json] [--list-rules]");
+                println!();
+                println!("Statically checks the workspace's determinism, gas-safety,");
+                println!("panic-audit, and registry-sync contracts. Suppress a finding with");
+                println!("`// grub-lint: allow(<rule>) — <justification>` on or above its line.");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("grub-lint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match grub_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("grub-lint: failed to walk {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        let body: Vec<String> = report.diags.iter().map(|d| d.render_json()).collect();
+        println!(
+            "{{\"files_scanned\":{},\"violations\":[{}]}}",
+            report.files_scanned,
+            body.join(",")
+        );
+    } else {
+        for d in &report.diags {
+            println!("{}", d.render());
+        }
+        if report.clean() {
+            println!(
+                "grub-lint: clean — {} files scanned, 0 violations",
+                report.files_scanned
+            );
+        } else {
+            println!(
+                "grub-lint: {} violation(s) across {} files scanned",
+                report.diags.len(),
+                report.files_scanned
+            );
+        }
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,529 @@
+//! The per-file rule passes: determinism, gas-safety, and panic-audit.
+//!
+//! All three work on the lexed token stream from [`crate::lexer`] — no type
+//! information, so the hash-iteration and gas-arithmetic checks are
+//! *name-based over-approximations*: they track identifiers declared with a
+//! `HashMap`/`HashSet` type (or initialized from one) and identifiers whose
+//! names mark them as raw gas amounts. A false positive is always
+//! suppressible with a justified `// grub-lint: allow(<rule>) — <why>`;
+//! the deliberate bias is toward flagging, because a missed nondeterminism
+//! or a silent gas under-charge costs far more than an allow comment.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::file::SourceFile;
+use crate::lexer::{Tok, TokKind};
+
+/// Methods whose call on a hash collection observes its nondeterministic
+/// order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Identifiers that read a wall clock, the thread id, or an unseeded
+/// entropy source — all banned in digest-feeding code.
+const BANNED_IDENTS: &[(&str, &str)] = &[
+    ("SystemTime", "wall-clock time is not reproducible"),
+    ("ThreadId", "thread identity varies across runs"),
+    ("thread_rng", "thread-local RNG is unseeded"),
+    ("from_entropy", "OS entropy is unseeded"),
+    ("OsRng", "OS entropy is unseeded"),
+];
+
+/// Rule 1 — **determinism**. In digest-feeding crates, flags:
+///
+/// * iteration over `HashMap`/`HashSet` values (`.iter()`, `.keys()`,
+///   `.values()`, `.drain()`, `.into_iter()`, or a `for` loop over the
+///   collection itself) — std's hash order is randomized per process, so
+///   any digest-feeding path that observes it diverges across runs;
+/// * `Instant::now()` / `SystemTime` (wall clocks), thread ids, and
+///   unseeded randomness (`thread_rng`, `from_entropy`, `OsRng`).
+pub fn determinism(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.lexed.toks;
+    // Banned idents and `Instant::now`.
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "Instant"
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("now"))
+        {
+            file.push_checked(
+                out,
+                Rule::Determinism,
+                t.line,
+                "`Instant::now()` in a digest-feeding crate — wall clocks are excluded from the \
+                 determinism table; move the timing to a reporting module or justify an allow"
+                    .to_string(),
+            );
+            continue;
+        }
+        if t.text == "thread"
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("current"))
+        {
+            file.push_checked(
+                out,
+                Rule::Determinism,
+                t.line,
+                "`thread::current()` in a digest-feeding crate — thread identity varies across \
+                 runs"
+                    .to_string(),
+            );
+            continue;
+        }
+        if let Some((_, why)) = BANNED_IDENTS.iter().find(|(name, _)| t.text == *name) {
+            file.push_checked(
+                out,
+                Rule::Determinism,
+                t.line,
+                format!("`{}` in a digest-feeding crate — {why}", t.text),
+            );
+        }
+    }
+    // Hash-collection iteration.
+    let hash_names = collect_hash_names(toks);
+    if hash_names.is_empty() {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !hash_names.iter().any(|n| n == &t.text) {
+            continue;
+        }
+        // `name.iter()` / `name.drain()` / ... (receiver may be `self.name`;
+        // the name token is the same either way).
+        if toks.get(i + 1).is_some_and(|n| n.is_punct("."))
+            && toks
+                .get(i + 2)
+                .is_some_and(|m| HASH_ITER_METHODS.iter().any(|h| m.is_ident(h)))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct("("))
+        {
+            let method = &toks[i + 2].text;
+            file.push_checked(
+                out,
+                Rule::Determinism,
+                t.line,
+                format!(
+                    "`{}.{method}()` iterates a HashMap/HashSet in a digest-feeding crate — hash \
+                     order is nondeterministic; use a BTree collection, sort first, or justify \
+                     an allow",
+                    t.text
+                ),
+            );
+        }
+        // `for pat in [&[mut]] [self.]name {` — iteration of the collection
+        // itself. Chained calls (`for k in name.keys()`) are caught above.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct("{")) && preceded_by_for_in(toks, i) {
+            file.push_checked(
+                out,
+                Rule::Determinism,
+                t.line,
+                format!(
+                    "`for … in {}` iterates a HashMap/HashSet in a digest-feeding crate — hash \
+                     order is nondeterministic; use a BTree collection, sort first, or justify \
+                     an allow",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Whether the identifier at `i` is the subject of a `for … in` header:
+/// walking left over `&`/`mut`/`self`/`.`, the nearest anchor is an `in`
+/// that itself follows a `for` on the same statement.
+fn preceded_by_for_in(toks: &[Tok], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        let p = &toks[j - 1];
+        if p.is_punct("&") || p.is_punct(".") || p.is_ident("mut") || p.is_ident("self") {
+            j -= 1;
+            continue;
+        }
+        if !p.is_ident("in") {
+            return false;
+        }
+        // Scan further left for the `for`, over the (brace-free) pattern.
+        let mut k = j - 1;
+        let mut guard = 0;
+        while k > 0 && guard < 32 {
+            if toks[k - 1].is_ident("for") {
+                return true;
+            }
+            if toks[k - 1].is_punct("{") || toks[k - 1].is_punct(";") {
+                return false;
+            }
+            k -= 1;
+            guard += 1;
+        }
+        return false;
+    }
+    false
+}
+
+/// Collects identifiers declared with a `HashMap`/`HashSet` type or
+/// initialized from one:
+///
+/// * `name: [path::]Hash{Map,Set}<…>` — struct fields, `fn` params, and
+///   annotated `let`s;
+/// * `let [mut] name = … Hash{Map,Set} …;` — constructor or turbofish
+///   initializers (`HashMap::new()`, `.collect::<HashSet<_>>()`).
+///
+/// Names are file-scoped: a per-file flat namespace, which over-approximates
+/// (a shadowing non-hash local with the same name also matches) but never
+/// crosses files.
+fn collect_hash_names(toks: &[Tok]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut push = |name: &str| {
+        if !names.iter().any(|n| n == name) {
+            names.push(name.to_string());
+        }
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `name: …HashMap<…>` — scan the type slot (stop at any token that
+        // ends it at angle-depth 0).
+        if toks.get(i + 1).is_some_and(|n| n.is_punct(":")) {
+            let mut depth = 0i32;
+            for tok in toks.iter().skip(i + 2).take(16) {
+                if tok.is_punct("<") {
+                    depth += 1;
+                } else if tok.is_punct(">") {
+                    depth -= 1;
+                } else if depth == 0
+                    && (tok.is_punct(",")
+                        || tok.is_punct(";")
+                        || tok.is_punct("=")
+                        || tok.is_punct(")")
+                        || tok.is_punct("{")
+                        || tok.is_punct("}"))
+                {
+                    break;
+                }
+                if tok.is_ident("HashMap") || tok.is_ident("HashSet") {
+                    push(&t.text);
+                    break;
+                }
+            }
+        }
+        // `let [mut] name = … HashMap/HashSet … ;`
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|n| n.kind == TokKind::Ident) else {
+                continue;
+            };
+            // Only simple `let name = …` initializers (an annotated let was
+            // already handled by the `name: …` arm above).
+            if !toks.get(j + 1).is_some_and(|n| n.is_punct("=")) {
+                continue;
+            }
+            for tok in toks.iter().skip(j + 2) {
+                if tok.is_punct(";") {
+                    break;
+                }
+                if tok.is_ident("HashMap") || tok.is_ident("HashSet") {
+                    push(&name.text);
+                    break;
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Rule 2 — **gas-safety**. In digest-feeding crates, flags bare
+/// `+`/`-`/`+=`/`-=` where either operand is a *raw gas amount* — an
+/// identifier whose name contains `gas` (tuple-field and call projections
+/// like `total_gas.0` / `feed_gas()` included). Raw-u64 gas arithmetic must
+/// go through `checked_add_gas`/`checked_sub_gas` so release builds can
+/// never silently wrap an accounting total. The `Gas` newtype itself is
+/// exempt: its operators already route through the checked helpers.
+pub fn gas_safety(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        let op = t.text.as_str();
+        if !matches!(op, "+" | "-" | "+=" | "-=") {
+            continue;
+        }
+        let left = left_operand_ident(toks, i);
+        let right = right_operand_ident(toks, i);
+        let culprit = match (left, right) {
+            (Some(l), _) if is_gas_ident(l) => l,
+            (_, Some(r)) if is_gas_ident(r) => r,
+            _ => continue,
+        };
+        file.push_checked(
+            out,
+            Rule::GasSafety,
+            t.line,
+            format!(
+                "bare `{op}` on gas amount `{culprit}` — raw gas arithmetic must use \
+                 `checked_add_gas`/`checked_sub_gas` (or the checked `Gas` operators) so a \
+                 release build can never silently under-charge"
+            ),
+        );
+    }
+}
+
+/// A raw-gas identifier: contains `gas` case-insensitively, but is not the
+/// `Gas` newtype itself (whose operators are already checked).
+fn is_gas_ident(name: &str) -> bool {
+    name != "Gas" && name.to_ascii_lowercase().contains("gas")
+}
+
+/// The identifier anchoring the expression just left of the operator at
+/// `op`: handles `name`, `name.0`, and `name(…)` projections.
+fn left_operand_ident(toks: &[Tok], op: usize) -> Option<&str> {
+    if op == 0 {
+        return None;
+    }
+    let mut j = op - 1;
+    // `name(…) + x`: walk back over the call parens to the callee.
+    if toks[j].is_punct(")") {
+        let mut depth = 1i32;
+        while j > 0 && depth > 0 {
+            j -= 1;
+            if toks[j].is_punct(")") {
+                depth += 1;
+            } else if toks[j].is_punct("(") {
+                depth -= 1;
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+    // `name.0 + x`: step over the tuple index to the name.
+    if toks[j].kind == TokKind::Num && j >= 2 && toks[j - 1].is_punct(".") {
+        j -= 2;
+    }
+    (toks[j].kind == TokKind::Ident).then(|| toks[j].text.as_str())
+}
+
+/// The identifier anchoring the expression just right of the operator:
+/// skips `&`, `mut`, and opening parens.
+fn right_operand_ident(toks: &[Tok], op: usize) -> Option<&str> {
+    let mut j = op + 1;
+    while j < toks.len()
+        && (toks[j].is_punct("&") || toks[j].is_punct("(") || toks[j].is_ident("mut"))
+    {
+        j += 1;
+    }
+    let t = toks.get(j)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    // `x + self.feed_gas`: resolve the field, not the receiver.
+    if t.is_ident("self") && toks.get(j + 1).is_some_and(|n| n.is_punct(".")) {
+        let f = toks.get(j + 2)?;
+        return (f.kind == TokKind::Ident).then_some(f.text.as_str());
+    }
+    Some(t.text.as_str())
+}
+
+/// Rule 3 — **panic-audit**. Flags `.unwrap()`, `.expect(…)`, and `panic!`
+/// in non-test library code: the house style is typed errors
+/// (`GrubError`/`StoreError`/…), so every residual panic site must either
+/// be converted or carry a justified allow stating the invariant that makes
+/// it unreachable.
+pub fn panic_audit(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let called = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        if (t.text == "unwrap" || t.text == "expect")
+            && called
+            && i > 0
+            && toks[i - 1].is_punct(".")
+        {
+            file.push_checked(
+                out,
+                Rule::Panic,
+                t.line,
+                format!(
+                    "`.{}()` in non-test library code — return a typed error, or add \
+                     `// grub-lint: allow(panic) — <invariant>` if this genuinely cannot fail",
+                    t.text
+                ),
+            );
+        }
+        if t.text == "panic" && toks.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+            file.push_checked(
+                out,
+                Rule::Panic,
+                t.line,
+                "`panic!` in non-test library code — return a typed error, or add \
+                 `// grub-lint: allow(panic) — <invariant>` if this is a documented contract \
+                 violation"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run(rule: fn(&SourceFile, &mut Vec<Diagnostic>), src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(Path::new("crates/core/src/x.rs"), "core", src);
+        let mut out = Vec::new();
+        rule(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn hashmap_field_iteration_flagged() {
+        let diags = run(
+            determinism,
+            "struct S { states: HashMap<String, u64> }\n\
+             impl S { fn f(&self) { for (k, v) in self.states.iter() { use_it(k, v); } } }\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn for_loop_over_hashset_flagged() {
+        let diags = run(
+            determinism,
+            "fn f() { let mut seen = std::collections::HashSet::new(); seen.insert(1);\n\
+             for x in &seen { use_it(x); } }\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn keyed_lookup_not_flagged() {
+        let diags = run(
+            determinism,
+            "struct S { states: HashMap<String, u64> }\n\
+             impl S { fn f(&self) -> Option<&u64> { self.states.get(\"k\") } }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn vec_iteration_not_flagged() {
+        let diags = run(
+            determinism,
+            "fn f(v: Vec<u64>) -> u64 { v.iter().sum::<u64>() + v.into_iter().count() as u64 }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn instant_now_flagged_but_elapsed_isnt() {
+        let diags = run(determinism, "fn f() { let t = Instant::now(); }\n");
+        assert_eq!(diags.len(), 1);
+        let diags = run(
+            determinism,
+            "fn f(t: Instant) -> Duration { t.elapsed() }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn suppressed_iteration_passes() {
+        let diags = run(
+            determinism,
+            "struct S { seen: HashSet<u64> }\nimpl S { fn f(&mut self) {\n\
+             // grub-lint: allow(determinism) — drained into a sort below\n\
+             let mut v: Vec<u64> = self.seen.drain().collect(); v.sort(); } }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn bare_gas_arithmetic_flagged() {
+        let diags = run(
+            gas_safety,
+            "fn f(a_gas: u64, b: u64) -> u64 { a_gas + b }\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        let diags = run(
+            gas_safety,
+            "fn f(a: u64, feed_gas: u64) -> u64 { a - feed_gas }\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        let diags = run(gas_safety, "fn f(m: &mut M) { m.total_gas += 1; }\n");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn gas_projections_flagged() {
+        let diags = run(gas_safety, "fn f(g: G) -> u64 { g.feed_gas.0 + 1 }\n");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        let diags = run(gas_safety, "fn f(r: &R) -> u64 { r.feed_gas() + 1 }\n");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn checked_helpers_and_gas_newtype_pass() {
+        let diags = run(
+            gas_safety,
+            "fn f(a_gas: u64, b_gas: u64) -> u64 { checked_add_gas(a_gas, b_gas) }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        // The Gas newtype's own operators are the checked path.
+        let diags = run(gas_safety, "fn f() -> Gas { Gas(1) + Gas(2) }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+        let diags = run(gas_safety, "fn f(a: u64, b: u64) -> u64 { a + b }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unwrap_expect_panic_flagged() {
+        let diags = run(panic_audit, "fn f(x: Option<u64>) -> u64 { x.unwrap() }\n");
+        assert_eq!(diags.len(), 1);
+        let diags = run(
+            panic_audit,
+            "fn f(x: Option<u64>) -> u64 { x.expect(\"set\") }\n",
+        );
+        assert_eq!(diags.len(), 1);
+        let diags = run(panic_audit, "fn f() { panic!(\"boom\"); }\n");
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn unwrap_variants_and_tests_pass() {
+        let diags = run(
+            panic_audit,
+            "fn f(x: Option<u64>) -> u64 { x.unwrap_or(0) + x.unwrap_or_default() }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        let diags = run(
+            panic_audit,
+            "#[cfg(test)]\nmod tests {\n fn t() { None::<u64>.unwrap(); panic!(); }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn doc_comment_examples_pass() {
+        let diags = run(
+            panic_audit,
+            "/// ```\n/// x.unwrap();\n/// ```\nfn f() -> Result<(), E> { Ok(()) }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -111,6 +111,7 @@ fn rebuild_leaves(mut leaves: Vec<LeafData>) -> Box<Node> {
     fn build(leaves: &mut [Option<LeafData>]) -> Box<Node> {
         match leaves.len() {
             0 => unreachable!("rebuild_leaves requires at least one leaf"),
+            // grub-lint: allow(panic) — each slot starts Some and is taken exactly once across the recursion
             1 => Box::new(Node::Leaf(leaves[0].take().expect("present"))),
             n => {
                 let (l, r) = leaves.split_at_mut(n / 2);
@@ -423,7 +424,9 @@ fn build_balanced(records: &[(ProofKey, Hash32)]) -> Option<Box<Node>> {
         1 => Some(Box::new(Node::new_leaf(records[0].0.clone(), records[0].1))),
         n => {
             let mid = n / 2;
+            // grub-lint: allow(panic) — n >= 2 so both halves are non-empty
             let left = build_balanced(&records[..mid]).expect("non-empty");
+            // grub-lint: allow(panic) — n >= 2 so both halves are non-empty
             let right = build_balanced(&records[mid..]).expect("non-empty");
             Some(Box::new(Node::join(left, right)))
         }

@@ -164,6 +164,7 @@ impl SsTableWriter {
             last_key: self
                 .current_block_last_key
                 .clone()
+                // grub-lint: allow(panic) — flush is only reached with entries in the block, and add() records the key
                 .expect("non-empty block has a last key"),
             offset: self.offset,
             len: framed.len() as u32,
@@ -255,15 +256,15 @@ impl SsTableReader {
         }
         let mut footer = vec![0u8; FOOTER_LEN];
         file.read_exact_at(&mut footer, len - FOOTER_LEN as u64)?;
-        let magic = u64::from_le_bytes(footer[32..40].try_into().expect("8 bytes"));
+        let magic = le_u64(&footer[32..40]);
         if magic != MAGIC {
             return Err(StoreError::Corrupt("bad magic".into()));
         }
-        let index_off = u64::from_le_bytes(footer[0..8].try_into().expect("8"));
-        let index_len = u32::from_le_bytes(footer[8..12].try_into().expect("4")) as usize;
-        let bloom_off = u64::from_le_bytes(footer[12..20].try_into().expect("8"));
-        let bloom_len = u32::from_le_bytes(footer[20..24].try_into().expect("4")) as usize;
-        let entry_count = u64::from_le_bytes(footer[24..32].try_into().expect("8"));
+        let index_off = le_u64(&footer[0..8]);
+        let index_len = le_u32(&footer[8..12]) as usize;
+        let bloom_off = le_u64(&footer[12..20]);
+        let bloom_len = le_u32(&footer[20..24]) as usize;
+        let entry_count = le_u64(&footer[24..32]);
 
         let mut index_raw = vec![0u8; index_len];
         file.read_exact_at(&mut index_raw, index_off)?;
@@ -315,8 +316,8 @@ impl SsTableReader {
         if framed.len() < 8 {
             return Err(StoreError::Corrupt("short block frame".into()));
         }
-        let blen = u32::from_le_bytes(framed[0..4].try_into().expect("4")) as usize;
-        let crc = u32::from_le_bytes(framed[4..8].try_into().expect("4"));
+        let blen = le_u32(&framed[0..4]) as usize;
+        let crc = le_u32(&framed[4..8]);
         let body = &framed[8..];
         if body.len() != blen {
             return Err(StoreError::Corrupt("block length mismatch".into()));
@@ -365,28 +366,40 @@ impl SsTableReader {
     }
 }
 
+/// Reads a little-endian `u32` from a slice of exactly 4 bytes.
+fn le_u32(b: &[u8]) -> u32 {
+    // grub-lint: allow(panic) — every caller passes a 4-byte range already bounds-checked
+    u32::from_le_bytes(b.try_into().expect("4-byte slice"))
+}
+
+/// Reads a little-endian `u64` from a slice of exactly 8 bytes.
+fn le_u64(b: &[u8]) -> u64 {
+    // grub-lint: allow(panic) — every caller passes an 8-byte range already bounds-checked
+    u64::from_le_bytes(b.try_into().expect("8-byte slice"))
+}
+
 fn parse_index(raw: &[u8]) -> Result<Vec<IndexEntry>> {
     let corrupt = |m: &str| StoreError::Corrupt(m.into());
     if raw.len() < 4 {
         return Err(corrupt("index too short"));
     }
-    let count = u32::from_le_bytes(raw[0..4].try_into().expect("4")) as usize;
+    let count = le_u32(&raw[0..4]) as usize;
     let mut pos = 4usize;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         if pos + 4 > raw.len() {
             return Err(corrupt("index truncated"));
         }
-        let klen = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4")) as usize;
+        let klen = le_u32(&raw[pos..pos + 4]) as usize;
         pos += 4;
         if pos + klen + 12 > raw.len() {
             return Err(corrupt("index truncated"));
         }
         let last_key = raw[pos..pos + klen].to_vec();
         pos += klen;
-        let offset = u64::from_le_bytes(raw[pos..pos + 8].try_into().expect("8"));
+        let offset = le_u64(&raw[pos..pos + 8]);
         pos += 8;
-        let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4"));
+        let len = le_u32(&raw[pos..pos + 4]);
         pos += 4;
         out.push(IndexEntry {
             last_key,
@@ -405,10 +418,10 @@ fn parse_block(body: &[u8]) -> Result<Vec<TableEntry>> {
         if pos + 17 > body.len() {
             return Err(corrupt("entry header truncated"));
         }
-        let klen = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4")) as usize;
-        let seq = u64::from_le_bytes(body[pos + 4..pos + 12].try_into().expect("8"));
+        let klen = le_u32(&body[pos..pos + 4]) as usize;
+        let seq = le_u64(&body[pos + 4..pos + 12]);
         let has_value = body[pos + 12] != 0;
-        let vlen = u32::from_le_bytes(body[pos + 13..pos + 17].try_into().expect("4")) as usize;
+        let vlen = le_u32(&body[pos + 13..pos + 17]) as usize;
         pos += 17;
         if pos + klen + if has_value { vlen } else { 0 } > body.len() {
             return Err(corrupt("entry body truncated"));

@@ -114,6 +114,7 @@ impl Multiplex {
         order.sort_by(|&a, &b| {
             let fa = quotas[a] - quotas[a].floor();
             let fb = quotas[b] - quotas[b].floor();
+            // grub-lint: allow(panic) — fractional parts of finite quotas are never NaN
             fb.partial_cmp(&fa).expect("finite fractions")
         });
         // In exact arithmetic the remainder is < tenants, but extreme
@@ -122,6 +123,7 @@ impl Multiplex {
         // the budgets still sum exactly instead of silently dropping ops.
         let mut top_up = order.iter().cycle();
         while assigned < self.total_ops {
+            // grub-lint: allow(panic) — cycle() over a non-empty tenant list never ends
             out[*top_up.next().expect("at least one tenant")] += 1;
             assigned += 1;
         }
@@ -130,6 +132,7 @@ impl Multiplex {
         // overshoot can never starve the hot tenants.
         let mut trim = order.iter().rev().cycle();
         while assigned > self.total_ops {
+            // grub-lint: allow(panic) — cycle() over a non-empty tenant list never ends
             let &i = trim.next().expect("at least one tenant");
             if out[i] > 0 {
                 out[i] -= 1;
@@ -258,6 +261,7 @@ impl InterleaveSource {
             .partition_point(|&(cum, _)| cum <= needle)
             .min(self.cdf.len() - 1);
         let lane = self.cdf[at].1;
+        // grub-lint: allow(panic) — rebuild_cdf drops exhausted lanes, so any lane sampled from the CDF is live
         let op = self.lanes[lane].1.next_op().expect("CDF holds live lanes");
         if self.lanes[lane].1.is_exhausted() {
             self.rebuild_cdf();

@@ -81,8 +81,9 @@ impl TempoSource {
                     self.buffer.push_back(write);
                     let due = (w + 1) * r_total / w_total;
                     while emitted_reads < due {
-                        self.buffer
-                            .push_back(reads.next().expect("due ≤ total reads"));
+                        // grub-lint: allow(panic) — due = (w+1)·r/w ≤ r_total, so the reads iterator cannot run dry
+                        let read = reads.next().expect("due ≤ total reads");
+                        self.buffer.push_back(read);
                         emitted_reads += 1;
                     }
                 }

@@ -1,0 +1,10 @@
+//! Fixture: iterating a HashMap in a digest-feeding crate must be flagged.
+use std::collections::HashMap;
+
+pub fn digest_input(balances: &HashMap<String, u64>) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for (k, v) in balances.iter() {
+        out.push((k.clone(), *v));
+    }
+    out
+}

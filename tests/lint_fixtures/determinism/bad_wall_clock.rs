@@ -1,0 +1,6 @@
+//! Fixture: wall-clock reads in a digest-feeding crate must be flagged.
+
+pub fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()
+}

@@ -1,0 +1,22 @@
+//! Fixture: justified allows and #[cfg(test)] regions must pass.
+use std::collections::HashMap;
+
+pub fn sorted_keys(m: &HashMap<String, u64>) -> Vec<String> {
+    // grub-lint: allow(determinism) — sorted immediately below
+    let mut keys: Vec<String> = m.keys().cloned().collect();
+    keys.sort();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_iteration_is_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), 1u64);
+        for (_k, _v) in m.iter() {}
+        let _ = std::time::SystemTime::now();
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: BTreeMap iteration is deterministic and must pass.
+use std::collections::BTreeMap;
+
+pub fn digest_input(balances: &BTreeMap<String, u64>) -> Vec<(String, u64)> {
+    balances.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}

@@ -1,0 +1,7 @@
+//! Fixture: bare arithmetic on raw gas counters must be flagged.
+
+pub fn settle(feed_gas: u64, app_gas: u64) -> u64 {
+    let mut total_gas = feed_gas + app_gas;
+    total_gas += 21_000;
+    total_gas - 1
+}

@@ -1,0 +1,14 @@
+//! Fixture: gas arithmetic routed through the checked helpers must pass,
+//! and non-gas arithmetic is out of scope entirely.
+
+pub fn checked_add_gas(a: u64, b: u64) -> u64 {
+    a.checked_add(b).unwrap_or(u64::MAX)
+}
+
+pub fn settle(feed_gas: u64, app_gas: u64) -> u64 {
+    checked_add_gas(feed_gas, app_gas)
+}
+
+pub fn unrelated(height: u64, delta: u64) -> u64 {
+    height + delta
+}

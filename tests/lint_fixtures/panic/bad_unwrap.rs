@@ -1,0 +1,10 @@
+//! Fixture: unwrap/expect/panic! in non-test library code must be flagged.
+
+pub fn parse(raw: &str) -> u64 {
+    let first = raw.split(':').next().unwrap();
+    let n: u64 = first.parse().expect("numeric");
+    if n == 0 {
+        panic!("zero is not allowed");
+    }
+    n
+}

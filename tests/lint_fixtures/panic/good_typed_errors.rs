@@ -1,0 +1,21 @@
+//! Fixture: typed errors, justified allows, and test-only panics must pass.
+
+pub fn parse(raw: &str) -> Result<u64, String> {
+    let first = raw.split(':').next().ok_or("empty input")?;
+    first.parse().map_err(|e| format!("bad number: {e}"))
+}
+
+pub fn head(xs: &[u64]) -> u64 {
+    // grub-lint: allow(panic) — callers guarantee a non-empty slice
+    *xs.first().expect("non-empty by contract")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(parse("7").unwrap(), 7);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture chain crate: reads a documented knob, an undocumented knob,
+//! and hooks only `FaultPoint::PreCommit`.
+
+pub fn seed() -> u64 {
+    match std::env::var("GRUB_SEED") {
+        Ok(raw) => raw.parse().unwrap_or(0),
+        Err(_) => 0,
+    }
+}
+
+pub fn rogue() -> bool {
+    std::env::var("GRUB_ROGUE").is_ok()
+}
+
+pub fn hook() -> &'static str {
+    let _ = FaultPoint::PreCommit;
+    "hooked"
+}
+
+pub enum FaultPoint {
+    PreCommit,
+}

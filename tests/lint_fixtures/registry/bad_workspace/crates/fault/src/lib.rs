@@ -1,0 +1,7 @@
+//! Fixture fault crate: `Orphan` has no hook site and no doc mention.
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    PreCommit,
+    Orphan,
+}

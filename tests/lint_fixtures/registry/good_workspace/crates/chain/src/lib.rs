@@ -1,0 +1,20 @@
+//! Fixture chain crate: every knob read is documented and every fault
+//! point has a hook site.
+
+pub fn seed() -> u64 {
+    match std::env::var("GRUB_SEED") {
+        Ok(raw) => raw.parse().unwrap_or(0),
+        Err(_) => 0,
+    }
+}
+
+pub fn hooks() -> (&'static str, &'static str) {
+    let _ = FaultPoint::PreCommit;
+    let _ = FaultPoint::Orphan;
+    ("pre-commit", "orphan")
+}
+
+pub enum FaultPoint {
+    PreCommit,
+    Orphan,
+}

@@ -1,0 +1,7 @@
+//! Fixture fault crate: both variants are hooked and documented.
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    PreCommit,
+    Orphan,
+}
