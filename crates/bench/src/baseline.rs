@@ -50,6 +50,7 @@ pub const DETERMINISTIC_KEYS: &[&str] = &[
     "write_only_gas",
     "full_batch_gas",
     "fee_spike_gas",
+    "confirm_depth_gas",
     "update_sections",
     "deliver_sections",
     "update_txs",
@@ -92,6 +93,18 @@ pub fn measure() -> BTreeMap<String, f64> {
     let fee_start = Instant::now();
     let fee_run = FeedEngine::run_specs(&fee_config, fleet()).expect("fee-schedule run");
     let fee_elapsed = fee_start.elapsed();
+    // The confirmation-semantics row: the same fleet acknowledged only
+    // three blocks deep, with the seeded inclusion-latency process gating
+    // mining. Confirmation delays acknowledgment, never repricing, so the
+    // total is exact — and must equal the plain full-batch total.
+    let mut confirm_config = EngineConfig::new(SHARDS);
+    confirm_config.chain = ChainConfig::default().confirm_depth(3).latency(5, 1);
+    let confirm_run = FeedEngine::run_specs(&confirm_config, fleet()).expect("confirmation run");
+    assert_eq!(
+        confirm_run.feed_gas_total(),
+        full.feed_gas_total(),
+        "confirmation depth and inclusion latency must never move a unit of Gas"
+    );
     assert_eq!(
         seq_chain.chain_digest(),
         par_chain.chain_digest(),
@@ -110,6 +123,10 @@ pub fn measure() -> BTreeMap<String, f64> {
     out.insert("write_only_gas".into(), write_only.feed_gas_total() as f64);
     out.insert("full_batch_gas".into(), full.feed_gas_total() as f64);
     out.insert("fee_spike_gas".into(), fee_run.feed_gas_total() as f64);
+    out.insert(
+        "confirm_depth_gas".into(),
+        confirm_run.feed_gas_total() as f64,
+    );
     out.insert(
         "update_sections".into(),
         full.metrics

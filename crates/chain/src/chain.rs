@@ -40,6 +40,22 @@ pub struct MempoolConfig {
     pub max_txs_per_block: usize,
 }
 
+/// Inclusion-latency parameters (see [`ChainConfig::latency`]).
+///
+/// Models submission→inclusion delay: each submitted transaction waits a
+/// seeded number of blocks (`mix(seed, tx_id) % (max_delay_blocks + 1)`)
+/// before it becomes eligible to mine, plus one extra block per full
+/// [`MempoolConfig::max_txs_per_block`] of queue ahead of it when the
+/// mempool is bounded — so congestion pressure lengthens the wait
+/// deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// Seed fixing each transaction's inclusion delay.
+    pub seed: u64,
+    /// Upper bound on the seeded per-transaction delay, in blocks (min 1).
+    pub max_delay_blocks: u64,
+}
+
 /// Chain timing parameters (paper §3.4): block period `B`, finality depth
 /// `F`, and transaction propagation delay `Pt` — plus the simulator's
 /// block-retention window for streamed-scale runs and the optional
@@ -71,6 +87,19 @@ pub struct ChainConfig {
     /// Bounded per-block transaction capacity; `None` (the default) mines
     /// every queued transaction in one block.
     pub mempool: Option<MempoolConfig>,
+    /// Operational confirmation depth: a mined transaction is acknowledged
+    /// (policy-visible, DO/SP-observable) only once its block is this many
+    /// blocks deep. `0` (the default) acknowledges at the tip, which is the
+    /// pre-confirmation-semantics behavior. Distinct from
+    /// [`ChainConfig::finality_depth`], the paper's worst-case safety
+    /// parameter `F` (Ethereum: 250): `confirm_depth` is the depth the
+    /// *harness* waits for before treating a write as settled, and it also
+    /// clamps how deep the seeded fork process may roll back — a reorg never
+    /// crosses the confirmation frontier.
+    pub confirm_depth: u64,
+    /// Seeded submission→inclusion latency; `None` (the default) mines every
+    /// queued transaction in the very next block.
+    pub latency: Option<LatencyConfig>,
 }
 
 impl Default for ChainConfig {
@@ -83,6 +112,8 @@ impl Default for ChainConfig {
             reorg: None,
             fee: None,
             mempool: None,
+            confirm_depth: 0,
+            latency: None,
         }
     }
 }
@@ -113,12 +144,30 @@ impl ChainConfig {
         self
     }
 
+    /// Sets the operational confirmation depth (0 = acknowledge at the tip).
+    pub fn confirm_depth(mut self, depth: u64) -> Self {
+        self.confirm_depth = depth;
+        self
+    }
+
+    /// Enables seeded submission→inclusion latency of up to
+    /// `max_delay_blocks` blocks per transaction.
+    pub fn latency(mut self, seed: u64, max_delay_blocks: u64) -> Self {
+        self.latency = Some(LatencyConfig {
+            seed,
+            max_delay_blocks: max_delay_blocks.max(1),
+        });
+        self
+    }
+
     /// Applies the chain-realism environment knobs on top of this config:
     ///
     /// * `GRUB_REORG=seed:period:depth` (or `1` for defaults `7:5:2`)
     /// * `GRUB_FEE_SCHEDULE=step|spike|revert[:seed]` (see
     ///   [`FeeProcess::parse`])
     /// * `GRUB_MEMPOOL=<max txs per block>`
+    /// * `GRUB_CONFIRM_DEPTH=<blocks>` (confirmation depth; `0` = at-tip)
+    /// * `GRUB_INCLUSION_LATENCY=<max delay blocks>[:seed]` (seed default 0)
     ///
     /// Unset, empty, or `0` leaves the corresponding axis off.
     ///
@@ -168,13 +217,43 @@ impl ChainConfig {
                 self = self.mempool(cap);
             }
         }
+        if let Ok(raw) = std::env::var("GRUB_CONFIRM_DEPTH") {
+            let raw = raw.trim();
+            if !raw.is_empty() && raw != "0" {
+                let depth: u64 = raw
+                    .parse()
+                    // grub-lint: allow(panic) — documented "# Panics": a typo'd knob must fail loudly, not run a different scenario
+                    .unwrap_or_else(|_| panic!("GRUB_CONFIRM_DEPTH: bad depth {raw:?}"));
+                self = self.confirm_depth(depth);
+            }
+        }
+        if let Ok(raw) = std::env::var("GRUB_INCLUSION_LATENCY") {
+            let raw = raw.trim();
+            if !raw.is_empty() && raw != "0" {
+                let (max_raw, seed) = match raw.split_once(':') {
+                    Some((m, s)) => (
+                        m,
+                        s.parse().unwrap_or_else(|_| {
+                            // grub-lint: allow(panic) — documented "# Panics": a typo'd knob must fail loudly, not run a different scenario
+                            panic!("GRUB_INCLUSION_LATENCY: bad seed {s:?} in {raw:?}")
+                        }),
+                    ),
+                    None => (raw, 0),
+                };
+                let max_delay: u64 = max_raw.parse().unwrap_or_else(|_| {
+                    // grub-lint: allow(panic) — documented "# Panics": a typo'd knob must fail loudly, not run a different scenario
+                    panic!("GRUB_INCLUSION_LATENCY: bad delay {max_raw:?} in {raw:?}")
+                });
+                self = self.latency(seed, max_delay);
+            }
+        }
         self
     }
 }
 
 /// One observed fork: recorded when the seeded reorg process fires, for
 /// reporting and tests.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReorgEvent {
     /// Height the abandoned fork block was mined at.
     pub height: u64,
@@ -183,6 +262,14 @@ pub struct ReorgEvent {
     /// Digest the chain would have had if the fork branch had won —
     /// always different from the canonical digest at the same height.
     pub fork_digest: grub_crypto::Hash32,
+    /// Transactions the rollback abandoned (every transaction of every
+    /// rolled-back canonical block, oldest block first).
+    pub abandoned: Vec<TxId>,
+    /// Abandoned transactions that re-entered the mempool and re-mined on
+    /// the canonical branch. Equals `abandoned` on every completed reorg —
+    /// the no-lost-writes contract; a strict prefix only when an injected
+    /// crash point killed the reorg between rollback and resubmission.
+    pub resubmitted: Vec<TxId>,
 }
 
 /// A rollback was requested past what the chain can undo.
@@ -206,6 +293,16 @@ pub enum ReorgError {
         /// Deepest rollback currently possible.
         available: usize,
     },
+    /// The rollback target is below the confirmation frontier — blocks at or
+    /// under [`Blockchain::confirmed_height`] have been acknowledged to the
+    /// DO/SP layers under [`ChainConfig::confirm_depth`] and can no longer
+    /// be undone.
+    PastConfirmationFrontier {
+        /// Blocks the caller asked to roll back.
+        requested: usize,
+        /// The confirmation frontier the rollback may not cross.
+        frontier: u64,
+    },
 }
 
 impl std::fmt::Display for ReorgError {
@@ -226,6 +323,15 @@ impl std::fmt::Display for ReorgError {
                 f,
                 "cannot roll back {requested} blocks: no state snapshot at \
                  the target height (deepest possible rollback is {available})"
+            ),
+            ReorgError::PastConfirmationFrontier {
+                requested,
+                frontier,
+            } => write!(
+                f,
+                "cannot roll back {requested} blocks: the target is below \
+                 the confirmation frontier (height {frontier}) — confirmed \
+                 blocks have been acknowledged and cannot be undone"
             ),
         }
     }
@@ -388,6 +494,22 @@ pub struct Blockchain {
     recent_txs: Vec<(u64, Vec<(TxId, Transaction)>)>,
     /// Every fork the seeded reorg process has executed.
     reorg_events: Vec<ReorgEvent>,
+    /// Under [`ChainConfig::latency`]: the height at which each delayed
+    /// transaction becomes eligible to mine, keyed by [`TxId`] value.
+    /// Lookup-only (never iterated), so determinism is unaffected; empty
+    /// whenever latency is off.
+    tx_eligible: HashMap<u64, u64>,
+    /// Under [`ChainConfig::confirm_depth`]: mined-but-unconfirmed blocks,
+    /// ascending by height — `(height, txs mined in that block)`. Entries
+    /// move to `confirmed_ready` once the confirmation frontier passes them;
+    /// a rollback discards entries above its target (they re-enter as the
+    /// canonical branch re-commits).
+    pending_confirm: Vec<(u64, Vec<TxId>)>,
+    /// Confirmed-block ledger awaiting collection by
+    /// [`Blockchain::drain_confirmed`], ascending by height. Heights here
+    /// are at or below the confirmation frontier, which no rollback can
+    /// cross — once listed, a transaction is settled.
+    confirmed_ready: Vec<(u64, Vec<TxId>)>,
 }
 
 /// Everything needed to rewind the chain to the state just after a given
@@ -432,6 +554,9 @@ impl Blockchain {
             snapshots: Vec::new(),
             recent_txs: Vec::new(),
             reorg_events: Vec::new(),
+            tx_eligible: HashMap::new(),
+            pending_confirm: Vec::new(),
+            confirmed_ready: Vec::new(),
         };
         if chain.config.reorg.is_some() {
             chain.snapshots.push(chain.current_snapshot());
@@ -471,10 +596,23 @@ impl Blockchain {
         self.registry.contains_key(&address)
     }
 
-    /// Queues a transaction; it executes at the next block.
+    /// Queues a transaction; it executes at the next block — or, under
+    /// [`ChainConfig::latency`], at the block its seeded inclusion delay
+    /// (lengthened by mempool-congestion pressure) first allows.
     pub fn submit(&mut self, tx: Transaction) -> TxId {
         let id = TxId(self.next_tx_id);
         self.next_tx_id += 1;
+        if let Some(lat) = self.config.latency {
+            let mut delay = seeded_mix(lat.seed, id.0) % (lat.max_delay_blocks.max(1) + 1);
+            if let Some(mp) = self.config.mempool {
+                // Congestion pressure: one extra block of wait per full
+                // block-capacity of queue already ahead of this transaction.
+                delay += (self.mempool.len() / mp.max_txs_per_block.max(1)) as u64;
+            }
+            if delay > 0 {
+                self.tx_eligible.insert(id.0, self.mined + 1 + delay);
+            }
+        }
         self.mempool.push((id, tx));
         id
     }
@@ -527,20 +665,41 @@ impl Blockchain {
         Ok(self.blocks.last().expect("just pushed"))
     }
 
-    /// Selects the transactions the next block will mine: everything, or —
+    /// Selects the transactions the next block will mine: everything whose
+    /// inclusion delay has elapsed (everything, when latency is off), then —
     /// under mempool congestion — the top `max_txs_per_block` by priority
-    /// (stable, so equal priorities keep submission order).
+    /// (stable, so equal priorities keep submission order). Capacity
+    /// overflow re-queues ahead of still-delayed transactions; a
+    /// transaction selected once never re-waits its delay.
     fn take_block_pending(&mut self) -> Vec<(TxId, Transaction)> {
+        let mut candidates = if self.tx_eligible.is_empty() {
+            std::mem::take(&mut self.mempool)
+        } else {
+            let next = self.mined + 1;
+            let pool = std::mem::take(&mut self.mempool);
+            let mut ready = Vec::with_capacity(pool.len());
+            for (id, tx) in pool {
+                if self.tx_eligible.get(&id.0).is_none_or(|&h| h <= next) {
+                    self.tx_eligible.remove(&id.0);
+                    ready.push((id, tx));
+                } else {
+                    self.mempool.push((id, tx));
+                }
+            }
+            ready
+        };
         match self.config.mempool {
-            None => std::mem::take(&mut self.mempool),
+            None => candidates,
             Some(mp) => {
                 let cap = mp.max_txs_per_block.max(1);
-                self.mempool.sort_by_key(|(_, tx)| Reverse(tx.priority));
-                if self.mempool.len() <= cap {
-                    std::mem::take(&mut self.mempool)
+                candidates.sort_by_key(|(_, tx)| Reverse(tx.priority));
+                if candidates.len() <= cap {
+                    candidates
                 } else {
-                    let rest = self.mempool.split_off(cap);
-                    std::mem::replace(&mut self.mempool, rest)
+                    let mut overflow = candidates.split_off(cap);
+                    overflow.append(&mut self.mempool);
+                    self.mempool = overflow;
+                    candidates
                 }
             }
         }
@@ -575,11 +734,17 @@ impl Blockchain {
     }
 
     /// Seals the next canonical block: select pending, execute, fold the
-    /// digest, check the recovery checkpoint, retain, snapshot.
+    /// digest, check the recovery checkpoint, retain, snapshot, and advance
+    /// the confirmation ledger.
     fn seal_canonical_block(&mut self) {
         let pending = self.take_block_pending();
         let replay = self.config.reorg.map(|_| pending.clone());
         let block = self.execute_block(pending, 0);
+        let sealed_ids: Vec<TxId> = if self.config.confirm_depth > 0 {
+            block.receipts.iter().map(|r| r.tx_id).collect()
+        } else {
+            Vec::new()
+        };
         self.digest_acc = fold_block_digest(&self.digest_acc, &block);
         if let Some((height, expected)) = self.checkpoint {
             if self.mined == height {
@@ -610,15 +775,39 @@ impl Blockchain {
             let oldest = self.snapshots.first().map(|s| s.mined).unwrap_or(0);
             self.recent_txs.retain(|(h, _)| *h > oldest);
         }
+        if self.config.confirm_depth > 0 {
+            // Only blocks that mined something enter the ledger: empty
+            // blocks have nothing to acknowledge, and skipping them is what
+            // lets `await_confirmations` terminate by mining empty blocks.
+            if !sealed_ids.is_empty() {
+                self.pending_confirm.push((self.mined, sealed_ids));
+            }
+            let frontier = self.confirmed_height();
+            while self
+                .pending_confirm
+                .first()
+                .is_some_and(|(h, _)| *h <= frontier)
+            {
+                let entry = self.pending_confirm.remove(0);
+                self.confirmed_ready.push(entry);
+            }
+        }
     }
 
-    /// Deepest rollback currently possible: bounded by both the snapshot
-    /// window and the retained block bodies.
+    /// Deepest rollback currently possible: bounded by the snapshot window,
+    /// the retained block bodies, and — under
+    /// [`ChainConfig::confirm_depth`] — the confirmation frontier
+    /// (acknowledged blocks can never be undone).
     fn rollback_capacity(&self) -> usize {
         let Some(oldest) = self.snapshots.first().map(|s| s.mined) else {
             return 0;
         };
-        ((self.mined - oldest) as usize).min(self.blocks.len())
+        let cap = ((self.mined - oldest) as usize).min(self.blocks.len());
+        if self.config.confirm_depth > 0 {
+            cap.min((self.mined - self.confirmed_height()) as usize)
+        } else {
+            cap
+        }
     }
 
     /// Rolls back the last `depth` canonical blocks, restoring chain state
@@ -656,6 +845,19 @@ impl Blockchain {
         target: u64,
         requested: usize,
     ) -> Result<Vec<Vec<(TxId, Transaction)>>, ReorgError> {
+        if self.config.confirm_depth > 0 {
+            // The frontier is judged against the canonical tip — the latest
+            // snapshot's height, not `self.mined`, which the fork branch's
+            // abandoned block has already bumped when this runs mid-reorg.
+            let canonical_tip = self.snapshots.last().map(|s| s.mined).unwrap_or(self.mined);
+            let frontier = canonical_tip.saturating_sub(self.config.confirm_depth);
+            if target < frontier {
+                return Err(ReorgError::PastConfirmationFrontier {
+                    requested,
+                    frontier,
+                });
+            }
+        }
         let snap_idx = self
             .snapshots
             .iter()
@@ -673,6 +875,11 @@ impl Blockchain {
         let snap = self.snapshots[snap_idx].clone();
         self.snapshots.truncate(snap_idx + 1);
         self.recent_txs.retain(|(h, _)| *h <= target);
+        // Unconfirmed ledger entries above the target are abandoned with
+        // their blocks; they re-enter as the canonical branch re-commits.
+        // Confirmed entries are never above the target — the frontier guard
+        // above is what makes the `confirmed_ready` ledger settled.
+        self.pending_confirm.retain(|(h, _)| *h <= target);
         self.blocks.retain(|b| b.number <= target);
         self.storages = snap.storages;
         self.meter = snap.meter;
@@ -702,10 +909,16 @@ impl Blockchain {
         // The canonical branch wins: undo the fork block and `depth`
         // canonical ancestors in one restore.
         let replay = self.rollback_to(target, depth)?;
+        let abandoned: Vec<TxId> = replay
+            .iter()
+            .flat_map(|txs| txs.iter().map(|(id, _)| *id))
+            .collect();
         self.reorg_events.push(ReorgEvent {
             height: next,
             depth,
             fork_digest,
+            abandoned,
+            resubmitted: Vec::new(),
         });
         if grub_fault::should_trip(FaultPoint::MidReorgRollback) {
             // The process dies between rollback and re-commit: the chain is
@@ -718,8 +931,19 @@ impl Blockchain {
         // sets at identical heights ⇒ identical digests), then seal `next`.
         for txs in replay {
             debug_assert!(self.mempool.is_empty(), "re-commit must not mix blocks");
+            let resubmitted: Vec<TxId> = txs.iter().map(|(id, _)| *id).collect();
             self.mempool = txs;
             self.seal_canonical_block();
+            if let Some(event) = self.reorg_events.last_mut() {
+                event.resubmitted.extend(resubmitted);
+            }
+        }
+        if grub_fault::should_trip(FaultPoint::MidResubmission) {
+            // The process dies after the canonical branch fully re-committed
+            // but before the fork's pending transactions re-enter the
+            // mempool: the chain is consistent at the original tip, the
+            // pending transactions are lost with the process.
+            return Err(BlockError::Injected(FaultPoint::MidResubmission.name()));
         }
         self.mempool = pending;
         self.seal_canonical_block();
@@ -899,6 +1123,51 @@ impl Blockchain {
     /// Height up to which blocks are final (`height - F`, saturating).
     pub fn finalized_height(&self) -> u64 {
         self.height().saturating_sub(self.config.finality_depth)
+    }
+
+    /// The confirmation frontier: height up to which mined blocks are
+    /// acknowledged under [`ChainConfig::confirm_depth`] (`height - depth`,
+    /// saturating — the tip itself at depth 0). Monotone non-decreasing
+    /// across [`Blockchain::produce_block`] calls: a reorg never rolls the
+    /// net height back, and the rollback clamp keeps forks above the
+    /// frontier.
+    pub fn confirmed_height(&self) -> u64 {
+        self.height().saturating_sub(self.config.confirm_depth)
+    }
+
+    /// How many more blocks must be mined before every transaction mined so
+    /// far is confirmed — zero when the pending-confirmation ledger is
+    /// empty (always, at depth 0).
+    pub fn confirmation_lag(&self) -> u64 {
+        match self.pending_confirm.last() {
+            Some((h, _)) => (h + self.config.confirm_depth).saturating_sub(self.mined),
+            None => 0,
+        }
+    }
+
+    /// Mines (possibly empty) blocks until every mined transaction is
+    /// confirmed — what an epoch boundary calls before acknowledging writes
+    /// to the DO/SP layers. A no-op at depth 0. Terminates because empty
+    /// blocks never enter the pending ledger, so each block mined strictly
+    /// shrinks the lag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BlockError`] from block production (an armed crash
+    /// point, or an impossible rollback).
+    pub fn await_confirmations(&mut self) -> Result<(), BlockError> {
+        while self.confirmation_lag() > 0 {
+            self.try_produce_block()?;
+        }
+        Ok(())
+    }
+
+    /// Drains the confirmed-block ledger: `(height, txs)` entries for every
+    /// block whose depth passed [`ChainConfig::confirm_depth`] since the
+    /// last drain, ascending by height with no gaps and no duplicates.
+    /// Always empty at depth 0.
+    pub fn drain_confirmed(&mut self) -> Vec<(u64, Vec<TxId>)> {
+        std::mem::take(&mut self.confirmed_ready)
     }
 
     /// Guards the documented precondition of the `_since` queries under
@@ -1517,6 +1786,14 @@ mod tests {
                 forked.chain_digest(),
                 "the abandoned branch is never the canonical digest"
             );
+            assert_eq!(
+                ev.resubmitted, ev.abandoned,
+                "a completed reorg resubmits exactly the abandoned set"
+            );
+            assert!(
+                !ev.abandoned.is_empty(),
+                "every rolled-back block here carried a transaction"
+            );
         }
         assert_eq!(forked.height(), straight.height());
         assert_eq!(
@@ -1723,10 +2000,14 @@ mod tests {
         std::env::set_var("GRUB_REORG", "3:9:4");
         std::env::set_var("GRUB_FEE_SCHEDULE", "step:2");
         std::env::set_var("GRUB_MEMPOOL", "6");
+        std::env::set_var("GRUB_CONFIRM_DEPTH", "3");
+        std::env::set_var("GRUB_INCLUSION_LATENCY", "2:11");
         let cfg = ChainConfig::default().with_env_realism();
         std::env::remove_var("GRUB_REORG");
         std::env::remove_var("GRUB_FEE_SCHEDULE");
         std::env::remove_var("GRUB_MEMPOOL");
+        std::env::remove_var("GRUB_CONFIRM_DEPTH");
+        std::env::remove_var("GRUB_INCLUSION_LATENCY");
         assert_eq!(
             cfg.reorg,
             Some(ReorgConfig {
@@ -1742,8 +2023,195 @@ mod tests {
                 max_txs_per_block: 6
             })
         );
+        assert_eq!(cfg.confirm_depth, 3);
+        assert_eq!(
+            cfg.latency,
+            Some(LatencyConfig {
+                seed: 11,
+                max_delay_blocks: 2,
+            })
+        );
+        // A bare max-delay defaults the seed to 0.
+        std::env::set_var("GRUB_INCLUSION_LATENCY", "1");
+        let bare = ChainConfig::default().with_env_realism();
+        std::env::remove_var("GRUB_INCLUSION_LATENCY");
+        assert_eq!(
+            bare.latency,
+            Some(LatencyConfig {
+                seed: 0,
+                max_delay_blocks: 1,
+            })
+        );
         let off = ChainConfig::default().with_env_realism();
         assert_eq!(off, ChainConfig::default());
+    }
+
+    #[test]
+    fn inclusion_latency_gates_mining_deterministically() {
+        let run = || {
+            let mut chain = Blockchain::with_config(ChainConfig::default().latency(5, 2));
+            let widget = Address::derive("widget");
+            let user = Address::derive("user");
+            chain.deploy(widget, Rc::new(Widget), Layer::Application);
+            let mut ids = Vec::new();
+            for v in 0..6 {
+                ids.push(submit_set(&mut chain, widget, user, v));
+            }
+            let mut mined_at = Vec::new();
+            while chain.mempool_len() > 0 {
+                let block = chain.produce_block();
+                for r in &block.receipts {
+                    mined_at.push((r.tx_id, r.block_number));
+                }
+            }
+            (ids, mined_at, chain.chain_digest())
+        };
+        let (ids, mined_at, digest) = run();
+        assert_eq!(mined_at.len(), ids.len(), "every submission mines");
+        assert!(
+            mined_at.iter().any(|(_, b)| *b > 1),
+            "some transactions straddle into later blocks"
+        );
+        let (_, mined_again, digest_again) = run();
+        assert_eq!(mined_at, mined_again, "the delay schedule is seeded");
+        assert_eq!(digest, digest_again);
+        // Latency off mines everything in the very next block.
+        let (mut flat, widget, user) = setup();
+        for v in 0..6 {
+            submit_set(&mut flat, widget, user, v);
+        }
+        assert_eq!(flat.produce_block().receipts.len(), 6);
+    }
+
+    #[test]
+    fn latency_and_congestion_compose_with_reorgs_digest_transparently() {
+        let base = ChainConfig::default().latency(5, 2).mempool(2);
+        let mut forked = Blockchain::with_config(base.reorg(7, 3, 2));
+        let mut straight = Blockchain::with_config(base);
+        let widget = Address::derive("widget");
+        let user = Address::derive("user");
+        for chain in [&mut forked, &mut straight] {
+            chain.deploy(widget, Rc::new(Widget), Layer::Application);
+        }
+        for round in 0..14 {
+            for chain in [&mut forked, &mut straight] {
+                submit_set(chain, widget, user, round);
+                chain.produce_block();
+            }
+        }
+        // Drain the delayed tails identically.
+        for chain in [&mut forked, &mut straight] {
+            while chain.mempool_len() > 0 {
+                chain.produce_block();
+            }
+        }
+        assert!(!forked.reorg_events().is_empty(), "forks fired");
+        for ev in forked.reorg_events() {
+            assert_eq!(ev.resubmitted, ev.abandoned, "no lost or extra writes");
+        }
+        assert_eq!(forked.height(), straight.height());
+        assert_eq!(
+            forked.chain_digest(),
+            straight.chain_digest(),
+            "reorg + latency + congestion must still replay byte-identically"
+        );
+    }
+
+    #[test]
+    fn confirmation_ledger_drains_in_order_without_gaps() {
+        let mut chain =
+            Blockchain::with_config(ChainConfig::default().confirm_depth(3).latency(5, 1));
+        let widget = Address::derive("widget");
+        let user = Address::derive("user");
+        chain.deploy(widget, Rc::new(Widget), Layer::Application);
+        let mut submitted = Vec::new();
+        let mut confirmed: Vec<(u64, Vec<TxId>)> = Vec::new();
+        for v in 0..10 {
+            submitted.push(submit_set(&mut chain, widget, user, v));
+            chain.produce_block();
+            confirmed.extend(chain.drain_confirmed());
+        }
+        assert!(
+            chain.confirmation_lag() > 0,
+            "the tip blocks are not yet three deep"
+        );
+        chain.await_confirmations().expect("no faults armed");
+        confirmed.extend(chain.drain_confirmed());
+        assert_eq!(chain.confirmation_lag(), 0);
+        assert_eq!(
+            chain.confirmed_height(),
+            chain.height() - 3,
+            "the frontier trails the tip by the configured depth"
+        );
+        let heights: Vec<u64> = confirmed.iter().map(|(h, _)| *h).collect();
+        let mut sorted = heights.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(heights, sorted, "ascending heights, no duplicates");
+        let mut all_confirmed: Vec<TxId> = confirmed.into_iter().flat_map(|(_, txs)| txs).collect();
+        all_confirmed.sort_unstable_by_key(|id| id.0);
+        assert_eq!(
+            all_confirmed, submitted,
+            "every submitted transaction confirms exactly once"
+        );
+    }
+
+    #[test]
+    fn confirm_depth_clamps_reorg_depth_and_keeps_frontier_monotone() {
+        // max_depth 6 would roll back far deeper than the confirmation
+        // depth allows; the clamp must keep every fork above the frontier.
+        let mut chain =
+            Blockchain::with_config(ChainConfig::default().reorg(9, 4, 6).confirm_depth(2));
+        let widget = Address::derive("widget");
+        let user = Address::derive("user");
+        chain.deploy(widget, Rc::new(Widget), Layer::Application);
+        let mut last_frontier = 0;
+        for v in 0..20 {
+            submit_set(&mut chain, widget, user, v);
+            chain.produce_block();
+            assert!(
+                chain.confirmed_height() >= last_frontier,
+                "the confirmation frontier never regresses"
+            );
+            last_frontier = chain.confirmed_height();
+        }
+        assert!(!chain.reorg_events().is_empty(), "forks fired");
+        for ev in chain.reorg_events() {
+            assert!(
+                ev.depth <= 2,
+                "rollback depth {} crossed the confirmation frontier",
+                ev.depth
+            );
+        }
+    }
+
+    #[test]
+    fn rollback_past_confirmation_frontier_is_a_typed_error() {
+        let mut chain = Blockchain::with_config(
+            ChainConfig::default()
+                .reorg(1, 1_000_000, 8)
+                .confirm_depth(2),
+        );
+        let widget = Address::derive("widget");
+        let user = Address::derive("user");
+        chain.deploy(widget, Rc::new(Widget), Layer::Application);
+        for v in 0..8 {
+            submit_set(&mut chain, widget, user, v);
+            chain.produce_block();
+        }
+        assert_eq!(
+            chain.rollback(5),
+            Err(ReorgError::PastConfirmationFrontier {
+                requested: 5,
+                frontier: 6,
+            }),
+            "acknowledged blocks can never be undone"
+        );
+        // Rolling back exactly to the frontier is still legal.
+        let replay = chain
+            .rollback(2)
+            .expect("the unconfirmed window rolls back");
+        assert_eq!(replay.len(), 2);
     }
 
     #[test]

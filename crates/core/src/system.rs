@@ -696,11 +696,17 @@ impl EpochDriver {
                 failed_delivers += self.run_watchdog(chain)?;
             }
         }
-        // The epoch boundary is where the DO reads the fee tape: the last
-        // mined block's price steers the next epoch's fee-aware decisions.
+        // Depth-N acknowledgment: the epoch does not close until every block
+        // it mined is `confirm_depth` blocks deep, so the policy state the
+        // DO observes below is confirmed, not tip, state (a no-op at depth
+        // 0, where the tip is the confirmation frontier).
+        chain.await_confirmations().map_err(GrubError::from)?;
+        // The epoch boundary is where the DO reads the fee tape: the
+        // confirmation frontier's price steers the next epoch's fee-aware
+        // decisions (at depth 0 this is the last mined block's price).
         self.stage
             .owner
-            .observe_fee_price(chain.current_fee_permille());
+            .observe_fee_price(chain.fee_price_permille(chain.confirmed_height()));
         // Account the epoch.
         let (feed, app) = chain.gas_snapshot().since(before);
         self.reports.push(EpochReport {
@@ -753,9 +759,13 @@ impl EpochDriver {
             self.submit_scan(chain, &start, &end);
         }
         self.seal_block(chain)?;
+        // Same depth-N acknowledgment as the unstaged path: the staged
+        // epoch's own blocks must confirm before the DO observes the fee
+        // tape and the watchdog's delivers are handed to the scheduler.
+        chain.await_confirmations().map_err(GrubError::from)?;
         self.stage
             .owner
-            .observe_fee_price(chain.current_fee_permille());
+            .observe_fee_price(chain.fee_price_permille(chain.confirmed_height()));
         let delivers = self
             .stage
             .provider

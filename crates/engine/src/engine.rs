@@ -658,6 +658,11 @@ impl FeedEngine {
         self.round_deliver_sections = 0;
         let height_before = self.chain.height();
         self.run_round()?;
+        // Round boundary = acknowledgment boundary: every block this round
+        // mined (including shard batchUpdate/batchDeliver blocks sealed
+        // after the per-feed epochs closed) must be `confirm_depth` deep
+        // before the round's results count. A no-op at depth 0.
+        self.chain.await_confirmations().map_err(GrubError::from)?;
         let (scrub_findings, scrub_repaired) = self.run_scrub_pass()?;
         let gas_after = self.chain.gas_snapshot();
         let (feed_delta, app_delta) = gas_after.since(gas_before);
@@ -706,6 +711,7 @@ impl FeedEngine {
             scrub_repaired,
             fee_low_permille: fee_low,
             fee_high_permille: fee_high,
+            confirmed_height: self.chain.confirmed_height(),
             wall_clock_micros: started.elapsed().as_micros().try_into().unwrap_or(u64::MAX),
         });
         Ok(())

@@ -98,6 +98,13 @@ pub struct EpochMetrics {
     /// Highest gas-price multiplier (permille) among blocks mined this
     /// round; base price when no fee process is configured.
     pub fee_high_permille: u64,
+    /// The chain's confirmation frontier ([`ChainConfig::confirm_depth`]
+    /// behind the tip) as of the end of this round — monotone
+    /// non-decreasing across rounds, the per-round witness the consistency
+    /// net asserts.
+    ///
+    /// [`ChainConfig::confirm_depth`]: grub_chain::ChainConfig::confirm_depth
+    pub confirmed_height: u64,
     /// Wall-clock duration of the round, in microseconds. Measured, not
     /// deterministic — never rendered into the determinism table.
     pub wall_clock_micros: u64,

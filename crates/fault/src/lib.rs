@@ -50,11 +50,16 @@ pub enum FaultPoint {
     /// canonical branch has not been re-committed yet — the process dies
     /// with the chain consistent at the rollback target height.
     MidReorgRollback,
+    /// Mid transaction resubmission: the canonical branch has been fully
+    /// re-committed after a rollback, but the fork's pending transactions
+    /// have not re-entered the mempool yet — the process dies with the
+    /// chain consistent at the original tip and the pending set lost.
+    MidResubmission,
 }
 
 impl FaultPoint {
     /// Every named crash point, in pipeline order.
-    pub const ALL: [FaultPoint; 7] = [
+    pub const ALL: [FaultPoint; 8] = [
         FaultPoint::PostStage,
         FaultPoint::PreMerge,
         FaultPoint::MidShardCommit,
@@ -62,6 +67,7 @@ impl FaultPoint {
         FaultPoint::MidWalAppend,
         FaultPoint::MidSstableFlush,
         FaultPoint::MidReorgRollback,
+        FaultPoint::MidResubmission,
     ];
 
     /// The knob/display name of the point.
@@ -74,6 +80,7 @@ impl FaultPoint {
             FaultPoint::MidWalAppend => "mid-wal-append",
             FaultPoint::MidSstableFlush => "mid-sstable-flush",
             FaultPoint::MidReorgRollback => "mid-reorg-rollback",
+            FaultPoint::MidResubmission => "mid-resubmission",
         }
     }
 

@@ -26,7 +26,10 @@
 //! re-executes on a never-forking chain and asserts the digests agree),
 //! `GRUB_FEE_SCHEDULE=step|spike|mean-reverting[:seed]` prices blocks with
 //! the volatile gas-price process, and `GRUB_MEMPOOL=n` caps transactions
-//! per block so batches split under congestion.
+//! per block so batches split under congestion. The confirmation knobs
+//! compose with all of them: `GRUB_CONFIRM_DEPTH=n` acknowledges writes
+//! only n blocks deep, and `GRUB_INCLUSION_LATENCY=max[:seed]` gates each
+//! transaction's mining behind a seeded, congestion-dependent block delay.
 //!
 //! ```sh
 //! cargo run --release --example multifeed
@@ -36,6 +39,8 @@
 //! GRUB_PARALLEL=1 cargo run --release --example multifeed
 //! # Chain realism: seeded reorgs plus a spiking gas price:
 //! GRUB_REORG=7:5:2 GRUB_FEE_SCHEDULE=spike:11 cargo run --release --example multifeed
+//! # Confirmation semantics: depth-3 acknowledgment, inclusion latency, reorgs:
+//! GRUB_CONFIRM_DEPTH=3 GRUB_INCLUSION_LATENCY=1 GRUB_REORG=7:5:2 cargo run --release --example multifeed
 //! ```
 
 use grub::chain::ChainConfig;
@@ -78,10 +83,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if scrub != ScrubMode::Off {
         println!("epoch-boundary Merkle scrubbing on (GRUB_SCRUB): {scrub:?}");
     }
-    if realism.reorg.is_some() || realism.fee.is_some() || realism.mempool.is_some() {
+    if realism.reorg.is_some()
+        || realism.fee.is_some()
+        || realism.mempool.is_some()
+        || realism.confirm_depth > 0
+        || realism.latency.is_some()
+    {
         println!(
-            "chain realism on: reorg={:?} fee={:?} mempool={:?}",
-            realism.reorg, realism.fee, realism.mempool
+            "chain realism on: reorg={:?} fee={:?} mempool={:?} confirm_depth={} latency={:?}",
+            realism.reorg, realism.fee, realism.mempool, realism.confirm_depth, realism.latency
         );
     }
 

@@ -50,9 +50,14 @@ fn engine_config(mode: ExecMode) -> EngineConfig {
     let mut config = EngineConfig::new(2);
     config.exec = mode;
     // A reorg-capable chain (seeded forks every 5th block, depth ≤ 2) so
-    // the mid-reorg-rollback crash point actually trips, and so recovery
-    // is proven digest-identical *through* reorgs, not just around them.
-    config.chain = ChainConfig::default().reorg(7, 5, 2);
+    // the mid-reorg-rollback and mid-resubmission crash points actually
+    // trip, with depth-2 confirmation and inclusion latency layered on so
+    // recovery is proven digest-identical through the full confirmation
+    // stack, not just around it.
+    config.chain = ChainConfig::default()
+        .reorg(7, 5, 2)
+        .confirm_depth(2)
+        .latency(5, 1);
     config
 }
 

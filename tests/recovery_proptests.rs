@@ -289,3 +289,69 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Confirmation-grid convergence: for an arbitrary reorg seed,
+    /// confirmation depth, inclusion-latency process, scheduler mode, and
+    /// fleet size, the reorged run converges to the exact digest and height
+    /// of the never-forked run under the same confirmation axes — and every
+    /// reorg resubmits exactly the set of transactions it abandoned.
+    #[test]
+    fn confirmed_reorged_grids_converge_to_the_canonical_digest(
+        reorg_seed in 1u64..64,
+        confirm_depth in 0u64..4,
+        latency_on in any::<bool>(),
+        latency_seed in 1u64..32,
+        latency_delay in 1u64..3,
+        parallel in any::<bool>(),
+        feeds in 3usize..7,
+    ) {
+        use grub::chain::ChainConfig;
+        use grub::engine::specs::{demo_policies, zipfian_ratio_specs, DEMO_RATIOS};
+        use grub::engine::{EngineConfig, ExecMode, FeedEngine};
+
+        let fleet = || zipfian_ratio_specs(feeds, 144, DEMO_RATIOS, &demo_policies());
+        let config = |chain: ChainConfig| {
+            let mut c = EngineConfig::new(2);
+            c.exec = if parallel { ExecMode::Parallel } else { ExecMode::Sequential };
+            c.batching = true;
+            c.chain = chain;
+            c
+        };
+        let latency = latency_on.then_some((latency_seed, latency_delay));
+        let base = {
+            let mut chain = ChainConfig::default().confirm_depth(confirm_depth);
+            if let Some((seed, max_delay)) = latency {
+                chain = chain.latency(seed, max_delay);
+            }
+            chain
+        };
+
+        let (_, straight) = FeedEngine::new(&config(base), fleet())
+            .unwrap()
+            .run_with_chain()
+            .unwrap();
+        let (_, forked) = FeedEngine::new(&config(base.reorg(reorg_seed, 4, 2)), fleet())
+            .unwrap()
+            .run_with_chain()
+            .unwrap();
+
+        for (i, ev) in forked.reorg_events().iter().enumerate() {
+            prop_assert_eq!(
+                &ev.resubmitted,
+                &ev.abandoned,
+                "reorg {} resubmitted a different set than it abandoned", i
+            );
+        }
+        prop_assert_eq!(
+            forked.chain_digest(),
+            straight.chain_digest(),
+            "grid (seed {}, depth {}, latency {:?}, {} feeds) diverged",
+            reorg_seed, confirm_depth, latency, feeds
+        );
+        prop_assert_eq!(forked.height(), straight.height());
+        prop_assert_eq!(forked.confirmation_lag(), 0);
+    }
+}

@@ -440,6 +440,121 @@ fn chain_realism_axes_run_every_policy() {
     }
 }
 
+/// The confirmation axes layered over the matrix: depth-N acknowledgment,
+/// seeded inclusion latency, both, and both under the full chain-realism
+/// stack (reorgs + volatile fees + congestion). Depth 0 / latency off is
+/// the identity axis the rest of the matrix already runs.
+fn confirmation_axes() -> Vec<(&'static str, ChainConfig)> {
+    vec![
+        ("depth3", ChainConfig::default().confirm_depth(3)),
+        ("latency", ChainConfig::default().latency(5, 2)),
+        (
+            "depth3+latency",
+            ChainConfig::default().confirm_depth(3).latency(5, 2),
+        ),
+        (
+            "confirmation+realism",
+            ChainConfig::default()
+                .confirm_depth(3)
+                .latency(5, 2)
+                .reorg(7, 4, 2)
+                .fee(FeeProcess::step(11))
+                .mempool(1),
+        ),
+    ]
+}
+
+/// Every policy completes every representative workload under every
+/// confirmation axis — depth-3 acknowledgment, inclusion latency, and the
+/// combination with the full realism stack — with op accounting and the
+/// honest-SP invariant intact, and the run fully confirmed at the end.
+#[test]
+fn confirmation_axes_run_every_policy() {
+    let scenarios = realism_scenarios();
+    assert_eq!(scenarios.len(), 5, "the representative slice went missing");
+    for (axis, chain) in confirmation_axes() {
+        for scenario in &scenarios {
+            for (policy_name, policy) in &policies() {
+                let mut config = scenario.config(policy.clone());
+                config.chain = chain;
+                let mut system = GrubSystem::new(&config)
+                    .unwrap_or_else(|e| panic!("{axis}/{}/{policy_name}: {e}", scenario.name));
+                system.drive(&scenario.trace).unwrap_or_else(|e| {
+                    panic!("{axis}/{}/{policy_name} failed: {e}", scenario.name)
+                });
+                let epochs = system.reports();
+                assert_eq!(
+                    epochs.iter().map(|e| e.ops).sum::<usize>(),
+                    scenario.trace.ops.len(),
+                    "{axis}/{}/{policy_name}: every trace op must be accounted",
+                    scenario.name
+                );
+                assert_eq!(
+                    epochs.iter().map(|e| e.failed_delivers).sum::<usize>(),
+                    0,
+                    "{axis}/{}/{policy_name}: honest SP must never have a deliver rejected",
+                    scenario.name
+                );
+                assert_eq!(
+                    system.chain().confirmation_lag(),
+                    0,
+                    "{axis}/{}/{policy_name}: every acknowledged write must be confirmed",
+                    scenario.name
+                );
+            }
+        }
+    }
+}
+
+/// Theorem A.1 under the complete stack: depth-3 confirmation and inclusion
+/// latency layered on top of reorgs, the ±10% fee step, and a one-slot
+/// mempool. Confirmation delays *when* writes are acknowledged, never *what*
+/// they cost, so the amplitude-adjusted 2-competitive bound from the
+/// chain-stress run must keep holding unchanged.
+#[test]
+fn memoryless_bound_survives_the_confirmation_stack() {
+    const SLACK_GAS: u64 = 64_000;
+    let stress = ChainConfig::default()
+        .reorg(7, 4, 2)
+        .fee(mild_fee())
+        .mempool(1)
+        .confirm_depth(3)
+        .latency(5, 2);
+    for scenario in realism_scenarios() {
+        let run = |policy: PolicyKind| {
+            let mut config = scenario.config(policy);
+            config.chain = stress;
+            GrubSystem::run_trace(&scenario.trace, &config).unwrap_or_else(|e| {
+                panic!("{} under the confirmation stack failed: {e}", scenario.name)
+            })
+        };
+        let memoryless = run(PolicyKind::Memoryless { k: 2 });
+        let optimal = {
+            let schedule = GasSchedule::default();
+            let policy = OfflineOptimal::from_trace(&scenario.trace, schedule.two_competitive_k());
+            let mut config = scenario.config(PolicyKind::Bl1);
+            config.chain = stress;
+            GrubSystem::run_trace_with_policy(&scenario.trace, &config, Box::new(policy))
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{} optimal under the confirmation stack failed: {e}",
+                        scenario.name
+                    )
+                })
+        };
+        // Same inflation as the chain-stress bound: the fee step may price
+        // memoryless at the 1100‰ plateau against a 900‰ optimum.
+        let bound = 2 * optimal.feed_gas_total() * 11 / 9 + 2 * SLACK_GAS;
+        assert!(
+            memoryless.feed_gas_total() <= bound,
+            "{}: confirmed memoryless {} exceeds amplitude-adjusted 2×optimal {}",
+            scenario.name,
+            memoryless.feed_gas_total(),
+            optimal.feed_gas_total(),
+        );
+    }
+}
+
 /// Reorgs are digest-transparent for every policy: the forked-and-replayed
 /// run converges to the straight-line run's exact chain digest, height, and
 /// Gas totals — the policy layer cannot even tell the forks happened.
