@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 
 use grub_chain::{Address, Blockchain};
-use grub_merkle::{record_value_hash, MerkleKv, ProofKey, ReplState};
+use grub_merkle::{record_value_hash, MerkleKv, ProofKey, ReplState, TreeOp};
 
 use crate::policy::ReplicationPolicy;
 use crate::provider::SpSync;
@@ -69,6 +69,8 @@ pub struct DataOwner {
     hinted: std::collections::BTreeSet<String>,
     /// Last block already folded into the read monitor.
     monitor_cursor: u64,
+    /// Total Merkle nodes rehashed by mirror batches (observability).
+    nodes_rehashed: u64,
 }
 
 impl DataOwner {
@@ -84,6 +86,7 @@ impl DataOwner {
             staged: Vec::new(),
             hinted: std::collections::BTreeSet::new(),
             monitor_cursor: 0,
+            nodes_rehashed: 0,
         }
     }
 
@@ -108,9 +111,10 @@ impl DataOwner {
     /// initial dataset before metering starts.
     pub fn preload(&mut self, records: &[(String, Vec<u8>)], state: ReplState) -> Vec<SpSync> {
         let mut sync = Vec::with_capacity(records.len());
+        let mut tree_ops = Vec::with_capacity(records.len());
         for (key, value) in records {
             let pkey = ProofKey::new(state, key.as_bytes().to_vec());
-            self.mirror.insert(pkey, record_value_hash(value));
+            tree_ops.push(TreeOp::Insert(pkey, record_value_hash(value)));
             self.states.insert(key.clone(), state);
             self.desired.insert(key.clone(), state);
             self.policy.seed_state(key, state);
@@ -121,6 +125,7 @@ impl DataOwner {
                 state,
             });
         }
+        self.nodes_rehashed += self.mirror.apply_batch(tree_ops) as u64;
         sync
     }
 
@@ -184,6 +189,11 @@ impl DataOwner {
         self.mirror.root()
     }
 
+    /// Total Merkle nodes rehashed by the mirror's batched updates so far.
+    pub fn nodes_rehashed(&self) -> u64 {
+        self.nodes_rehashed
+    }
+
     /// The authoritative record set, sorted by key: every key the DO has
     /// produced, with its committed replication state and latest value.
     /// This is the ground truth the scrubber audits the SP against.
@@ -206,6 +216,10 @@ impl DataOwner {
     pub fn flush_epoch(&mut self) -> EpochFlush {
         let staged = std::mem::take(&mut self.staged);
         let mut sync = Vec::new();
+        // Mirror mutations are collected across steps 1–2 and applied as one
+        // batch just before the digest read: the root is only needed at the
+        // end, so shared root-to-leaf paths are hashed once per epoch.
+        let mut tree_ops: Vec<TreeOp> = Vec::with_capacity(staged.len());
         // 1. Apply writes under each key's *current* state. Every occurrence
         //    is kept: the paper's update() loops over the batched keys[] /
         //    values[] arrays and pays one storage write per element
@@ -216,7 +230,7 @@ impl DataOwner {
             let state = self.state_of(&key);
             self.states.entry(key.clone()).or_insert(state);
             let pkey = ProofKey::new(state, key.as_bytes().to_vec());
-            self.mirror.insert(pkey, record_value_hash(&value));
+            tree_ops.push(TreeOp::Insert(pkey, record_value_hash(&value)));
             self.values.insert(key.clone(), value.clone());
             occurrences.push((key.clone(), value.clone()));
             sync.push(SpSync::Write { key, value, state });
@@ -245,10 +259,14 @@ impl DataOwner {
                 None => continue,
             };
             let vhash = record_value_hash(&value);
-            self.mirror
-                .invalidate(&ProofKey::new(from, key.as_bytes().to_vec()));
-            self.mirror
-                .insert(ProofKey::new(to, key.as_bytes().to_vec()), vhash);
+            tree_ops.push(TreeOp::Invalidate(ProofKey::new(
+                from,
+                key.as_bytes().to_vec(),
+            )));
+            tree_ops.push(TreeOp::Insert(
+                ProofKey::new(to, key.as_bytes().to_vec()),
+                vhash,
+            ));
             self.states.insert(key.clone(), to);
             match to {
                 ReplState::Replicated => {
@@ -295,6 +313,7 @@ impl DataOwner {
         let replications = to_r.len() + hint_formalized;
         let evictions = to_nr.len();
         let dirty = !sync.is_empty() || !to_nr.is_empty() || !to_r.is_empty();
+        self.nodes_rehashed += self.mirror.apply_batch(tree_ops) as u64;
         EpochFlush {
             digest: self.mirror.root(),
             r_updates,

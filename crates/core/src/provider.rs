@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use grub_chain::{Address, Blockchain, Transaction};
 use grub_gas::Layer;
-use grub_merkle::{record_value_hash, MerkleKv, ProofKey, ProofNode, ReplState};
+use grub_merkle::{record_value_hash, MerkleKv, ProofKey, ProofNode, ReplState, TreeOp};
 use grub_store::{Db, Options};
 
 use crate::contract::{decode_request, decode_request_range, encode_deliver};
@@ -84,6 +84,9 @@ pub struct StorageProvider {
     /// deliveries for keys marked [`ReplState::Replicated`] set the
     /// `replicate` flag (the paper's deliver-time replica installation).
     decision_hints: std::collections::HashMap<Vec<u8>, ReplState>,
+    /// Cumulative Merkle nodes rehashed by the batched sync path — the
+    /// observability counter behind `EpochMetrics::merkle_nodes_rehashed`.
+    nodes_rehashed: u64,
 }
 
 impl StorageProvider {
@@ -120,6 +123,7 @@ impl StorageProvider {
             mode: AdversaryMode::Honest,
             stale: None,
             decision_hints: std::collections::HashMap::new(),
+            nodes_rehashed: 0,
         })
     }
 
@@ -139,15 +143,20 @@ impl StorageProvider {
         let dir = dir.into();
         let db = Db::open(&dir, options)?;
         let mut tree = MerkleKv::new();
+        // Batch-built: same shape (and root) as the sequential insert loop,
+        // but every shared path is hashed once across the whole recovery
+        // scan instead of once per record.
+        let mut records = Vec::new();
         for (skey, value) in db.scan(None, None)? {
             let Some((state, key)) = parse_storage_key(&skey) else {
                 continue;
             };
-            tree.insert(
-                ProofKey::new(state, key.as_bytes().to_vec()),
+            records.push((
+                ProofKey::new(state, key.into_bytes()),
                 record_value_hash(&value),
-            );
+            ));
         }
+        tree.insert_batch(records);
         Ok(StorageProvider {
             address,
             db,
@@ -158,6 +167,7 @@ impl StorageProvider {
             mode: AdversaryMode::Honest,
             stale: None,
             decision_hints: std::collections::HashMap::new(),
+            nodes_rehashed: 0,
         })
     }
 
@@ -210,30 +220,58 @@ impl StorageProvider {
     ///
     /// Propagates store I/O failures.
     pub fn apply_sync(&mut self, ops: &[SpSync]) -> Result<()> {
+        self.apply_sync_batch(ops.to_vec())
+    }
+
+    /// The owned hot-path variant of [`StorageProvider::apply_sync`]: store
+    /// writes take the round's values by move (no per-record clone), and the
+    /// whole round's tree mutations are applied as one deferred-hash
+    /// [`MerkleKv::apply_batch`] — the root is byte-identical to the per-op
+    /// insert/invalidate sequence, but shared root-to-leaf paths are hashed
+    /// once per round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn apply_sync_batch(&mut self, ops: Vec<SpSync>) -> Result<()> {
+        let mut tree_ops = Vec::with_capacity(ops.len());
         for op in ops {
             match op {
                 SpSync::Write { key, value, state } => {
-                    self.db.put(Self::storage_key(*state, key), value.clone())?;
-                    self.tree.insert(
-                        ProofKey::new(*state, key.as_bytes().to_vec()),
-                        record_value_hash(value),
-                    );
+                    let vhash = record_value_hash(&value);
+                    self.db.put(Self::storage_key(state, &key), value)?;
+                    tree_ops.push(TreeOp::Insert(
+                        ProofKey::new(state, key.into_bytes()),
+                        vhash,
+                    ));
                 }
                 SpSync::Relocate { key, from, to } => {
-                    let old = Self::storage_key(*from, key);
+                    let old = Self::storage_key(from, &key);
                     let value = self.db.get(&old)?.unwrap_or_default();
                     self.db.delete(&old)?;
-                    self.db.put(Self::storage_key(*to, key), value.clone())?;
-                    self.tree
-                        .invalidate(&ProofKey::new(*from, key.as_bytes().to_vec()));
-                    self.tree.insert(
-                        ProofKey::new(*to, key.as_bytes().to_vec()),
-                        record_value_hash(&value),
-                    );
+                    let vhash = record_value_hash(&value);
+                    self.db.put(Self::storage_key(to, &key), value)?;
+                    tree_ops.push(TreeOp::Invalidate(ProofKey::new(
+                        from,
+                        key.as_bytes().to_vec(),
+                    )));
+                    tree_ops.push(TreeOp::Insert(ProofKey::new(to, key.into_bytes()), vhash));
                 }
             }
         }
+        self.nodes_rehashed += self.tree.apply_batch(tree_ops) as u64;
         Ok(())
+    }
+
+    /// Cumulative Merkle nodes rehashed by the batched sync path.
+    pub fn nodes_rehashed(&self) -> u64 {
+        self.nodes_rehashed
+    }
+
+    /// The store's cumulative read-path counters (block cache, bloom and
+    /// key-span skips).
+    pub fn read_stats(&self) -> grub_store::ReadStats {
+        self.db.read_stats()
     }
 
     /// Scans the chain's event log for requests since the last poll and

@@ -235,6 +235,21 @@ impl StagedUpdate {
     }
 }
 
+/// Cumulative hot-path counters for one feed's off-chain halves: the SP
+/// store's read fast path plus the Merkle work both tree holders performed.
+/// Observability only — none of these numbers may reach a digest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StagePerf {
+    /// SP store block-cache hits.
+    pub cache_hits: u64,
+    /// SP store block-cache misses.
+    pub cache_misses: u64,
+    /// SP store table probes answered by a bloom true negative.
+    pub bloom_skips: u64,
+    /// Merkle nodes rehashed by batched updates (SP tree + DO mirror).
+    pub merkle_nodes_rehashed: u64,
+}
+
 /// One epoch's staged read phase, produced by [`EpochDriver::stage_reads`]
 /// and consumed by [`EpochDriver::finish_staged_epoch`].
 ///
@@ -332,6 +347,17 @@ impl EpochStage {
         self.ops_in_epoch
     }
 
+    /// Cumulative hot-path counters for this feed (see [`StagePerf`]).
+    pub fn perf(&self) -> StagePerf {
+        let reads = self.provider.read_stats();
+        StagePerf {
+            cache_hits: reads.cache_hits,
+            cache_misses: reads.cache_misses,
+            bloom_skips: reads.bloom_skips,
+            merkle_nodes_rehashed: self.provider.nodes_rehashed() + self.owner.nodes_rehashed(),
+        }
+    }
+
     /// Pulls operations from `source` until the epoch is full or the
     /// stream ends — the one ingestion loop every scheduler mode shares, so
     /// sequential and parallel staging cannot drift apart. The source
@@ -357,8 +383,11 @@ impl EpochStage {
         // The DO's epoch update (gPuts write path). Oversized epochs are
         // split across payload chunks: Ctx(X) is defined for X < 1000 words
         // and every chunk carries the same final digest.
-        let flush = self.owner.flush_epoch();
-        self.provider.apply_sync(&flush.sp_sync)?;
+        let mut flush = self.owner.flush_epoch();
+        // The encoded chunks only need digest/r_updates/to_r/to_nr, so the
+        // sync ops move to the SP without a clone.
+        self.provider
+            .apply_sync_batch(std::mem::take(&mut flush.sp_sync))?;
         let chunks = if flush.dirty {
             encode_update_chunked(&flush)
         } else {
@@ -424,6 +453,7 @@ pub struct EpochDriver {
     consumer: Address,
     reads_per_tx: usize,
     reports: Vec<EpochReport>,
+    completed_ops: usize,
     read_tx_builder: Option<ReadTxBuilder>,
 }
 
@@ -492,7 +522,7 @@ impl EpochDriver {
         };
         if !config.preload.is_empty() {
             let sync = owner.preload(&config.preload, preload_state);
-            provider.apply_sync(&sync)?;
+            provider.apply_sync_batch(sync)?;
             // Seed the on-chain state: root digest, plus replicas when
             // preloading replicated. Chunk to stay under Ctx's X < 1000.
             let digest = owner.root();
@@ -540,7 +570,7 @@ impl EpochDriver {
                 };
                 let value = value.materialize();
                 let sync = owner.preload(&[(key.clone(), value.clone())], preload_state);
-                provider.apply_sync(&sync)?;
+                provider.apply_sync_batch(sync)?;
                 if preload_state == ReplState::Replicated {
                     batch_bytes += key.len() + value.len() + 16;
                     batch.push((key.into_bytes(), value));
@@ -582,6 +612,7 @@ impl EpochDriver {
             consumer,
             reads_per_tx: config.reads_per_tx.max(1),
             reports: Vec::new(),
+            completed_ops: 0,
             read_tx_builder: None,
         })
     }
@@ -616,6 +647,12 @@ impl EpochDriver {
     /// Operations staged in the still-open epoch.
     pub fn pending_ops(&self) -> usize {
         self.stage.pending_ops()
+    }
+
+    /// Cumulative hot-path counters for this feed. Delegates to
+    /// [`EpochStage::perf`].
+    pub fn perf(&self) -> StagePerf {
+        self.stage.perf()
     }
 
     /// Closes the epoch's write path off-chain: flushes the DO, syncs the
@@ -709,6 +746,7 @@ impl EpochDriver {
             .observe_fee_price(chain.fee_price_permille(chain.confirmed_height()));
         // Account the epoch.
         let (feed, app) = chain.gas_snapshot().since(before);
+        self.completed_ops += staged.ops;
         self.reports.push(EpochReport {
             epoch: self.reports.len(),
             ops: staged.ops,
@@ -789,6 +827,7 @@ impl EpochDriver {
     /// separately by the scheduler (they are shared, so their Gas cannot be
     /// booked per-epoch without a split policy).
     pub fn finish_staged_epoch(&mut self, update: &StagedUpdate, reads: &StagedReads) {
+        self.completed_ops += update.ops;
         self.reports.push(EpochReport {
             epoch: self.reports.len(),
             ops: update.ops,
@@ -1026,6 +1065,13 @@ impl EpochDriver {
     /// Epoch reports accumulated so far.
     pub fn reports(&self) -> &[EpochReport] {
         &self.reports
+    }
+
+    /// Trace operations completed across all booked epochs — a running
+    /// counter, so per-round schedulers don't re-sum the whole report
+    /// history (which grows with run length).
+    pub fn completed_ops(&self) -> usize {
+        self.completed_ops
     }
 
     /// Finishes the driver and returns its run report.

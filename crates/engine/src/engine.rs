@@ -494,6 +494,9 @@ pub struct FeedEngine {
     exec: ExecMode,
     scrub: ScrubMode,
     rounds: usize,
+    /// The parallel staging pool, spawned on first use and reused across
+    /// rounds (sequential runs never pay for the threads).
+    executor: Option<ParallelExecutor>,
     metrics: Vec<EpochMetrics>,
     /// Sections the current round's shard batches carried so far — reset at
     /// the top of every round, snapshotted into its [`EpochMetrics`].
@@ -575,6 +578,7 @@ impl FeedEngine {
             exec: config.exec,
             scrub: config.scrub,
             rounds: 0,
+            executor: None,
             metrics: Vec::new(),
             round_update_sections: 0,
             round_deliver_sections: 0,
@@ -654,6 +658,7 @@ impl FeedEngine {
         let parked_before: usize = self.feeds.iter().map(|f| f.parked_rounds).sum();
         let update_gas_before: u64 = self.shards.iter().map(|s| s.update_gas).sum();
         let deliver_gas_before: u64 = self.shards.iter().map(|s| s.deliver_gas).sum();
+        let perf_before = self.perf_totals();
         self.round_update_sections = 0;
         self.round_deliver_sections = 0;
         let height_before = self.chain.height();
@@ -665,6 +670,7 @@ impl FeedEngine {
         self.chain.await_confirmations().map_err(GrubError::from)?;
         let (scrub_findings, scrub_repaired) = self.run_scrub_pass()?;
         let gas_after = self.chain.gas_snapshot();
+        let perf_after = self.perf_totals();
         let (feed_delta, app_delta) = gas_after.since(gas_before);
         // Fee tape over the heights this round mined: the per-round min/max
         // gas-price multiplier, base price when flat or no block sealed.
@@ -713,16 +719,33 @@ impl FeedEngine {
             fee_high_permille: fee_high,
             confirmed_height: self.chain.confirmed_height(),
             wall_clock_micros: started.elapsed().as_micros().try_into().unwrap_or(u64::MAX),
+            cache_hits: perf_after.cache_hits - perf_before.cache_hits,
+            cache_misses: perf_after.cache_misses - perf_before.cache_misses,
+            bloom_skips: perf_after.bloom_skips - perf_before.bloom_skips,
+            merkle_nodes_rehashed: perf_after.merkle_nodes_rehashed
+                - perf_before.merkle_nodes_rehashed,
         });
         Ok(())
     }
 
-    /// Trace operations completed so far, across all feeds.
+    /// Hot-path counters summed across every feed (cumulative since open).
+    fn perf_totals(&self) -> grub_core::system::StagePerf {
+        let mut total = grub_core::system::StagePerf::default();
+        for feed in &self.feeds {
+            let perf = feed.driver.perf();
+            total.cache_hits += perf.cache_hits;
+            total.cache_misses += perf.cache_misses;
+            total.bloom_skips += perf.bloom_skips;
+            total.merkle_nodes_rehashed += perf.merkle_nodes_rehashed;
+        }
+        total
+    }
+
+    /// Trace operations completed so far, across all feeds. O(feeds): each
+    /// driver keeps a running counter, so the per-round metrics snapshot
+    /// never re-walks the growing epoch-report history.
     fn completed_ops(&self) -> usize {
-        self.feeds
-            .iter()
-            .map(|f| f.driver.reports().iter().map(|e| e.ops).sum::<usize>())
-            .sum()
+        self.feeds.iter().map(|f| f.driver.completed_ops()).sum()
     }
 
     /// One scrub pass over every feed at a round boundary (no-op with
@@ -958,7 +981,10 @@ impl FeedEngine {
             })
             .collect();
         let mut staged_by_lane = Vec::with_capacity(lanes.len());
-        for lane_result in ParallelExecutor::stage_round(lanes) {
+        let executor = self
+            .executor
+            .get_or_insert_with(|| ParallelExecutor::new(self.shards.len()));
+        for lane_result in executor.stage_round(lanes) {
             staged_by_lane.push(lane_result?);
         }
         // Flatten back into the caller's order: lane l's results are in

@@ -6,15 +6,21 @@
 //! section encoding — never touches the shared
 //! [`Blockchain`](grub_chain::Blockchain), so shards can stage it
 //! concurrently. [`ParallelExecutor::stage_round`] runs each shard's
-//! staging on its own scoped worker thread (the feeds' `Send`-safe
-//! [`EpochStage`] halves move to the workers; the chain never does) and
-//! returns the results *in lane order*, not completion order. The engine's
-//! merge stage then commits each shard's blocks in canonical shard order
-//! under a [`CommitGate`](grub_chain::CommitGate), which is what makes the
-//! resulting chain byte-for-byte identical to the sequential pipeline's.
+//! staging on a long-lived [`grub_pool::WorkerPool`] worker (the feeds'
+//! `Send`-safe [`EpochStage`] halves move to the workers; the chain never
+//! does) and returns the results *in lane order*, not completion order.
+//! The engine's merge stage then commits each shard's blocks in canonical
+//! shard order under a [`CommitGate`](grub_chain::CommitGate), which is
+//! what makes the resulting chain byte-for-byte identical to the
+//! sequential pipeline's.
+//!
+//! The workers are spawned once and reused across rounds: per-round
+//! `thread::scope` spawns made parallel staging slower than sequential on
+//! small epochs (spawn/join cost outweighed the staged work).
 
 use grub_core::system::{EpochStage, StagedUpdate};
 use grub_core::Result;
+use grub_pool::WorkerPool;
 use grub_workload::PeekableSource;
 
 /// One feed's staging slice: disjoint `&mut` borrows of the feed's
@@ -42,41 +48,56 @@ impl StageTask<'_> {
     }
 }
 
-/// Fans a round's shard staging out to scoped worker threads and collects
-/// the per-shard results in deterministic lane order.
+/// One lane's staging outcome: the `(feed index, staged update)` pairs in
+/// drain order, or the first error the lane hit.
+pub(crate) type LaneResult = Result<Vec<(usize, StagedUpdate)>>;
+
+/// Fans a round's shard staging out to a persistent worker pool and
+/// collects the per-shard results in deterministic lane order.
 ///
-/// The executor is intentionally stateless: determinism comes from *where
-/// results go* (lane-indexed), never from *when workers finish*. Worker
-/// panics propagate to the caller; worker errors abort the round exactly
-/// where the sequential pipeline would.
+/// Determinism comes from *where results go* (lane-indexed slots), never
+/// from *when workers finish*. Worker panics propagate to the caller;
+/// worker errors abort the round exactly where the sequential pipeline
+/// would.
 #[derive(Debug)]
-pub struct ParallelExecutor;
+pub struct ParallelExecutor {
+    pool: WorkerPool,
+}
 
 impl ParallelExecutor {
-    /// Stages every lane's feeds concurrently — one worker thread per lane,
-    /// each processing its feeds in the given (priority drain) order — and
+    /// Creates an executor whose pool holds `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelExecutor {
+            pool: WorkerPool::new(threads),
+        }
+    }
+
+    /// Stages every lane's feeds concurrently — one pool job per lane, each
+    /// processing its feeds in the given (priority drain) order — and
     /// returns one result per lane, in input order.
-    pub(crate) fn stage_round(
-        lanes: Vec<Vec<StageTask<'_>>>,
-    ) -> Vec<Result<Vec<(usize, StagedUpdate)>>> {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = lanes
-                .into_iter()
-                .map(|mut lane| {
-                    scope.spawn(move || {
+    pub(crate) fn stage_round(&mut self, lanes: Vec<Vec<StageTask<'_>>>) -> Vec<LaneResult> {
+        // Lane-indexed result slots: each job owns exactly one slot, so the
+        // output order is pinned regardless of completion order.
+        let mut results: Vec<Option<LaneResult>> = (0..lanes.len()).map(|_| None).collect();
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = lanes
+            .into_iter()
+            .zip(results.iter_mut())
+            .map(|(mut lane, slot)| {
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    *slot = Some(
                         lane.iter_mut()
                             .map(|task| Ok((task.feed, task.ingest_and_stage()?)))
-                            .collect::<Result<Vec<_>>>()
-                    })
-                })
-                .collect();
-            // Joining in spawn order is what pins the output to lane order;
-            // a worker that finished early simply waits here.
-            handles
-                .into_iter()
-                // grub-lint: allow(panic) — re-raises a worker panic on the coordinator thread; join only fails if the worker panicked
-                .map(|h| h.join().expect("shard staging worker panicked"))
-                .collect()
-        })
+                            .collect::<Result<Vec<_>>>(),
+                    );
+                });
+                job
+            })
+            .collect();
+        self.pool.run_scoped(jobs);
+        results
+            .into_iter()
+            // grub-lint: allow(panic) — run_scoped returns only after every job filled its slot
+            .map(|slot| slot.expect("staging job completed"))
+            .collect()
     }
 }

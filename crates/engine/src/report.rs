@@ -108,6 +108,18 @@ pub struct EpochMetrics {
     /// Wall-clock duration of the round, in microseconds. Measured, not
     /// deterministic — never rendered into the determinism table.
     pub wall_clock_micros: u64,
+    /// SP store block-cache hits this round, summed across feeds.
+    /// Hot-path observability (wall-clock-exempt table rules apply): cache
+    /// behaviour depends on capacity knobs, so like `wall_clock_micros`
+    /// these counters never enter the determinism table.
+    pub cache_hits: u64,
+    /// SP store block-cache misses this round, summed across feeds.
+    pub cache_misses: u64,
+    /// SP store table probes answered by a bloom true negative this round.
+    pub bloom_skips: u64,
+    /// Merkle nodes rehashed by batched tree updates this round (SP trees
+    /// plus DO mirrors).
+    pub merkle_nodes_rehashed: u64,
 }
 
 /// The aggregate result of one engine run.

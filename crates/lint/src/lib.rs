@@ -63,7 +63,7 @@ pub const DIGEST_CRATES: &[&str] = &[
 /// thread `Result`s through report tables) — the exemption is scoped here,
 /// in one place, rather than as dozens of inline allows.
 pub const PANIC_AUDIT_CRATES: &[&str] = &[
-    "apps", "chain", "core", "crypto", "engine", "fault", "gas", "lint", "merkle", "store",
+    "apps", "chain", "core", "crypto", "engine", "fault", "gas", "lint", "merkle", "pool", "store",
     "workload",
 ];
 

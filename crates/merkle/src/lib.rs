@@ -38,7 +38,7 @@ mod proof;
 mod tree;
 
 pub use proof::{MembershipProof, PathStep, ProofNode, RangeProof, VerifyError};
-pub use tree::MerkleKv;
+pub use tree::{MerkleKv, TreeOp};
 
 use grub_crypto::{sha256, Hash32, Sha256};
 use serde::{Deserialize, Serialize};

@@ -11,11 +11,17 @@ pub(crate) struct LeafData {
     pub vhash: Hash32,
     pub valid: bool,
     pub hash: Hash32,
+    /// `hash` is stale; recomputed by the batch rehash pass. Never true
+    /// outside [`MerkleKv::apply_batch`].
+    pub dirty: bool,
 }
 
 #[derive(Clone, Debug)]
 pub(crate) struct InnerData {
     pub hash: Hash32,
+    /// `hash` is stale; recomputed by the batch rehash pass. Never true
+    /// outside [`MerkleKv::apply_batch`].
+    pub dirty: bool,
     pub min: ProofKey,
     pub max: ProofKey,
     pub count: usize,
@@ -30,13 +36,21 @@ pub(crate) enum Node {
 }
 
 impl Node {
-    fn new_leaf(pkey: ProofKey, vhash: Hash32) -> Node {
-        let hash = leaf_hash(&pkey, &vhash, true);
+    /// A fresh live leaf. With `defer` the hash is left stale (and the leaf
+    /// marked dirty) for the batch rehash pass, so shared root-to-leaf
+    /// paths pay for hashing once per round rather than once per op.
+    fn new_leaf(pkey: ProofKey, vhash: Hash32, defer: bool) -> Node {
+        let hash = if defer {
+            Hash32::default()
+        } else {
+            leaf_hash(&pkey, &vhash, true)
+        };
         Node::Leaf(LeafData {
             pkey,
             vhash,
             valid: true,
             hash,
+            dirty: defer,
         })
     }
 
@@ -69,10 +83,18 @@ impl Node {
         }
     }
 
-    fn join(left: Box<Node>, right: Box<Node>) -> Node {
-        let hash = inner_hash(&left.hash(), &right.hash());
+    /// Joins two subtrees into an inner node. With `defer` the parent hash
+    /// is left stale (dirty) for the batch rehash pass; min/max/count — the
+    /// only inputs shape decisions read — are always maintained eagerly.
+    fn join(left: Box<Node>, right: Box<Node>, defer: bool) -> Node {
+        let hash = if defer {
+            Hash32::default()
+        } else {
+            inner_hash(&left.hash(), &right.hash())
+        };
         Node::Inner(InnerData {
             hash,
+            dirty: defer,
             min: left.min().clone(),
             max: right.max().clone(),
             count: left.count() + right.count(),
@@ -82,18 +104,20 @@ impl Node {
     }
 
     /// Joins two subtrees, locally rebuilding (scapegoat style) when one
-    /// side dominates. Deterministic, so the SP tree and the DO mirror make
-    /// identical shape decisions and their roots agree.
-    fn balanced_join(left: Box<Node>, right: Box<Node>) -> Node {
+    /// side dominates. Deterministic — and a pure function of key order and
+    /// leaf counts, never hashes — so the SP tree, the DO mirror, and the
+    /// deferred-hash batch path all make identical shape decisions and
+    /// their roots agree.
+    fn balanced_join(left: Box<Node>, right: Box<Node>, defer: bool) -> Node {
         let total = left.count() + right.count();
         let lopsided = total > 8 && (left.count() * 4 > total * 3 || right.count() * 4 > total * 3);
         if !lopsided {
-            return Node::join(left, right);
+            return Node::join(left, right, defer);
         }
         let mut leaves = Vec::with_capacity(total);
         flatten(*left, &mut leaves);
         flatten(*right, &mut leaves);
-        *rebuild_leaves(leaves)
+        *rebuild_leaves(leaves, defer)
     }
 }
 
@@ -107,21 +131,21 @@ fn flatten(node: Node, out: &mut Vec<LeafData>) {
     }
 }
 
-fn rebuild_leaves(mut leaves: Vec<LeafData>) -> Box<Node> {
-    fn build(leaves: &mut [Option<LeafData>]) -> Box<Node> {
+fn rebuild_leaves(mut leaves: Vec<LeafData>, defer: bool) -> Box<Node> {
+    fn build(leaves: &mut [Option<LeafData>], defer: bool) -> Box<Node> {
         match leaves.len() {
             0 => unreachable!("rebuild_leaves requires at least one leaf"),
             // grub-lint: allow(panic) — each slot starts Some and is taken exactly once across the recursion
             1 => Box::new(Node::Leaf(leaves[0].take().expect("present"))),
             n => {
                 let (l, r) = leaves.split_at_mut(n / 2);
-                Node::join(build(l), build(r)).into()
+                Node::join(build(l, defer), build(r, defer), defer).into()
             }
         }
     }
     assert!(!leaves.is_empty());
     let mut slots: Vec<Option<LeafData>> = leaves.drain(..).map(Some).collect();
-    build(&mut slots)
+    build(&mut slots, defer)
 }
 
 /// The authenticated KV index: a binary Merkle tree whose in-order leaves
@@ -156,7 +180,7 @@ impl MerkleKv {
             assert!(pair[0].0 < pair[1].0, "records must be strictly sorted");
         }
         let live = records.len();
-        let root = build_balanced(&records);
+        let root = build_balanced(&records, false);
         MerkleKv {
             root,
             live,
@@ -209,13 +233,17 @@ impl MerkleKv {
     /// Inserts a key or updates it in place (reviving a tombstone if one
     /// exists for the same key).
     pub fn insert(&mut self, pkey: ProofKey, vhash: Hash32) {
+        self.insert_with(pkey, vhash, false);
+    }
+
+    fn insert_with(&mut self, pkey: ProofKey, vhash: Hash32, defer: bool) {
         match self.root.take() {
             None => {
-                self.root = Some(Box::new(Node::new_leaf(pkey, vhash)));
+                self.root = Some(Box::new(Node::new_leaf(pkey, vhash, defer)));
                 self.live += 1;
             }
             Some(node) => {
-                let (node, outcome) = insert_rec(node, pkey, vhash);
+                let (node, outcome) = insert_rec(node, pkey, vhash, defer);
                 self.root = Some(node);
                 match outcome {
                     InsertOutcome::Grafted => {
@@ -229,42 +257,90 @@ impl MerkleKv {
                 }
             }
         }
-        self.maybe_rebalance();
+        self.maybe_rebalance(defer);
     }
 
     /// Tombstones a key (the paper's "mark invalid"); returns whether it was
     /// live.
     pub fn invalidate(&mut self, pkey: &ProofKey) -> bool {
+        self.invalidate_with(pkey, false)
+    }
+
+    fn invalidate_with(&mut self, pkey: &ProofKey, defer: bool) -> bool {
         let Some(node) = self.root.take() else {
             return false;
         };
-        let (node, removed) = invalidate_rec(node, pkey);
+        let (node, removed) = invalidate_rec(node, pkey, defer);
         self.root = Some(node);
         if removed {
             self.live -= 1;
             self.tombstones += 1;
         }
-        self.maybe_rebalance();
+        self.maybe_rebalance(defer);
         removed
+    }
+
+    /// Applies a whole sync round of mutations in one pass, with hashing
+    /// deferred: every structural decision (graft order, scapegoat joins,
+    /// the tombstone-compaction trigger) is made exactly as the equivalent
+    /// sequence of [`MerkleKv::insert`]/[`MerkleKv::invalidate`] calls
+    /// would make it — shape depends only on keys and counts, never hashes
+    /// — but dirty nodes are rehashed once, bottom-up, at the end of the
+    /// round. Root-to-leaf paths shared by several ops (and subtrees churned
+    /// by a mid-round compaction) therefore pay for hashing once instead of
+    /// once per op, while the resulting root is byte-identical to the
+    /// sequential one.
+    ///
+    /// Returns the number of nodes rehashed — the per-round
+    /// `merkle_nodes_rehashed` observability counter.
+    pub fn apply_batch(&mut self, ops: Vec<TreeOp>) -> usize {
+        if ops.is_empty() {
+            return 0;
+        }
+        for op in ops {
+            match op {
+                TreeOp::Insert(pkey, vhash) => self.insert_with(pkey, vhash, true),
+                TreeOp::Invalidate(pkey) => {
+                    self.invalidate_with(&pkey, true);
+                }
+            }
+        }
+        self.root.as_deref_mut().map(rehash).unwrap_or(0)
+    }
+
+    /// [`MerkleKv::apply_batch`] over inserts only — the bulk-load shape
+    /// (`open_at` recovery, preloads). Returns the number of nodes
+    /// rehashed.
+    pub fn insert_batch(&mut self, records: Vec<(ProofKey, Hash32)>) -> usize {
+        self.apply_batch(
+            records
+                .into_iter()
+                .map(|(pkey, vhash)| TreeOp::Insert(pkey, vhash))
+                .collect(),
+        )
     }
 
     /// Deterministic compaction rule shared by SP and DO mirror: rebuild
     /// (dropping tombstones) once tombstones exceed half the live set.
     /// Shape balance itself is maintained incrementally by the scapegoat
     /// joins in [`Node::balanced_join`].
-    fn maybe_rebalance(&mut self) {
+    fn maybe_rebalance(&mut self, defer: bool) {
         if self.tombstones > (self.live / 2).max(64) {
-            self.rebuild();
+            self.rebuild_with(defer);
         }
     }
 
     /// Rebuilds a balanced tree from the live records, dropping tombstones.
     pub fn rebuild(&mut self) {
+        self.rebuild_with(false);
+    }
+
+    fn rebuild_with(&mut self, defer: bool) {
         let mut records = Vec::with_capacity(self.live);
         if let Some(root) = &self.root {
             collect_live(root, &mut records);
         }
-        self.root = build_balanced(&records);
+        self.root = build_balanced(&records, defer);
         self.live = records.len();
         self.tombstones = 0;
     }
@@ -347,6 +423,16 @@ impl MerkleKv {
     }
 }
 
+/// One mutation in a deferred-hash [`MerkleKv::apply_batch`] round: the
+/// batch analog of [`MerkleKv::insert`] / [`MerkleKv::invalidate`].
+#[derive(Clone, Debug)]
+pub enum TreeOp {
+    /// Insert the key or update it in place (reviving a tombstone).
+    Insert(ProofKey, Hash32),
+    /// Tombstone the key (the paper's "mark invalid").
+    Invalidate(ProofKey),
+}
+
 enum InsertOutcome {
     Updated,
     Revived,
@@ -354,7 +440,12 @@ enum InsertOutcome {
 }
 
 #[allow(clippy::boxed_local)] // tree nodes live boxed; unboxing here just re-boxes
-fn insert_rec(node: Box<Node>, pkey: ProofKey, vhash: Hash32) -> (Box<Node>, InsertOutcome) {
+fn insert_rec(
+    node: Box<Node>,
+    pkey: ProofKey,
+    vhash: Hash32,
+    defer: bool,
+) -> (Box<Node>, InsertOutcome) {
     match *node {
         Node::Leaf(mut l) => {
             if l.pkey == pkey {
@@ -365,41 +456,49 @@ fn insert_rec(node: Box<Node>, pkey: ProofKey, vhash: Hash32) -> (Box<Node>, Ins
                 };
                 l.vhash = vhash;
                 l.valid = true;
-                l.hash = leaf_hash(&l.pkey, &l.vhash, true);
+                if defer {
+                    l.dirty = true;
+                } else {
+                    l.hash = leaf_hash(&l.pkey, &l.vhash, true);
+                }
                 (Box::new(Node::Leaf(l)), outcome)
             } else {
                 // Graft: split this leaf into an inner node holding both, in
                 // key order (the paper's h9 = H(h4 ‖ h8) step).
-                let new_leaf = Box::new(Node::new_leaf(pkey.clone(), vhash));
+                let new_leaf = Box::new(Node::new_leaf(pkey.clone(), vhash, defer));
                 let old_leaf = Box::new(Node::Leaf(l));
                 let joined = if *new_leaf.max() < *old_leaf.min() {
-                    Node::join(new_leaf, old_leaf)
+                    Node::join(new_leaf, old_leaf, defer)
                 } else {
-                    Node::join(old_leaf, new_leaf)
+                    Node::join(old_leaf, new_leaf, defer)
                 };
                 (Box::new(joined), InsertOutcome::Grafted)
             }
         }
         Node::Inner(i) => {
             let (left, right, outcome) = if pkey <= *i.left.max() {
-                let (l, o) = insert_rec(i.left, pkey, vhash);
+                let (l, o) = insert_rec(i.left, pkey, vhash, defer);
                 (l, i.right, o)
             } else {
-                let (r, o) = insert_rec(i.right, pkey, vhash);
+                let (r, o) = insert_rec(i.right, pkey, vhash, defer);
                 (i.left, r, o)
             };
-            (Box::new(Node::balanced_join(left, right)), outcome)
+            (Box::new(Node::balanced_join(left, right, defer)), outcome)
         }
     }
 }
 
 #[allow(clippy::boxed_local)] // tree nodes live boxed; unboxing here just re-boxes
-fn invalidate_rec(node: Box<Node>, pkey: &ProofKey) -> (Box<Node>, bool) {
+fn invalidate_rec(node: Box<Node>, pkey: &ProofKey, defer: bool) -> (Box<Node>, bool) {
     match *node {
         Node::Leaf(mut l) => {
             if l.pkey == *pkey && l.valid {
                 l.valid = false;
-                l.hash = leaf_hash(&l.pkey, &l.vhash, false);
+                if defer {
+                    l.dirty = true;
+                } else {
+                    l.hash = leaf_hash(&l.pkey, &l.vhash, false);
+                }
                 (Box::new(Node::Leaf(l)), true)
             } else {
                 (Box::new(Node::Leaf(l)), false)
@@ -407,28 +506,59 @@ fn invalidate_rec(node: Box<Node>, pkey: &ProofKey) -> (Box<Node>, bool) {
         }
         Node::Inner(i) => {
             let (left, right, removed) = if *pkey <= *i.left.max() {
-                let (l, r) = invalidate_rec(i.left, pkey);
+                let (l, r) = invalidate_rec(i.left, pkey, defer);
                 (l, i.right, r)
             } else {
-                let (r, rm) = invalidate_rec(i.right, pkey);
+                let (r, rm) = invalidate_rec(i.right, pkey, defer);
                 (i.left, r, rm)
             };
-            (Box::new(Node::join(left, right)), removed)
+            (Box::new(Node::join(left, right, defer)), removed)
         }
     }
 }
 
-fn build_balanced(records: &[(ProofKey, Hash32)]) -> Option<Box<Node>> {
+fn build_balanced(records: &[(ProofKey, Hash32)], defer: bool) -> Option<Box<Node>> {
     match records.len() {
         0 => None,
-        1 => Some(Box::new(Node::new_leaf(records[0].0.clone(), records[0].1))),
+        1 => Some(Box::new(Node::new_leaf(
+            records[0].0.clone(),
+            records[0].1,
+            defer,
+        ))),
         n => {
             let mid = n / 2;
             // grub-lint: allow(panic) — n >= 2 so both halves are non-empty
-            let left = build_balanced(&records[..mid]).expect("non-empty");
+            let left = build_balanced(&records[..mid], defer).expect("non-empty");
             // grub-lint: allow(panic) — n >= 2 so both halves are non-empty
-            let right = build_balanced(&records[mid..]).expect("non-empty");
-            Some(Box::new(Node::join(left, right)))
+            let right = build_balanced(&records[mid..], defer).expect("non-empty");
+            Some(Box::new(Node::join(left, right, defer)))
+        }
+    }
+}
+
+/// The batch finalizer: recomputes every dirty hash bottom-up and returns
+/// the number of nodes rehashed. Clean subtrees are skipped whole — a dirty
+/// node's ancestors are always dirty (every deferred mutation rebuilds its
+/// root-to-leaf path with deferred joins), so the early return never strands
+/// a stale hash below a clean one.
+fn rehash(node: &mut Node) -> usize {
+    match node {
+        Node::Leaf(l) => {
+            if !l.dirty {
+                return 0;
+            }
+            l.hash = leaf_hash(&l.pkey, &l.vhash, l.valid);
+            l.dirty = false;
+            1
+        }
+        Node::Inner(i) => {
+            if !i.dirty {
+                return 0;
+            }
+            let below = rehash(&mut i.left) + rehash(&mut i.right);
+            i.hash = inner_hash(&i.left.hash(), &i.right.hash());
+            i.dirty = false;
+            below + 1
         }
     }
 }
@@ -646,6 +776,110 @@ mod tests {
             t.depth() <= 4 * 13, // generous bound vs log2(5000) ≈ 12.3
             "depth {} is not logarithmic",
             t.depth()
+        );
+    }
+
+    /// Replays `ops` sequentially into one tree and as a single batch into
+    /// another, asserting byte-identical roots and bookkeeping.
+    fn assert_batch_matches_sequential(ops: Vec<TreeOp>) {
+        let mut seq = MerkleKv::new();
+        for op in &ops {
+            match op {
+                TreeOp::Insert(k, v) => seq.insert(k.clone(), *v),
+                TreeOp::Invalidate(k) => {
+                    seq.invalidate(k);
+                }
+            }
+        }
+        let mut batch = MerkleKv::new();
+        batch.apply_batch(ops);
+        assert_eq!(batch.root(), seq.root(), "batch root != sequential root");
+        assert_eq!(batch.len(), seq.len());
+        assert_eq!(batch.tombstone_count(), seq.tombstone_count());
+        assert_eq!(
+            batch.depth(),
+            seq.depth(),
+            "batch shape != sequential shape"
+        );
+    }
+
+    #[test]
+    fn batch_root_equals_sequential_root() {
+        let ops: Vec<TreeOp> = (0..200u32)
+            .map(|i| TreeOp::Insert(nr(&format!("k{:03}", i % 60)), vh(&i.to_string())))
+            .chain((0..50u32).map(|i| TreeOp::Invalidate(nr(&format!("k{:03}", i % 60)))))
+            .collect();
+        assert_batch_matches_sequential(ops);
+    }
+
+    #[test]
+    fn batch_matches_sequential_through_compaction() {
+        // Enough tombstones to trip the deterministic rebuild mid-batch:
+        // the deferred path must compact at the exact same op boundary.
+        let mut ops: Vec<TreeOp> = (0..200u32)
+            .map(|i| TreeOp::Insert(nr(&format!("k{i:03}")), vh(&i.to_string())))
+            .collect();
+        ops.extend((0..130u32).map(|i| TreeOp::Invalidate(nr(&format!("k{i:03}")))));
+        ops.extend((0..40u32).map(|i| TreeOp::Insert(nr(&format!("k{i:03}")), vh("revived"))));
+        assert_batch_matches_sequential(ops);
+    }
+
+    #[test]
+    fn batch_relocation_mix_matches_sequential() {
+        // The provider's Relocate shape: invalidate under one state, insert
+        // under the other, interleaved with plain writes.
+        let mut ops = Vec::new();
+        for i in 0..80u32 {
+            let key = format!("rec{:02}", i % 20);
+            ops.push(TreeOp::Insert(nr(&key), vh(&i.to_string())));
+            if i % 3 == 0 {
+                ops.push(TreeOp::Invalidate(nr(&key)));
+                ops.push(TreeOp::Insert(r(&key), vh(&i.to_string())));
+            }
+        }
+        assert_batch_matches_sequential(ops);
+    }
+
+    #[test]
+    fn batch_counts_rehashed_nodes() {
+        let mut t = MerkleKv::new();
+        t.insert_batch(
+            (0..64u32)
+                .map(|i| (nr(&format!("k{i:02}")), vh("v")))
+                .collect(),
+        );
+        let root_before = t.root();
+        // A single in-place update dirties one root-to-leaf path; with 64
+        // balanced leaves that is well under the whole tree (127 nodes).
+        let rehashed = t.apply_batch(vec![TreeOp::Insert(nr("k00"), vh("v'"))]);
+        assert!(rehashed >= 2, "path must be rehashed, got {rehashed}");
+        assert!(
+            rehashed <= 8,
+            "rehash must not touch the whole tree: {rehashed}"
+        );
+        assert_ne!(t.root(), root_before);
+        // An empty batch touches nothing.
+        assert_eq!(t.apply_batch(Vec::new()), 0);
+    }
+
+    #[test]
+    fn batch_shares_path_hashing_across_ops() {
+        let mut t = MerkleKv::new();
+        t.insert_batch(
+            (0..64u32)
+                .map(|i| (nr(&format!("k{i:02}")), vh("v")))
+                .collect(),
+        );
+        // 32 updates as one batch: every node is rehashed at most once, so
+        // the count is bounded by the whole tree, not ops × path length.
+        let rehashed = t.apply_batch(
+            (0..32u32)
+                .map(|i| TreeOp::Insert(nr(&format!("k{i:02}")), vh("v'")))
+                .collect(),
+        );
+        assert!(
+            rehashed < 32 * t.depth(),
+            "shared paths must be rehashed once: {rehashed}"
         );
     }
 

@@ -1,9 +1,11 @@
 //! The top-level database: WAL + memtable + leveled SSTables.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
 
+use crate::cache::{BlockCache, CachedBlock};
 use crate::memtable::Memtable;
 use crate::sstable::{SsTableReader, SsTableWriter, TableEntry};
 use crate::wal::{Wal, WalRecord};
@@ -22,6 +24,8 @@ pub struct Options {
     pub bits_per_key: usize,
     /// Whether to fsync the WAL on every write.
     pub sync_writes: bool,
+    /// Block-cache capacity in data blocks (`GRUB_BLOCK_CACHE`; 0 disables).
+    pub block_cache_capacity: usize,
 }
 
 impl Default for Options {
@@ -32,8 +36,31 @@ impl Default for Options {
             block_bytes: 4096,
             bits_per_key: 10,
             sync_writes: false,
+            block_cache_capacity: std::env::var("GRUB_BLOCK_CACHE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1024),
         }
     }
+}
+
+/// Cumulative read-path counters since open.
+///
+/// Caching and filtering only change *how much I/O* a read performs, never
+/// its result, so these counters are observability-only: they must not feed
+/// any digest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Block-cache hits.
+    pub cache_hits: u64,
+    /// Block-cache misses (each implies one block read).
+    pub cache_misses: u64,
+    /// Table probes skipped by a bloom-filter true negative.
+    pub bloom_skips: u64,
+    /// Table probes skipped because the key falls outside the table's span.
+    pub span_skips: u64,
+    /// Data blocks read (and CRC-checked) from disk.
+    pub block_reads: u64,
 }
 
 /// A consistent read point.
@@ -50,6 +77,8 @@ pub struct Snapshot {
 struct Table {
     path: PathBuf,
     reader: SsTableReader,
+    /// Monotonic file number (never reused) — the cache key prefix.
+    file_no: u64,
 }
 
 /// The storage engine facade: `put`/`get`/`delete`/`scan` with durability.
@@ -67,6 +96,8 @@ pub struct Db {
     l1: Vec<Table>,
     flush_count: u64,
     compaction_count: u64,
+    cache: BlockCache,
+    reads: RefCell<ReadStats>,
 }
 
 impl Db {
@@ -118,7 +149,7 @@ impl Db {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(crate::StoreError::Io(e)),
         }
-        for (_, level, path) in names {
+        for (no, level, path) in names {
             let reader = SsTableReader::open(&path)?;
             if !have_sidecar {
                 // Pre-sidecar directory: recover the sequence the old way,
@@ -127,7 +158,11 @@ impl Db {
                     max_seq = max_seq.max(e.seq);
                 }
             }
-            let table = Table { path, reader };
+            let table = Table {
+                path,
+                reader,
+                file_no: no,
+            };
             if level == 0 {
                 l0.push(table);
             } else {
@@ -154,6 +189,8 @@ impl Db {
             l1,
             flush_count: 0,
             compaction_count: 0,
+            cache: BlockCache::new(opts.block_cache_capacity),
+            reads: RefCell::new(ReadStats::default()),
         })
     }
 
@@ -217,20 +254,63 @@ impl Db {
             return Ok(opinion.cloned());
         }
         for table in self.l0.iter().rev() {
-            if let Some(opinion) = table.reader.get(key, snapshot.seq)? {
+            if let Some(opinion) = self.table_get(table, key, snapshot.seq)? {
                 return Ok(opinion);
             }
         }
         // L1 is non-overlapping: at most one candidate table.
         let idx = self.l1.partition_point(|t| t.reader.largest() < key);
         if let Some(table) = self.l1.get(idx) {
-            if table.reader.smallest() <= key {
-                if let Some(opinion) = table.reader.get(key, snapshot.seq)? {
-                    return Ok(opinion);
-                }
+            if let Some(opinion) = self.table_get(table, key, snapshot.seq)? {
+                return Ok(opinion);
             }
         }
         Ok(None)
+    }
+
+    /// Point lookup in one table, with the span and bloom checks hoisted
+    /// above any block I/O: a miss on a table whose span or bloom excludes
+    /// the key costs zero block reads.
+    fn table_get(
+        &self,
+        table: &Table,
+        key: &[u8],
+        seq_limit: u64,
+    ) -> Result<Option<Option<Vec<u8>>>> {
+        let r = &table.reader;
+        if key < r.smallest() || key > r.largest() {
+            self.reads.borrow_mut().span_skips += 1;
+            return Ok(None);
+        }
+        if !r.may_contain(key) {
+            self.reads.borrow_mut().bloom_skips += 1;
+            return Ok(None);
+        }
+        // First block whose last_key >= key: the only candidate.
+        let Some(idx) = r.find_block_idx(key) else {
+            return Ok(None);
+        };
+        let block = self.cached_block(table, idx)?;
+        Ok(block
+            .iter()
+            .find(|e| e.key == key && e.seq <= seq_limit)
+            .map(|e| e.value.clone()))
+    }
+
+    /// Fetches data block `idx` of `table` through the block cache.
+    fn cached_block(&self, table: &Table, idx: usize) -> Result<CachedBlock> {
+        if let Some(block) = self.cache.get(table.file_no, idx) {
+            self.reads.borrow_mut().cache_hits += 1;
+            return Ok(block);
+        }
+        let block = std::sync::Arc::new(table.reader.block_at(idx)?);
+        {
+            let mut reads = self.reads.borrow_mut();
+            reads.cache_misses += 1;
+            reads.block_reads += 1;
+        }
+        self.cache.insert(table.file_no, idx, block.clone());
+        Ok(block)
     }
 
     /// Ordered scan of live keys in `[start, end)` (unbounded when `None`).
@@ -274,14 +354,29 @@ impl Db {
             }
         };
         for table in self.l1.iter().chain(self.l0.iter()) {
+            let r = &table.reader;
             // Skip tables whose key span cannot intersect the scan range.
-            if start.map(|s| table.reader.largest() < s).unwrap_or(false)
-                || end.map(|e| table.reader.smallest() >= e).unwrap_or(false)
+            if start.map(|s| r.largest() < s).unwrap_or(false)
+                || end.map(|e| r.smallest() >= e).unwrap_or(false)
             {
+                self.reads.borrow_mut().span_skips += 1;
                 continue;
             }
-            for TableEntry { key, seq, value } in table.reader.iter_all()? {
-                offer(&key, seq, value);
+            // Seek into the first block that can hold `start` instead of
+            // iterating the table from the front; stop at the first key past
+            // `end` (blocks and entries are key-ascending).
+            let first = match start {
+                Some(s) => r.find_block_idx(s).unwrap_or(r.block_count()),
+                None => 0,
+            };
+            'blocks: for idx in first..r.block_count() {
+                let block = self.cached_block(table, idx)?;
+                for TableEntry { key, seq, value } in block.iter() {
+                    if end.map(|e| key.as_slice() >= e).unwrap_or(false) {
+                        break 'blocks;
+                    }
+                    offer(key, *seq, value.clone());
+                }
             }
         }
         let sb = start.map(Bound::Included).unwrap_or(Bound::Unbounded);
@@ -305,14 +400,18 @@ impl Db {
         if self.mem.is_empty() {
             return Ok(());
         }
-        let path = self.table_path(0);
+        let (file_no, path) = self.table_path(0);
         let mut w = SsTableWriter::create(&path, self.opts.block_bytes, self.opts.bits_per_key)?;
         for (key, version) in self.mem.iter_all() {
             w.add(key, version.seq, version.value.as_deref())?;
         }
         let path = w.finish()?;
         let reader = SsTableReader::open(&path)?;
-        self.l0.push(Table { path, reader });
+        self.l0.push(Table {
+            path,
+            reader,
+            file_no,
+        });
         self.mem = Memtable::new();
         // Persist the sequence BEFORE truncating the WAL: a crash in between
         // leaves both sources available and recovery takes the max.
@@ -347,57 +446,64 @@ impl Db {
                 }
             }
         }
-        let old: Vec<PathBuf> = self
+        let old: Vec<(u64, PathBuf)> = self
             .l0
             .drain(..)
             .chain(self.l1.drain(..))
-            .map(|t| t.path)
+            .map(|t| (t.file_no, t.path))
             .collect();
         // Write out live entries, splitting files at ~2 MiB.
         const TARGET: usize = 2 << 20;
-        let mut writer: Option<SsTableWriter> = None;
+        let mut writer: Option<(u64, SsTableWriter)> = None;
         let mut written = 0usize;
         let mut new_paths = Vec::new();
         for (key, (seq, value)) in best {
             let Some(v) = value else { continue }; // drop tombstones at bottom
             if writer.is_none() {
-                let path = self.table_path(1);
-                writer = Some(SsTableWriter::create(
-                    &path,
-                    self.opts.block_bytes,
-                    self.opts.bits_per_key,
-                )?);
+                let (no, path) = self.table_path(1);
+                writer = Some((
+                    no,
+                    SsTableWriter::create(&path, self.opts.block_bytes, self.opts.bits_per_key)?,
+                ));
                 written = 0;
             }
             // grub-lint: allow(panic) — the branch above just filled `writer` when it was None
-            let w = writer.as_mut().expect("just created");
+            let (_, w) = writer.as_mut().expect("just created");
             w.add(&key, seq, Some(&v))?;
             written += key.len() + v.len() + 17;
             if written >= TARGET {
                 // grub-lint: allow(panic) — `written` only grows after `writer` is Some
-                new_paths.push(writer.take().expect("present").finish()?);
+                let (no, w) = writer.take().expect("present");
+                new_paths.push((no, w.finish()?));
             }
         }
-        if let Some(w) = writer {
-            new_paths.push(w.finish()?);
+        if let Some((no, w)) = writer {
+            new_paths.push((no, w.finish()?));
         }
-        for path in new_paths {
+        for (file_no, path) in new_paths {
             let reader = SsTableReader::open(&path)?;
-            self.l1.push(Table { path, reader });
+            self.l1.push(Table {
+                path,
+                reader,
+                file_no,
+            });
         }
         self.l1
             .sort_by(|a, b| a.reader.smallest().cmp(b.reader.smallest()));
-        for path in old {
+        for (file_no, path) in old {
+            // File numbers are never reused, so a forgotten eviction could
+            // never alias — but dead blocks would squat in the cache.
+            self.cache.evict_table(file_no);
             std::fs::remove_file(&path).ok();
         }
         self.compaction_count += 1;
         Ok(())
     }
 
-    fn table_path(&mut self, level: u8) -> PathBuf {
+    fn table_path(&mut self, level: u8) -> (u64, PathBuf) {
         let no = self.next_file_no;
         self.next_file_no += 1;
-        self.dir.join(format!("{no:06}-l{level}.sst"))
+        (no, self.dir.join(format!("{no:06}-l{level}.sst")))
     }
 
     /// Durably records the current sequence number in the SEQ sidecar:
@@ -428,6 +534,11 @@ impl Db {
             self.flush_count,
             self.compaction_count,
         )
+    }
+
+    /// Cumulative read-path counters (cache, bloom/span skips, block reads).
+    pub fn read_stats(&self) -> ReadStats {
+        *self.reads.borrow()
     }
 
     /// The database directory.
@@ -464,6 +575,7 @@ mod tests {
             block_bytes: 512,
             bits_per_key: 10,
             sync_writes: false,
+            block_cache_capacity: 64,
         }
     }
 
@@ -667,6 +779,166 @@ mod tests {
         let db = Db::open(&dir, small_opts()).unwrap();
         assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
         assert_eq!(db.get(b"b").unwrap(), Some(b"2".to_vec()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn miss_on_multi_table_db_reads_zero_blocks() {
+        let dir = temp_dir("missfree");
+        let mut opts = small_opts();
+        opts.l0_compaction_trigger = 100; // keep every flush as its own L0 table
+        let mut db = Db::open(&dir, opts).unwrap();
+        for t in 0..4u32 {
+            for i in 0..20u32 {
+                db.put(format!("k{t}-{i:04}").into_bytes(), b"v".to_vec())
+                    .unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let (l0, _, _, _) = db.stats();
+        assert!(l0 >= 4, "test needs several tables, got {l0}");
+        let before = db.read_stats();
+        // Out of every table's span: the span check alone must answer.
+        assert_eq!(db.get(b"zz-absent").unwrap(), None);
+        // Inside table 0's span but never written: the bloom must answer.
+        assert_eq!(db.get(b"k0-0007x").unwrap(), None);
+        let after = db.read_stats();
+        assert_eq!(
+            after.block_reads, before.block_reads,
+            "a miss must perform zero block reads"
+        );
+        assert!(after.span_skips > before.span_skips);
+        assert!(after.bloom_skips > before.bloom_skips);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cold_and_warm_cache_agree() {
+        let dir = temp_dir("cachecold");
+        let write = |opts: Options| {
+            let mut db = Db::open(&dir, opts).unwrap();
+            for i in 0..300u32 {
+                db.put(
+                    format!("k{:04}", i % 60).into_bytes(),
+                    format!("v{i}").into_bytes(),
+                )
+                .unwrap();
+            }
+            db.flush().unwrap();
+            db
+        };
+        let mut cold_opts = small_opts();
+        cold_opts.block_cache_capacity = 0;
+        let db = write(cold_opts);
+        let cold: Vec<_> = (0..60u32)
+            .map(|k| db.get(format!("k{k:04}").as_bytes()).unwrap())
+            .collect();
+        assert_eq!(db.read_stats().cache_hits, 0, "disabled cache never hits");
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+
+        let db = write(small_opts());
+        let warm: Vec<_> = (0..60u32)
+            .map(|k| db.get(format!("k{k:04}").as_bytes()).unwrap())
+            .collect();
+        // Second pass over the same keys: answers identical, all from cache.
+        let miss_high = db.read_stats().cache_misses;
+        let rewarm: Vec<_> = (0..60u32)
+            .map(|k| db.get(format!("k{k:04}").as_bytes()).unwrap())
+            .collect();
+        assert_eq!(cold, warm, "cache must not change results");
+        assert_eq!(warm, rewarm);
+        let stats = db.read_stats();
+        assert_eq!(stats.cache_misses, miss_high, "warm pass misses nothing");
+        assert!(stats.cache_hits > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiny_cache_evicts_but_stays_correct() {
+        let dir = temp_dir("cachetiny");
+        let mut opts = small_opts();
+        opts.block_cache_capacity = 2; // far fewer than the blocks touched
+        let mut db = Db::open(&dir, opts).unwrap();
+        for i in 0..200u32 {
+            db.put(
+                format!("k{i:04}").into_bytes(),
+                format!("v{i}").into_bytes(),
+            )
+            .unwrap();
+        }
+        db.flush().unwrap();
+        for i in 0..200u32 {
+            assert_eq!(
+                db.get(format!("k{i:04}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes())
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn weak_bloom_false_positives_do_not_change_results() {
+        // One bit per key makes bloom false positives near-certain; every
+        // read must still agree with a strong-bloom database.
+        let load = |dir: &PathBuf, bits: usize| {
+            let mut opts = small_opts();
+            opts.bits_per_key = bits;
+            let mut db = Db::open(dir, opts).unwrap();
+            for i in 0..150u32 {
+                db.put(
+                    format!("k{i:04}").into_bytes(),
+                    format!("v{i}").into_bytes(),
+                )
+                .unwrap();
+            }
+            db.delete(b"k0077").unwrap();
+            db.flush().unwrap();
+            db
+        };
+        let dir_weak = temp_dir("bloomweak");
+        let dir_strong = temp_dir("bloomstrong");
+        let weak = load(&dir_weak, 1);
+        let strong = load(&dir_strong, 10);
+        for i in 0..150u32 {
+            for probe in [format!("k{i:04}"), format!("k{i:04}x"), format!("q{i:04}")] {
+                assert_eq!(
+                    weak.get(probe.as_bytes()).unwrap(),
+                    strong.get(probe.as_bytes()).unwrap(),
+                    "probe {probe}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir_weak).ok();
+        std::fs::remove_dir_all(&dir_strong).ok();
+    }
+
+    #[test]
+    fn scan_seeks_past_leading_blocks() {
+        let dir = temp_dir("scanseek");
+        let mut db = Db::open(&dir, small_opts()).unwrap();
+        for i in 0..400u32 {
+            db.put(
+                format!("k{i:04}").into_bytes(),
+                format!("v{i}").into_bytes(),
+            )
+            .unwrap();
+        }
+        db.flush().unwrap();
+        db.compact().unwrap();
+        let before = db.read_stats().block_reads;
+        let out = db.scan(Some(b"k0390"), None).unwrap();
+        assert_eq!(out.len(), 10);
+        let tail_reads = db.read_stats().block_reads - before;
+        let before = db.read_stats().block_reads;
+        let all = db.scan(None, None).unwrap();
+        assert_eq!(all.len(), 400);
+        let full_reads = db.read_stats().block_reads - before;
+        assert!(
+            tail_reads < full_reads,
+            "tail scan ({tail_reads} reads) must seek past blocks a full scan \
+             ({full_reads} reads) touches"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -36,13 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod bloom;
+mod cache;
 pub mod crc;
 mod db;
 pub mod memtable;
 pub mod sstable;
 pub mod wal;
 
-pub use db::{Db, Options, Snapshot};
+pub use db::{Db, Options, ReadStats, Snapshot};
 
 use std::error::Error;
 use std::fmt;

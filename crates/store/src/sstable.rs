@@ -352,6 +352,32 @@ impl SsTableReader {
             .map(|e| e.value))
     }
 
+    /// Number of data blocks in the table.
+    pub(crate) fn block_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the bloom filter admits `key` (`false` ⇒ definitely absent).
+    pub(crate) fn may_contain(&self, key: &[u8]) -> bool {
+        self.bloom.may_contain(key)
+    }
+
+    /// Index of the first block whose `last_key >= key` — the only block
+    /// that can contain `key`, and the seek target for a scan starting at
+    /// `key`. `None` when `key` sorts past every block.
+    pub(crate) fn find_block_idx(&self, key: &[u8]) -> Option<usize> {
+        let idx = self.index.partition_point(|e| e.last_key.as_slice() < key);
+        (idx < self.index.len()).then_some(idx)
+    }
+
+    /// Reads (and CRC-checks) data block `idx`.
+    pub(crate) fn block_at(&self, idx: usize) -> Result<Vec<TableEntry>> {
+        match self.index.get(idx) {
+            Some(entry) => self.read_block(entry),
+            None => Ok(Vec::new()),
+        }
+    }
+
     /// All entries, in `(key asc, seq desc)` order.
     ///
     /// # Errors

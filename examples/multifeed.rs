@@ -184,6 +184,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace_chain.chain_digest().to_hex()
     );
 
+    // Hot-path observability: the store fast-path and batched-Merkle
+    // counters, summed over the full-batching run's rounds.
+    let sum = |field: fn(&grub::engine::EpochMetrics) -> u64| -> u64 {
+        full.metrics.iter().map(field).sum()
+    };
+    println!(
+        "\nstore fast path: {} cache hits / {} misses, {} bloom skips, {} merkle nodes rehashed",
+        sum(|m| m.cache_hits),
+        sum(|m| m.cache_misses),
+        sum(|m| m.bloom_skips),
+        sum(|m| m.merkle_nodes_rehashed),
+    );
+
     let (u, w, f) = (
         unbatched.feed_gas_total(),
         write_only.feed_gas_total(),

@@ -222,3 +222,50 @@ fn oversized_epochs_chunk_update_transactions() {
     assert_eq!(report.total_ops(), 64);
     assert!(report.feed_gas_total() > 0);
 }
+
+/// The block cache is invisible to results: a cold run (capacity 0) and a
+/// warm run (large capacity) of the same workload mine byte-identical
+/// chains, and the warm run actually exercises the cache.
+#[test]
+fn cold_and_warm_block_cache_mine_identical_chains() {
+    use grub::store::Options;
+    use grub::workload::ratio::MultiKeyRatio;
+    let mix = MultiKeyRatio::new(vec![
+        ("hot".into(), 8.0),
+        ("cold".into(), 0.125),
+        ("warm".into(), 1.0),
+    ])
+    .seed(23);
+    let trace = mix.generate(40);
+    let run_with = |capacity: usize| {
+        // Tiny memtable + eager compaction so SSTable block reads — the
+        // paths the cache sits on — actually occur.
+        let config = SystemConfig::new(PolicyKind::Memoryless { k: 2 }).store_options(Options {
+            memtable_bytes: 512,
+            l0_compaction_trigger: 2,
+            block_cache_capacity: capacity,
+            ..Options::default()
+        });
+        let mut system = GrubSystem::new(&config).expect("system");
+        system.drive(&trace).expect("drive");
+        (
+            system.chain().chain_digest(),
+            system.provider().read_stats(),
+        )
+    };
+    let (cold_digest, cold_stats) = run_with(0);
+    let (warm_digest, warm_stats) = run_with(4096);
+    assert_eq!(cold_digest, warm_digest, "cache capacity moved the chain");
+    assert!(
+        cold_stats.block_reads > 0,
+        "workload must exercise the SSTable read path"
+    );
+    assert_eq!(cold_stats.cache_hits, 0, "capacity 0 must never hit");
+    assert!(warm_stats.cache_hits > 0, "warm run must hit the cache");
+    assert!(
+        warm_stats.block_reads < cold_stats.block_reads,
+        "warm run must read fewer blocks ({} vs {})",
+        warm_stats.block_reads,
+        cold_stats.block_reads
+    );
+}

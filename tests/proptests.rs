@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use proptest::prelude::*;
 
 use grub::crypto::sha256;
-use grub::merkle::{record_value_hash, MerkleKv, ProofKey, ReplState};
+use grub::merkle::{record_value_hash, MerkleKv, ProofKey, ReplState, TreeOp as MerkleTreeOp};
 use grub::store::{Db, Options};
 use grub::workload::stats;
 use grub::workload::{Op, Trace, ValueSpec};
@@ -32,6 +32,18 @@ fn tree_op() -> impl Strategy<Value = TreeOp> {
     let key = prop::sample::select((0..24u8).map(|i| format!("key{i:02}")).collect::<Vec<_>>());
     prop_oneof![
         (any::<bool>(), key.clone(), any::<u64>()).prop_map(|(s, k, v)| TreeOp::Insert(s, k, v)),
+        (any::<bool>(), key).prop_map(|(s, k)| TreeOp::Invalidate(s, k)),
+    ]
+}
+
+/// Like [`tree_op`], but biased 2:1 toward invalidations (the invalidate
+/// arm is listed twice; the union samples arms uniformly) so batches hit
+/// tombstone-heavy rounds often.
+fn tree_op_tombstone_heavy() -> impl Strategy<Value = TreeOp> {
+    let key = prop::sample::select((0..24u8).map(|i| format!("key{i:02}")).collect::<Vec<_>>());
+    prop_oneof![
+        (any::<bool>(), key.clone(), any::<u64>()).prop_map(|(s, k, v)| TreeOp::Insert(s, k, v)),
+        (any::<bool>(), key.clone()).prop_map(|(s, k)| TreeOp::Invalidate(s, k)),
         (any::<bool>(), key).prop_map(|(s, k)| TreeOp::Invalidate(s, k)),
     ]
 }
@@ -73,6 +85,70 @@ proptest! {
         let live = tree.iter_live();
         let expect: Vec<_> = model.into_iter().collect();
         prop_assert_eq!(live, expect);
+    }
+
+    /// Batched tree updates are root-equivalent to the sequential path at
+    /// every chunk boundary, for arbitrary chunkings of random
+    /// write/delete/relocate mixes — including tombstone-heavy rounds — and
+    /// canonical rebuilds of both trees agree too.
+    #[test]
+    fn apply_batch_equals_sequential(
+        ops in prop::collection::vec(tree_op_tombstone_heavy(), 1..160),
+        chunk in 1usize..32,
+    ) {
+        let mut seq = MerkleKv::new();
+        let mut batched = MerkleKv::new();
+        for chunk_ops in ops.chunks(chunk) {
+            let mut batch: Vec<MerkleTreeOp> = Vec::with_capacity(chunk_ops.len());
+            for op in chunk_ops {
+                match op {
+                    TreeOp::Insert(state, key, v) => {
+                        let pk = pkey(*state, key);
+                        let vh = record_value_hash(&v.to_le_bytes());
+                        seq.insert(pk.clone(), vh);
+                        batch.push(MerkleTreeOp::Insert(pk, vh));
+                    }
+                    TreeOp::Invalidate(state, key) => {
+                        let pk = pkey(*state, key);
+                        seq.invalidate(&pk);
+                        batch.push(MerkleTreeOp::Invalidate(pk));
+                    }
+                }
+            }
+            batched.apply_batch(batch);
+            prop_assert_eq!(seq.root(), batched.root(), "chunk boundary roots diverged");
+        }
+        prop_assert_eq!(seq.len(), batched.len());
+        // Rebuilding canonicalizes shape identically given identical
+        // content, so the rebuilt roots must agree as well.
+        seq.rebuild();
+        batched.rebuild();
+        prop_assert_eq!(seq.root(), batched.root(), "rebuilt roots diverged");
+    }
+
+    /// Building a tree with one `insert_batch` call equals one-by-one
+    /// inserts (duplicate keys included: last write wins in both paths).
+    #[test]
+    fn insert_batch_equals_sequential_build(
+        records in prop::collection::vec((any::<bool>(), 0u8..24, any::<u64>()), 1..120),
+    ) {
+        let mut seq = MerkleKv::new();
+        let mut batched = MerkleKv::new();
+        let recs: Vec<_> = records
+            .iter()
+            .map(|(s, k, v)| {
+                (
+                    pkey(*s, &format!("key{k:02}")),
+                    record_value_hash(&v.to_le_bytes()),
+                )
+            })
+            .collect();
+        for (pk, vh) in &recs {
+            seq.insert(pk.clone(), *vh);
+        }
+        batched.insert_batch(recs);
+        prop_assert_eq!(seq.root(), batched.root(), "batch build diverged");
+        prop_assert_eq!(seq.len(), batched.len());
     }
 
     /// Membership proofs verify for every live record and never verify
